@@ -1,0 +1,24 @@
+//! The competing compressors of §IV:
+//!
+//! * [`k2`] — the plain k²-tree representation (Brisaboa et al. \[21\]),
+//!   extended to labeled/RDF graphs with one tree per label as in
+//!   Álvarez-García et al. \[8\]. This is the baseline of Table V and one
+//!   of the three in Fig. 12 / Table VI.
+//! * [`lm`] — the List Merging compressor of Grabowski & Bieniecki \[20\]
+//!   (chunk size 64, as in their paper), with our DEFLATE-like `grepair-lz`
+//!   standing in for gzip.
+//! * [`hn`] — dense-substructure virtual-node mining in the style of
+//!   Buehrer & Chellapilla \[23\] / Hernández & Navarro \[22\]
+//!   (T = 10, P = 2, ES = 10), followed by a k²-tree of the rewired graph.
+//! * [`repair_strings`] — classical string RePair \[15\] applied to the
+//!   adjacency-list sequence (Claude & Navarro \[19\]); also used to check
+//!   the paper's closing claim that gRePair on string-shaped graphs matches
+//!   plain RePair.
+//!
+//! Every baseline reports its exact output size in bits and (except the
+//! size-only estimators) decodes back for round-trip testing.
+
+pub mod hn;
+pub mod k2;
+pub mod lm;
+pub mod repair_strings;

@@ -1,0 +1,113 @@
+//! Criterion benches for the compression pipeline: end-to-end gRePair on
+//! representative graph shapes, phase costs (order computation, counting),
+//! and the ablations DESIGN.md calls out (pruning on/off, virtual edges
+//! on/off, bucket queue vs the naive alternative is covered in
+//! `substrates.rs`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use grepair_bench::{run_grepair, Scale};
+use grepair_core::{compress, Compressor, GRePairConfig};
+use grepair_datasets::{network, rdf, version};
+use grepair_hypergraph::order::{compute_order, fp_refine, FpConfig, NodeOrder};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    let cases = [
+        ("coauthorship", network::co_authorship(2_000, 1_500, 5, 1)),
+        ("types_star", rdf::types_star(8_000, 16, 2)),
+        (
+            "version_copies",
+            version::disjoint_copies(&version::circle_with_diagonal(), 512),
+        ),
+        ("web_copy", network::web_copy(4_000, 5, 0.65, 3)),
+    ];
+    for (name, g) in cases {
+        group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| compress(&g, &GRePairConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_order");
+    group.sample_size(10);
+    let g = network::co_authorship(4_000, 3_000, 5, 7);
+    for order in [NodeOrder::Natural, NodeOrder::Bfs, NodeOrder::Fp0, NodeOrder::Fp] {
+        group.bench_function(order.to_string(), |b| {
+            b.iter(|| compute_order(&g, order))
+        });
+    }
+    group.bench_function("fp_refine_undirected", |b| {
+        b.iter(|| {
+            fp_refine(
+                &g,
+                FpConfig { use_direction: false, use_labels: false, max_rounds: 64 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+    let g = version::disjoint_copies(&version::circle_with_diagonal(), 1024);
+    group.bench_function("counting_only", |b| {
+        b.iter_batched(
+            || Compressor::new(&g, &GRePairConfig::default()),
+            |mut comp| comp.count_all(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| compress(&g, &GRePairConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let g = version::disjoint_copies(&version::circle_with_diagonal(), 512);
+    for (name, config) in [
+        ("default", GRePairConfig::default()),
+        ("no_prune", GRePairConfig { prune: false, ..Default::default() }),
+        (
+            "no_virtual",
+            GRePairConfig { connect_components: false, ..Default::default() },
+        ),
+        ("rank2", GRePairConfig { max_rank: 2, ..Default::default() }),
+    ] {
+        group.bench_function(name, |b| b.iter(|| compress(&g, &config)));
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    let suite = grepair_bench::network_suite(Scale::Quick);
+    let g = &suite[2].graph; // CA-GrQc analog
+    let run = run_grepair(g, &GRePairConfig::default());
+    group.bench_function("encode", |b| {
+        b.iter(|| grepair_codec::encode(&run.compressed.grammar))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| grepair_codec::decode(&run.encoded.bytes, run.encoded.bit_len).unwrap())
+    });
+    group.bench_function("derive", |b| b.iter(|| run.compressed.grammar.derive()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_orders,
+    bench_phases,
+    bench_ablations,
+    bench_codec
+);
+criterion_main!(benches);

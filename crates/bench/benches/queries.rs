@@ -1,0 +1,89 @@
+//! Criterion benches for §V query evaluation: grammar-side vs
+//! decompressed-graph-side, quantifying the paper's "speed-ups proportional
+//! to the compression ratio" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grepair_core::{compress, GRePairConfig};
+use grepair_hypergraph::{traverse, Hypergraph};
+use grepair_queries::{speedup, GrammarIndex, ReachIndex};
+
+/// Long repetitive path: |G| = O(log |g|), the best case for grammar-side
+/// queries.
+fn long_path(reps: u32) -> Hypergraph {
+    Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+    )
+    .0
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(20);
+    let g = long_path(8_192);
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+    let reach = ReachIndex::new(&out.grammar);
+    let n = derived.num_nodes() as u64;
+    group.bench_function("grammar", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            reach.reachable((i * 7919) % n, (i * 104_729 + 13) % n)
+        })
+    });
+    group.bench_function("bfs_on_val", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            traverse::reachable(&derived, ((i * 7919) % n) as u32, ((i * 104_729 + 13) % n) as u32)
+        })
+    });
+    group.bench_function("index_build", |b| b.iter(|| ReachIndex::new(&out.grammar)));
+    group.finish();
+}
+
+fn bench_neighborhoods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood");
+    let g = long_path(8_192);
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+    let idx = GrammarIndex::new(&out.grammar);
+    let n = derived.num_nodes() as u64;
+    group.bench_function("grammar_out_neighbors", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            idx.out_neighbors((i * 7919) % n)
+        })
+    });
+    group.bench_function("val_out_neighbors", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            derived.out_neighbors(((i * 7919) % n) as u32).collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregates");
+    group.sample_size(20);
+    let g = long_path(8_192);
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+    group.bench_function("components_grammar", |b| {
+        b.iter(|| speedup::connected_components(&out.grammar))
+    });
+    group.bench_function("components_val", |b| {
+        b.iter(|| traverse::connected_components(&derived))
+    });
+    group.bench_function("degrees_grammar", |b| {
+        b.iter(|| speedup::degree_extrema(&out.grammar))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_neighborhoods, bench_aggregates);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Criterion benches for the substrates: k²-trees, bit codes, the LZ
+//! compressor, the bucket priority queue (vs a naive max-scan), and string
+//! RePair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grepair_bits::codes;
+use grepair_bits::{BitReader, BitWriter};
+use grepair_core::queue::BucketQueue;
+use grepair_k2tree::K2Tree;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn bench_k2tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k2tree");
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 4096u32;
+    let points: Vec<(u32, u32)> = (0..40_000)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    group.bench_function("build_40k", |b| {
+        b.iter(|| K2Tree::build(2, n, n, points.clone()))
+    });
+    let tree = K2Tree::build(2, n, n, points.clone());
+    group.bench_function("cell_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            tree.get(points[i].0, points[i].1)
+        })
+    });
+    group.bench_function("row_query", |b| {
+        let mut r = 0;
+        b.iter(|| {
+            r = (r + 97) % n;
+            tree.row(r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elias_delta");
+    let values: Vec<u64> = (1..10_000).collect();
+    group.bench_function("write_10k", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                codes::write_delta(&mut w, v);
+            }
+            w.finish()
+        })
+    });
+    let mut w = BitWriter::new();
+    for &v in &values {
+        codes::write_delta(&mut w, v);
+    }
+    let (bytes, len) = w.finish();
+    group.bench_function("read_10k", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes, len);
+            let mut sum = 0u64;
+            for _ in 0..values.len() {
+                sum += codes::read_delta(&mut r).unwrap();
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz");
+    group.sample_size(20);
+    let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog ".repeat(2000);
+    group.throughput(criterion::Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_88k", |b| b.iter(|| grepair_lz::compress(&data)));
+    let packed = grepair_lz::compress(&data);
+    group.bench_function("decompress_88k", |b| {
+        b.iter(|| grepair_lz::decompress(&packed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue");
+    let mut rng = StdRng::seed_from_u64(2);
+    let ops: Vec<(u32, usize)> = (0..100_000)
+        .map(|_| (rng.gen_range(0..2_000), rng.gen_range(0..64)))
+        .collect();
+    group.bench_function("bucket_queue_100k_updates", |b| {
+        b.iter(|| {
+            let mut q = BucketQueue::new(10_000);
+            let mut counts = vec![0usize; 2_000];
+            for &(item, count) in &ops {
+                counts[item as usize] = count;
+                q.update(item, count);
+            }
+            let mut popped = 0;
+            while q.pop_best(|i| counts[i as usize]).is_some() {
+                popped += 1;
+            }
+            popped
+        })
+    });
+    // Naive alternative: scan a hash map for the max on every pop.
+    group.bench_function("naive_scan_100k_updates", |b| {
+        b.iter(|| {
+            let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+            for &(item, count) in &ops {
+                if count < 2 {
+                    counts.remove(&item);
+                } else {
+                    counts.insert(item, count);
+                }
+            }
+            let mut popped = 0;
+            while let Some((&item, _)) = counts.iter().max_by_key(|(_, &c)| c) {
+                counts.remove(&item);
+                popped += 1;
+            }
+            popped
+        })
+    });
+    group.finish();
+}
+
+fn bench_string_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_repair");
+    group.sample_size(10);
+    let seq: Vec<u32> = (0..60_000u32).map(|i| i % 7).collect();
+    group.bench_function("repetitive_60k", |b| {
+        b.iter(|| grepair_baselines::repair_strings::repair(&seq, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_k2tree,
+    bench_codes,
+    bench_lz,
+    bench_queue,
+    bench_string_repair
+);
+criterion_main!(benches);

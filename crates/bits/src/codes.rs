@@ -1,0 +1,198 @@
+//! Integer codes: unary, Elias γ, Elias δ, and fixed-width helpers.
+//!
+//! The grammar codec (§III-C2 of the paper) writes rule edge lists with
+//! "variable-length δ-codes" (Elias \[27\]) and hyperedge permutation indices
+//! with ⌈log n⌉-bit fixed-length codes. Elias codes are defined for integers
+//! ≥ 1; the paper's node IDs and labels are 1-based so that matches directly.
+//! Where our 0-based internal IDs are encoded, callers shift by one.
+
+use crate::{BitError, BitReader, BitWriter, Result};
+
+/// Number of bits in the minimal binary representation of `n` (`n ≥ 1`).
+#[inline]
+pub fn bit_width(n: u64) -> u32 {
+    debug_assert!(n >= 1);
+    64 - n.leading_zeros()
+}
+
+/// Bits needed by a fixed-width code addressing `n` distinct values.
+///
+/// This is the `⌈log n⌉` of the paper's permutation encoding, with the
+/// convention that a single value still takes 1 bit (a 0-bit code cannot be
+/// delimited in a stream we also need to size).
+#[inline]
+pub fn ceil_log2(n: u64) -> u32 {
+    match n {
+        0 | 1 => 1,
+        _ => 64 - (n - 1).leading_zeros(),
+    }
+}
+
+/// Write `n` in unary: `n` zeros then a one. Defined for `n ≥ 0`.
+pub fn write_unary(w: &mut BitWriter, n: u64) {
+    for _ in 0..n {
+        w.push_bit(false);
+    }
+    w.push_bit(true);
+}
+
+/// Read a unary code.
+pub fn read_unary(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut n = 0;
+    while !r.read_bit()? {
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Write Elias γ: unary length of the binary representation, then the
+/// representation without its leading 1. Defined for `n ≥ 1`.
+pub fn write_gamma(w: &mut BitWriter, n: u64) {
+    assert!(n >= 1, "Elias gamma is defined for n >= 1");
+    let width = bit_width(n);
+    write_unary(w, (width - 1) as u64);
+    w.push_bits(n & !(1 << (width - 1)), width - 1);
+}
+
+/// Read an Elias γ code.
+pub fn read_gamma(r: &mut BitReader<'_>) -> Result<u64> {
+    let width_minus_1 = read_unary(r)?;
+    if width_minus_1 >= 64 {
+        return Err(BitError::InvalidCode("gamma length >= 64"));
+    }
+    let rest = r.read_bits(width_minus_1 as u32)?;
+    Ok((1 << width_minus_1) | rest)
+}
+
+/// Write Elias δ: the bit width is itself γ-coded. Defined for `n ≥ 1`.
+///
+/// This is the `δ(·)` used throughout §III-C2, e.g. the rule encoding example
+/// `δ(2) 0 δ(2) 1 δ(1) 1 δ(2) δ(1) …` that totals 28 bits.
+pub fn write_delta(w: &mut BitWriter, n: u64) {
+    assert!(n >= 1, "Elias delta is defined for n >= 1");
+    let width = bit_width(n);
+    write_gamma(w, width as u64);
+    w.push_bits(n & !(1 << (width - 1)), width - 1);
+}
+
+/// Read an Elias δ code.
+pub fn read_delta(r: &mut BitReader<'_>) -> Result<u64> {
+    let width = read_gamma(r)?;
+    if width == 0 || width > 64 {
+        return Err(BitError::InvalidCode("delta width out of range"));
+    }
+    let rest = r.read_bits((width - 1) as u32)?;
+    Ok(if width == 64 {
+        (1 << 63) | rest
+    } else {
+        (1 << (width - 1)) | rest
+    })
+}
+
+/// Bit length of the δ-code of `n` without writing it (for size estimates).
+pub fn delta_len(n: u64) -> u64 {
+    assert!(n >= 1);
+    let width = bit_width(n) as u64;
+    let gamma_len = 2 * (bit_width(width) as u64 - 1) + 1;
+    gamma_len + width - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_delta(values: &[u64]) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            write_delta(&mut w, v);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &v in values {
+            assert_eq!(read_delta(&mut r).unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101"
+        for (n, expect, bits) in [(1u64, 0b1u64, 1u32), (2, 0b010, 3), (5, 0b00101, 5)] {
+            let mut w = BitWriter::new();
+            write_gamma(&mut w, n);
+            assert_eq!(w.bit_len(), bits as u64);
+            let (bytes, len) = w.finish();
+            let mut r = BitReader::new(&bytes, len);
+            assert_eq!(r.read_bits(bits).unwrap(), expect);
+            let mut r = BitReader::new(&bytes, len);
+            assert_eq!(read_gamma(&mut r).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn delta_known_codewords() {
+        // delta(1) = "1" (1 bit), delta(2) = "0100" (4), delta(3) = "0101",
+        // delta(17) = gamma(5) + "0001" = "00101" + "0001" (9 bits)
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 1);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 2);
+        assert_eq!(w.bit_len(), 4);
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 17);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn delta_round_trip_small_and_large() {
+        round_trip_delta(&[1, 2, 3, 4, 5, 100, 1000, u32::MAX as u64, u64::MAX / 2]);
+    }
+
+    #[test]
+    fn delta_len_matches_written_length() {
+        for n in [1u64, 2, 3, 7, 8, 255, 256, 1 << 20, u64::MAX] {
+            let mut w = BitWriter::new();
+            write_delta(&mut w, n);
+            assert_eq!(delta_len(n), w.bit_len(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_max_value() {
+        round_trip_delta(&[u64::MAX]);
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        let mut w = BitWriter::new();
+        for n in 0..20u64 {
+            write_unary(&mut w, n);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for n in 0..20u64 {
+            assert_eq!(read_unary(&mut r).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 1000);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len - 3);
+        assert!(read_delta(&mut r).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! MSB-first bit reader over a byte slice.
+
+use crate::{BitError, Result};
+
+/// Reads bits most-significant-first from a byte slice, bounded by an exact
+/// bit length (so zero padding from [`crate::BitWriter::finish`] is never
+/// mistaken for data).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_len: u64,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `bytes` containing exactly `bit_len` valid bits.
+    pub fn new(bytes: &'a [u8], bit_len: u64) -> Self {
+        debug_assert!(bit_len <= bytes.len() as u64 * 8);
+        Self { bytes, bit_len, pos: 0 }
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits left to read.
+    pub fn remaining(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.pos >= self.bit_len {
+            return Err(BitError::UnexpectedEnd);
+        }
+        let byte = (self.pos / 8) as usize;
+        let off = (self.pos % 8) as u32;
+        self.pos += 1;
+        Ok((self.bytes[byte] >> (7 - off)) & 1 == 1)
+    }
+
+    /// Read `width` bits as the low bits of a `u64`, MSB first.
+    #[inline]
+    pub fn read_bits(&mut self, width: u32) -> Result<u64> {
+        debug_assert!(width <= 64);
+        if self.remaining() < width as u64 {
+            return Err(BitError::UnexpectedEnd);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Skip `n` bits.
+    pub fn skip(&mut self, n: u64) -> Result<()> {
+        if self.remaining() < n {
+            return Err(BitError::UnexpectedEnd);
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn round_trip_bits() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(0xDEAD_BEEF, 32);
+        w.push_bit(true);
+        let (bytes, len) = w.finish();
+
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), Err(BitError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn padding_is_not_readable() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        let (bytes, len) = w.finish();
+        assert_eq!(bytes.len(), 1); // padded to a byte
+        let mut r = BitReader::new(&bytes, len);
+        r.skip(3).unwrap();
+        assert_eq!(r.read_bit(), Err(BitError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn skip_moves_position() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1111_0000, 8);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        r.skip(4).unwrap();
+        assert_eq!(r.read_bits(4).unwrap(), 0);
+        assert!(r.skip(1).is_err());
+    }
+}

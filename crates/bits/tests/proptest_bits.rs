@@ -1,0 +1,85 @@
+//! Property tests for the bit-level substrates.
+
+use grepair_bits::codes::{
+    delta_len, read_delta, read_gamma, read_unary, write_delta, write_gamma, write_unary,
+};
+use grepair_bits::{BitReader, BitVec, BitWriter, RankBitVec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn delta_round_trips(values in proptest::collection::vec(1u64..=u64::MAX, 0..200)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            write_delta(&mut w, v);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &v in &values {
+            prop_assert_eq!(read_delta(&mut r).unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn delta_len_is_exact(v in 1u64..=u64::MAX) {
+        let mut w = BitWriter::new();
+        write_delta(&mut w, v);
+        prop_assert_eq!(w.bit_len(), delta_len(v));
+    }
+
+    #[test]
+    fn mixed_codes_round_trip(
+        ops in proptest::collection::vec((0u8..3, 1u64..1_000_000), 0..100)
+    ) {
+        let mut w = BitWriter::new();
+        for &(kind, v) in &ops {
+            match kind {
+                0 => write_unary(&mut w, v % 64),
+                1 => write_gamma(&mut w, v),
+                _ => write_delta(&mut w, v),
+            }
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &(kind, v) in &ops {
+            let got = match kind {
+                0 => read_unary(&mut r).unwrap(),
+                1 => read_gamma(&mut r).unwrap(),
+                _ => read_delta(&mut r).unwrap(),
+            };
+            let want = if kind == 0 { v % 64 } else { v };
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn push_bits_round_trip(
+        chunks in proptest::collection::vec((0u64..=u64::MAX, 0u32..=64), 0..50)
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, width) in &chunks {
+            let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            w.push_bits(masked, width);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &(v, width) in &chunks {
+            let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width).unwrap(), masked);
+        }
+    }
+
+    #[test]
+    fn rank_matches_prefix_count(bits in proptest::collection::vec(any::<bool>(), 0..3000)) {
+        let bv: BitVec = bits.iter().copied().collect();
+        let rb = RankBitVec::new(bv);
+        let mut count = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(rb.rank1(i), count);
+            count += b as usize;
+        }
+        prop_assert_eq!(rb.rank1(bits.len()), count);
+        prop_assert_eq!(rb.count_ones(), count);
+    }
+}

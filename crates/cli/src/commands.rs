@@ -1,0 +1,160 @@
+//! Command implementations for the `grepair` CLI.
+
+use crate::{compress_and_report, read_graph, CompressOpts};
+use grepair_datasets as datasets;
+use grepair_hypergraph::{EdgeLabel, Hypergraph};
+use grepair_queries::{speedup, GrammarIndex, ReachIndex};
+
+/// Container magic for `.g2g` files.
+const MAGIC: &[u8; 4] = b"G2G1";
+
+/// `grepair stats <graph>`.
+pub fn stats(path: &str) -> Result<(), String> {
+    let g = read_graph(path)?;
+    let s = datasets::stats(&g);
+    println!("|V|        {}", grepair_util::fmt::human_count(s.nodes as u64));
+    println!("|E|        {}", grepair_util::fmt::human_count(s.edges as u64));
+    println!("|Sigma|    {}", s.labels);
+    println!("|[~FP]|    {}", grepair_util::fmt::human_count(s.fp_classes as u64));
+    Ok(())
+}
+
+/// `grepair compress <graph> -o <out>`.
+pub fn compress_file(input: &str, opts: &CompressOpts) -> Result<(), String> {
+    let g = read_graph(input)?;
+    let out = compress_and_report(&g, &opts.config);
+    let encoded = grepair_codec::encode(&out.grammar);
+    let mut file = Vec::with_capacity(encoded.bytes.len() + 16);
+    file.extend_from_slice(MAGIC);
+    file.extend_from_slice(&encoded.bit_len.to_le_bytes());
+    file.extend_from_slice(&encoded.bytes);
+    std::fs::write(&opts.output, &file).map_err(|e| format!("{}: {e}", opts.output))?;
+    println!(
+        "wrote {} ({} bytes, {:.3} bits/edge)",
+        opts.output,
+        file.len(),
+        encoded.bits_per_edge(g.num_edges())
+    );
+    if let Some(map_path) = &opts.map {
+        let mut text = String::new();
+        for (derived, original) in out.node_map.iter().enumerate() {
+            text.push_str(&format!("{derived} {original}\n"));
+        }
+        std::fs::write(map_path, text).map_err(|e| format!("{map_path}: {e}"))?;
+        println!("wrote node map {map_path}");
+    }
+    Ok(())
+}
+
+fn read_g2g(path: &str) -> Result<grepair_grammar::Grammar, String> {
+    let file = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if file.len() < 12 || &file[..4] != MAGIC {
+        return Err(format!("{path}: not a g2g file"));
+    }
+    let bit_len = u64::from_le_bytes(file[4..12].try_into().unwrap());
+    grepair_codec::decode(&file[12..], bit_len).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `grepair decompress <in> -o <out>`.
+pub fn decompress_file(input: &str, output: &str) -> Result<(), String> {
+    let grammar = read_g2g(input)?;
+    let derived = grammar.derive();
+    // Pairs for single-label rank-2 graphs, triples otherwise.
+    let single_label = derived
+        .edges()
+        .all(|e| e.label == EdgeLabel::Terminal(0) && e.att.len() == 2);
+    let mut text = String::new();
+    for e in derived.edges() {
+        if single_label {
+            text.push_str(&format!("{} {}\n", e.att[0], e.att[1]));
+        } else {
+            text.push_str(&format!("{} {} {}\n", e.att[0], e.label.index(), e.att[1]));
+        }
+    }
+    std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "decompressed {} -> {} ({} nodes, {} edges)",
+        input,
+        output,
+        derived.num_nodes(),
+        derived.num_edges()
+    );
+    Ok(())
+}
+
+/// `grepair query ...`.
+pub fn query(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("reach") => {
+            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
+            let s: u64 = args.get(2).ok_or("missing s")?.parse().map_err(|e| format!("{e}"))?;
+            let t: u64 = args.get(3).ok_or("missing t")?.parse().map_err(|e| format!("{e}"))?;
+            let reach = ReachIndex::new(&grammar);
+            println!("{}", if reach.reachable(s, t) { "reachable" } else { "not reachable" });
+            Ok(())
+        }
+        Some("neighbors") => {
+            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
+            let v: u64 = args.get(2).ok_or("missing v")?.parse().map_err(|e| format!("{e}"))?;
+            let idx = GrammarIndex::new(&grammar);
+            println!("out: {:?}", idx.out_neighbors(v));
+            println!("in:  {:?}", idx.in_neighbors(v));
+            Ok(())
+        }
+        Some("components") => {
+            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
+            println!("{}", speedup::connected_components(&grammar));
+            Ok(())
+        }
+        other => Err(format!("unknown query {other:?}")),
+    }
+}
+
+/// `grepair generate <kind> [n] [seed] -o <out>`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("missing dataset kind")?;
+    let positional: Vec<&String> = args[1..]
+        .iter()
+        .take_while(|a| !a.starts_with('-'))
+        .collect();
+    let n: usize = positional
+        .first()
+        .map(|s| s.parse().map_err(|e| format!("bad n: {e}")))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = positional
+        .get(1)
+        .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let output = crate::flag_value(args, "-o").ok_or("missing -o OUTPUT")?;
+
+    let g: Hypergraph = match kind.as_str() {
+        "ttt" => datasets::ttt::game_graph(),
+        "types" => datasets::rdf::types_star(n, (n / 500).max(4), seed),
+        "pa" => datasets::network::preferential_attachment(n, 4, seed),
+        "er" => datasets::network::erdos_renyi(n, 5 * n, seed),
+        "coauth" => datasets::network::co_authorship(n, 2 * n / 3, 6, seed),
+        "web" => datasets::network::web_copy(n, 6, 0.6, seed),
+        "chess" => datasets::version::chess_like(n, 12, seed),
+        "versions" => {
+            let h = datasets::version::CoauthorshipHistory::generate(8, n / 100 + 5, n / 4 + 10, n / 50 + 1, seed);
+            h.version_graph(7)
+        }
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    let labeled = g.edges().any(|e| e.label != EdgeLabel::Terminal(0));
+    let mut text = String::new();
+    if labeled {
+        for e in g.edges() {
+            text.push_str(&format!("{} {} {}\n", e.att[0], e.label.index(), e.att[1]));
+        }
+    } else {
+        for e in g.edges() {
+            text.push_str(&format!("{} {}\n", e.att[0], e.att[1]));
+        }
+    }
+    std::fs::write(&output, text).map_err(|e| format!("{output}: {e}"))?;
+    println!("wrote {output}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    Ok(())
+}

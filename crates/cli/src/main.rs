@@ -1,0 +1,201 @@
+//! `grepair` — command-line front end for the gRePair graph compressor.
+//!
+//! ```text
+//! grepair stats      <graph.txt>
+//! grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order fp|fp0|bfs|natural|random]
+//!                    [--no-prune] [--no-virtual] [--map <out.map>]
+//! grepair decompress <in.g2g> -o <graph.txt>
+//! grepair query      reach <in.g2g> <s> <t>
+//! grepair query      neighbors <in.g2g> <v>
+//! grepair query      components <in.g2g>
+//! grepair generate   <kind> [n] [seed] -o <graph.txt>
+//! ```
+//!
+//! Graph text formats: SNAP-style `source target` pairs, or integer RDF
+//! triples `subject predicate object` (three columns, autodetected).
+
+use grepair_core::{compress, GRePairConfig};
+use grepair_hypergraph::order::NodeOrder;
+use grepair_hypergraph::{io, Hypergraph};
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  grepair stats      <graph.txt>
+  grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order ORDER] [--no-prune] [--no-virtual] [--map FILE]
+  grepair decompress <in.g2g> -o <graph.txt>
+  grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g>
+  grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("stats") => commands::stats(args.get(1).ok_or("missing input file")?),
+        Some("compress") => {
+            let input = args.get(1).ok_or("missing input file")?;
+            let opts = parse_compress_opts(&args[2..])?;
+            commands::compress_file(input, &opts)
+        }
+        Some("decompress") => {
+            let input = args.get(1).ok_or("missing input file")?;
+            let output = flag_value(&args[2..], "-o").ok_or("missing -o OUTPUT")?;
+            commands::decompress_file(input, &output)
+        }
+        Some("query") => commands::query(&args[1..]),
+        Some("generate") => commands::generate(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".into()),
+    }
+}
+
+/// Options for `grepair compress`.
+pub struct CompressOpts {
+    /// Output path.
+    pub output: String,
+    /// Optional node-map sidecar path.
+    pub map: Option<String>,
+    /// Compressor configuration.
+    pub config: GRePairConfig,
+}
+
+pub(crate) fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
+    let output = flag_value(args, "-o").ok_or("missing -o OUTPUT")?;
+    let map = flag_value(args, "--map");
+    let mut config = GRePairConfig::default();
+    if let Some(raw) = flag_value(args, "--max-rank") {
+        config.max_rank = raw.parse().map_err(|e| format!("bad --max-rank: {e}"))?;
+    }
+    if let Some(raw) = flag_value(args, "--order") {
+        config.order = match raw.as_str() {
+            "fp" => NodeOrder::Fp,
+            "fp0" => NodeOrder::Fp0,
+            "bfs" => NodeOrder::Bfs,
+            "natural" => NodeOrder::Natural,
+            "random" => NodeOrder::Random(0),
+            other => return Err(format!("unknown order {other:?}")),
+        };
+    }
+    if args.iter().any(|a| a == "--no-prune") {
+        config.prune = false;
+    }
+    if args.iter().any(|a| a == "--no-virtual") {
+        config.connect_components = false;
+    }
+    Ok(CompressOpts { output, map, config })
+}
+
+/// Read a graph from a text file, autodetecting pairs vs triples.
+pub fn read_graph(path: &str) -> Result<Hypergraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let columns = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split_whitespace().count())
+        .unwrap_or(2);
+    match columns {
+        2 => io::parse_pairs(&text).map(|(g, _, _)| g).map_err(|e| e.to_string()),
+        3 => io::parse_triples(&text).map(|(g, _, _)| g).map_err(|e| e.to_string()),
+        n => Err(format!("{path}: expected 2 or 3 columns, found {n}")),
+    }
+}
+
+/// Run a compression and report to stdout.
+pub fn compress_and_report(g: &Hypergraph, config: &GRePairConfig) -> grepair_core::CompressedGraph {
+    let out = compress(g, config);
+    println!(
+        "compressed: |g| = {} -> |G| = {} (ratio {:.3}); {} rules, {} replacements",
+        out.stats.input_size,
+        out.stats.grammar_size,
+        out.stats.ratio(),
+        out.grammar.num_nonterminals(),
+        out.stats.replacements,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn compress_opts_defaults() {
+        let opts = parse_compress_opts(&args(&["-o", "out.g2g"])).unwrap();
+        assert_eq!(opts.output, "out.g2g");
+        assert!(opts.map.is_none());
+        assert_eq!(opts.config.max_rank, 4);
+        assert!(opts.config.prune);
+        assert!(opts.config.connect_components);
+    }
+
+    #[test]
+    fn compress_opts_full() {
+        let opts = parse_compress_opts(&args(&[
+            "--max-rank", "6", "-o", "x", "--order", "bfs", "--no-prune", "--no-virtual",
+            "--map", "m.txt",
+        ]))
+        .unwrap();
+        assert_eq!(opts.config.max_rank, 6);
+        assert_eq!(opts.config.order, NodeOrder::Bfs);
+        assert!(!opts.config.prune);
+        assert!(!opts.config.connect_components);
+        assert_eq!(opts.map.as_deref(), Some("m.txt"));
+    }
+
+    #[test]
+    fn compress_opts_errors() {
+        assert!(parse_compress_opts(&args(&[])).is_err());
+        assert!(parse_compress_opts(&args(&["-o", "x", "--order", "zigzag"])).is_err());
+        assert!(parse_compress_opts(&args(&["-o", "x", "--max-rank", "many"])).is_err());
+    }
+
+    #[test]
+    fn read_graph_autodetects_columns() {
+        let dir = std::env::temp_dir();
+        let pairs = dir.join("grepair_cli_test_pairs.txt");
+        std::fs::write(&pairs, "# c\n1 2\n2 3\n").unwrap();
+        let g = read_graph(pairs.to_str().unwrap()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.edges().all(|e| e.label.index() == 0));
+
+        let triples = dir.join("grepair_cli_test_triples.txt");
+        std::fs::write(&triples, "1 9 2\n2 7 3\n").unwrap();
+        let g = read_graph(triples.to_str().unwrap()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        let labels: std::collections::BTreeSet<u32> =
+            g.edges().map(|e| e.label.index()).collect();
+        assert_eq!(labels.len(), 2);
+
+        assert!(read_graph("/nonexistent/grepair.txt").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[])).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Top-level grammar decoder.
+
+use crate::perm::PermDict;
+use crate::rules::decode_rule;
+use crate::start::decode_label;
+use crate::CodecError;
+use grepair_bits::codes::read_delta;
+use grepair_bits::BitReader;
+use grepair_grammar::Grammar;
+use grepair_hypergraph::{EdgeLabel, Hypergraph};
+
+/// Decode a grammar previously written by [`crate::encode`].
+///
+/// The result is structurally validated; corrupt streams return
+/// [`CodecError`] rather than panicking.
+pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Grammar, CodecError> {
+    let mut r = BitReader::new(bytes, bit_len);
+
+    // --- header ---
+    let num_terminals = (read_delta(&mut r)? - 1) as u32;
+    let num_rules = (read_delta(&mut r)? - 1) as usize;
+    let m = (read_delta(&mut r)? - 1) as usize;
+    if m > u32::MAX as usize {
+        return Err(CodecError::Malformed("node count overflow".into()));
+    }
+    let ext_len = (read_delta(&mut r)? - 1) as usize;
+    let mut ext = Vec::with_capacity(ext_len);
+    for _ in 0..ext_len {
+        let v = (read_delta(&mut r)? - 1) as u32;
+        if v as usize >= m {
+            return Err(CodecError::Malformed("external node out of range".into()));
+        }
+        ext.push(v);
+    }
+    let num_labels = num_terminals as usize + num_rules;
+    let mut present = Vec::with_capacity(num_labels);
+    for _ in 0..num_labels {
+        present.push(r.read_bit()?);
+    }
+    let dict = PermDict::decode(&mut r)?;
+
+    // --- start graph ---
+    let mut start = Hypergraph::with_nodes(m);
+    for (slot, &p) in present.iter().enumerate() {
+        if !p {
+            continue;
+        }
+        let label = if slot < num_terminals as usize {
+            EdgeLabel::Terminal(slot as u32)
+        } else {
+            EdgeLabel::Nonterminal((slot - num_terminals as usize) as u32)
+        };
+        decode_label(&mut r, &mut start, label, &dict)?;
+    }
+    start.set_ext(ext);
+
+    // --- rules ---
+    let mut grammar = Grammar::new(start, num_terminals);
+    for _ in 0..num_rules {
+        let rhs = decode_rule(&mut r)?;
+        grammar.add_rule(rhs);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Malformed(format!(
+            "{} trailing bits after grammar",
+            r.remaining()
+        )));
+    }
+    grammar
+        .validate()
+        .map_err(|e| CodecError::Malformed(format!("decoded grammar invalid: {e}")))?;
+    Ok(grammar)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::encode;
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::order::NodeOrder;
+    use grepair_hypergraph::Hypergraph;
+
+    use super::*;
+
+    fn repeated_pattern(reps: u32) -> Hypergraph {
+        let (g, _) = Hypergraph::from_simple_edges(
+            (2 * reps + 1) as usize,
+            (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+        );
+        g
+    }
+
+    #[test]
+    fn full_pipeline_round_trip_preserves_val() {
+        let g = repeated_pattern(40);
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = encode(&out.grammar);
+        let decoded = decode(&encoded.bytes, encoded.bit_len).unwrap();
+
+        // val(decode(encode(G))) must equal val(G) *node for node*, so the
+        // compressor's node map applies to the decoded grammar too.
+        let val_mem = out.grammar.derive();
+        let val_dec = decoded.derive();
+        assert_eq!(val_mem.edge_multiset(), val_dec.edge_multiset());
+        assert_eq!(val_mem.num_nodes(), val_dec.num_nodes());
+        assert_eq!(
+            val_dec.edge_multiset_mapped(|v| out.node_map[v as usize]),
+            g.edge_multiset()
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_round_trip() {
+        let copies = 16u32;
+        let mut triples = Vec::new();
+        for c in 0..copies {
+            let b = 4 * c;
+            triples.extend([
+                (b, 0u32, b + 1),
+                (b + 1, 0, b + 2),
+                (b + 2, 0, b + 3),
+                (b + 3, 0, b),
+                (b, 0, b + 2),
+            ]);
+        }
+        let (g, _) = Hypergraph::from_simple_edges(4 * copies as usize, triples);
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = encode(&out.grammar);
+        let decoded = decode(&encoded.bytes, encoded.bit_len).unwrap();
+        assert_eq!(
+            decoded.derive().edge_multiset_mapped(|v| out.node_map[v as usize]),
+            g.edge_multiset()
+        );
+    }
+
+    #[test]
+    fn size_breakdown_adds_up() {
+        let g = repeated_pattern(64);
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = encode(&out.grammar);
+        assert_eq!(encoded.breakdown.total(), encoded.bit_len);
+        assert!(encoded.breakdown.start_graph_bits > 0);
+        assert!(encoded.byte_len() as u64 * 8 >= encoded.bit_len);
+    }
+
+    #[test]
+    fn empty_grammar_round_trips() {
+        let grammar = Grammar::new(Hypergraph::with_nodes(0), 0);
+        let encoded = encode(&grammar);
+        let decoded = decode(&encoded.bytes, encoded.bit_len).unwrap();
+        assert_eq!(decoded.start.num_nodes(), 0);
+        assert_eq!(decoded.num_nonterminals(), 0);
+    }
+
+    #[test]
+    fn truncated_streams_error_cleanly() {
+        let g = repeated_pattern(10);
+        let out = compress(&g, &GRePairConfig { order: NodeOrder::Natural, ..Default::default() });
+        let encoded = encode(&out.grammar);
+        for cut in [1u64, 7, encoded.bit_len / 2, encoded.bit_len - 1] {
+            assert!(
+                decode(&encoded.bytes, cut.min(encoded.bit_len - 1)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let g = repeated_pattern(8);
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = encode(&out.grammar);
+        for byte in 0..encoded.bytes.len() {
+            for bit in 0..8 {
+                let mut copy = encoded.bytes.clone();
+                copy[byte] ^= 1 << bit;
+                let _ = decode(&copy, encoded.bit_len); // Ok or Err — no panic
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Start-graph sections: one k²-tree per label.
+
+use crate::perm::{apply_perm, perm_of, PermDict};
+use crate::CodecError;
+use grepair_bits::codes::{read_delta, write_delta};
+use grepair_bits::{BitReader, BitWriter};
+use grepair_hypergraph::{EdgeLabel, Hypergraph, NodeId};
+use grepair_k2tree::K2Tree;
+
+/// The paper uses k = 2 ("as this provides the best compression").
+const K: u32 = 2;
+
+/// How one label's subgraph is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelMode {
+    /// Rank-2, duplicate-free: adjacency matrix.
+    Adjacency,
+    /// Anything else: node × edge incidence matrix plus permutations.
+    Incidence,
+}
+
+/// Encoding plan for one label appearing in S.
+#[derive(Debug)]
+pub struct LabelPlan {
+    /// The label.
+    pub label: EdgeLabel,
+    /// Chosen representation.
+    pub mode: LabelMode,
+    /// Edges of this label, in start-graph edge order, with dense-node
+    /// attachments.
+    pub edges: Vec<Vec<NodeId>>,
+}
+
+/// Dense-node renumbering of the start graph: alive nodes ascending ↦ 0..m.
+pub fn dense_map(start: &Hypergraph) -> (Vec<NodeId>, usize) {
+    let mut map = vec![NodeId::MAX; start.node_bound()];
+    let mut next = 0;
+    for v in start.node_ids() {
+        map[v as usize] = next;
+        next += 1;
+    }
+    (map, next as usize)
+}
+
+/// Analyze S: group edges by label in canonical order, pick modes, intern
+/// permutations for incidence labels. Labels are emitted terminals-first,
+/// ascending — the same order `canonicalize_start_edges` sorts by.
+pub fn plan_labels(start: &Hypergraph, dense: &[NodeId], dict: &mut PermDict) -> Vec<LabelPlan> {
+    let mut plans: Vec<LabelPlan> = Vec::new();
+    for e in start.edges() {
+        let att: Vec<NodeId> = e.att.iter().map(|&v| dense[v as usize]).collect();
+        assert!(!att.is_empty(), "rank-0 edges are not encodable");
+        match plans.last_mut() {
+            Some(plan) if plan.label == e.label => plan.edges.push(att),
+            _ => plans.push(LabelPlan { label: e.label, mode: LabelMode::Adjacency, edges: vec![att] }),
+        }
+    }
+    for plan in &mut plans {
+        let all_rank2 = plan.edges.iter().all(|a| a.len() == 2);
+        // Edges arrive att-lexicographically sorted, so duplicates are
+        // adjacent.
+        let has_dupes = plan.edges.windows(2).any(|w| w[0] == w[1]);
+        plan.mode = if all_rank2 && !has_dupes {
+            LabelMode::Adjacency
+        } else {
+            LabelMode::Incidence
+        };
+        if plan.mode == LabelMode::Incidence {
+            for att in &plan.edges {
+                dict.intern(perm_of(att));
+            }
+        }
+    }
+    plans
+}
+
+/// Encode one label section. Returns (matrix bits, permutation bits).
+pub fn encode_label(
+    w: &mut BitWriter,
+    plan: &LabelPlan,
+    m: usize,
+    dict: &PermDict,
+) -> (u64, u64) {
+    let before = w.bit_len();
+    match plan.mode {
+        LabelMode::Adjacency => {
+            w.push_bit(false);
+            let points: Vec<(u32, u32)> =
+                plan.edges.iter().map(|att| (att[0], att[1])).collect();
+            let tree = K2Tree::build(K, m as u32, m as u32, points);
+            tree.encode(w);
+            (w.bit_len() - before, 0)
+        }
+        LabelMode::Incidence => {
+            w.push_bit(true);
+            write_delta(w, plan.edges.len() as u64 + 1);
+            let mut points = Vec::new();
+            for (col, att) in plan.edges.iter().enumerate() {
+                for &v in att {
+                    points.push((v, col as u32));
+                }
+            }
+            let tree = K2Tree::build(K, m as u32, plan.edges.len().max(1) as u32, points);
+            tree.encode(w);
+            let matrix_bits = w.bit_len() - before;
+            let perm_start = w.bit_len();
+            for att in &plan.edges {
+                let perm = perm_of(att);
+                let idx = dict
+                    .index_of(&perm)
+                    .expect("permutation interned during planning");
+                dict.encode_index(w, idx);
+            }
+            (matrix_bits, w.bit_len() - perm_start)
+        }
+    }
+}
+
+/// Decode one label section, appending its edges to `start`.
+pub fn decode_label(
+    r: &mut BitReader<'_>,
+    start: &mut Hypergraph,
+    label: EdgeLabel,
+    dict: &PermDict,
+) -> Result<(), CodecError> {
+    let incidence = r.read_bit()?;
+    if !incidence {
+        let tree = K2Tree::decode(r)?;
+        for (row, col) in tree.iter_ones() {
+            if row == col {
+                return Err(CodecError::Malformed("self-loop in adjacency matrix".into()));
+            }
+            start.add_edge(label, &[row, col]);
+        }
+    } else {
+        let edge_count = (read_delta(r)? - 1) as usize;
+        let tree = K2Tree::decode(r)?;
+        let mut atts: Vec<Vec<NodeId>> = Vec::with_capacity(edge_count);
+        for col in 0..edge_count as u32 {
+            atts.push(tree.col(col));
+        }
+        for sorted_att in atts {
+            let idx = dict.decode_index(r)?;
+            let perm = dict.get(idx).unwrap();
+            if perm.len() != sorted_att.len() {
+                return Err(CodecError::Malformed(format!(
+                    "permutation length {} does not match edge rank {}",
+                    perm.len(),
+                    sorted_att.len()
+                )));
+            }
+            let att = apply_perm(&sorted_att, perm);
+            start.add_edge(label, &att);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_hypergraph::EdgeLabel::{Nonterminal as N, Terminal as T};
+
+    fn round_trip_start(start: &Hypergraph) -> Hypergraph {
+        let (dense, m) = dense_map(start);
+        let mut dict = PermDict::new();
+        let plans = plan_labels(start, &dense, &mut dict);
+        let mut w = BitWriter::new();
+        dict.encode(&mut w);
+        for plan in &plans {
+            encode_label(&mut w, plan, m, &dict);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        let dict2 = PermDict::decode(&mut r).unwrap();
+        let mut out = Hypergraph::with_nodes(m);
+        for plan in &plans {
+            decode_label(&mut r, &mut out, plan.label, &dict2).unwrap();
+        }
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn rank2_labels_round_trip() {
+        let mut s = Hypergraph::with_nodes(6);
+        s.add_edge(T(0), &[0, 1]);
+        s.add_edge(T(0), &[1, 5]);
+        s.add_edge(T(1), &[5, 0]);
+        s.add_edge(N(0), &[2, 3]);
+        let out = round_trip_start(&s);
+        assert_eq!(out.edge_multiset(), s.edge_multiset());
+    }
+
+    #[test]
+    fn hyperedges_round_trip_with_order() {
+        let mut s = Hypergraph::with_nodes(5);
+        s.add_edge(N(0), &[3, 0, 4]); // unsorted attachment order
+        s.add_edge(N(0), &[2, 1, 0]);
+        let out = round_trip_start(&s);
+        assert_eq!(out.edge_multiset(), s.edge_multiset());
+        // Attachment order (not just set) must survive.
+        let atts: Vec<Vec<NodeId>> = out.edges().map(|e| e.att.to_vec()).collect();
+        assert!(atts.contains(&vec![3, 0, 4]));
+        assert!(atts.contains(&vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn duplicate_rank2_edges_use_incidence() {
+        let mut s = Hypergraph::with_nodes(3);
+        s.add_edge(N(0), &[0, 1]);
+        s.add_edge(N(0), &[0, 1]); // duplicate NT edge — legal in grammars
+        let (dense, _) = dense_map(&s);
+        let mut dict = PermDict::new();
+        let plans = plan_labels(&s, &dense, &mut dict);
+        assert_eq!(plans[0].mode, LabelMode::Incidence);
+        let out = round_trip_start(&s);
+        assert_eq!(out.num_edges(), 2);
+        assert_eq!(out.edge_multiset(), s.edge_multiset());
+    }
+
+    #[test]
+    fn dead_node_slots_are_densified() {
+        let mut s = Hypergraph::with_nodes(4);
+        s.add_edge(T(0), &[0, 3]);
+        // Node 1 and 2 are dead (removed during compression).
+        s.remove_node(1);
+        s.remove_node(2);
+        let out = round_trip_start(&s);
+        assert_eq!(out.num_nodes(), 2);
+        assert_eq!(out.att(0), &[0, 1]); // dense renumbering 0↦0, 3↦1
+    }
+}

@@ -1,0 +1,322 @@
+//! Digrams (Def. 2) and their occurrences (Def. 3).
+//!
+//! A digram is a 2-edge hypergraph where every node touches an edge and at
+//! least one node touches both. An occurrence of digram `d` in `g` is an
+//! edge pair inducing a subgraph isomorphic to `d` whose nodes marked
+//! external in `d` are exactly those with *other* incident edges in `g`
+//! (condition (3) — this is what distinguishes the two grammars of Fig. 4).
+//!
+//! We canonicalize an edge pair into a [`DigramSig`]: order the two edges so
+//! the signature is lexicographically minimal, list their attachment nodes
+//! in first-appearance order ("canonical nodes"), and record the second
+//! edge's attachment pattern plus the external-flag bitmask. Two edge pairs
+//! are occurrences of the same digram iff their signatures are equal; this
+//! covers all eight unlabeled-undirected shapes of Fig. 2 and their
+//! directed/labeled/hyperedge generalizations.
+
+use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
+
+/// Canonical digram signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DigramSig {
+    /// Label of the canonically-first edge.
+    pub label_a: EdgeLabel,
+    /// Label of the canonically-second edge.
+    pub label_b: EdgeLabel,
+    /// Rank of the first edge (its attachments are canonical nodes `0..rank_a`).
+    pub rank_a: u8,
+    /// Canonical node indices of the second edge's attachments.
+    pub att_b: Vec<u8>,
+    /// Bit `i` set ⇔ canonical node `i` is external (has other edges in the
+    /// host graph, or is an external node of the host graph itself).
+    pub ext_mask: u32,
+}
+
+impl DigramSig {
+    /// Number of canonical nodes.
+    pub fn num_nodes(&self) -> usize {
+        let max_b = self.att_b.iter().copied().max().map_or(0, |m| m as usize + 1);
+        (self.rank_a as usize).max(max_b)
+    }
+
+    /// `rank(d)`: the number of external nodes — the rank of the nonterminal
+    /// a replacement introduces. Bounded by the compressor's `maxRank`.
+    pub fn rank(&self) -> usize {
+        self.ext_mask.count_ones() as usize
+    }
+
+    /// Canonical indices of the external nodes, ascending (this fixes the
+    /// attachment order of replacement edges and the rule's `ext` sequence).
+    pub fn external_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_nodes()).filter(|&i| self.ext_mask >> i & 1 == 1)
+    }
+
+    /// Canonical indices of the internal (removal) nodes, ascending.
+    pub fn internal_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_nodes()).filter(|&i| self.ext_mask >> i & 1 == 0)
+    }
+
+    /// Build the rule right-hand side this digram induces: canonical nodes,
+    /// the two edges (first edge on nodes `0..rank_a`, second per `att_b`),
+    /// external nodes per `ext_mask` in canonical order.
+    pub fn to_rhs(&self) -> Hypergraph {
+        let n = self.num_nodes();
+        let mut rhs = Hypergraph::with_nodes(n);
+        let att_a: Vec<NodeId> = (0..self.rank_a as NodeId).collect();
+        rhs.add_edge(self.label_a, &att_a);
+        let att_b: Vec<NodeId> = self.att_b.iter().map(|&i| i as NodeId).collect();
+        rhs.add_edge(self.label_b, &att_b);
+        rhs.set_ext(self.external_indices().map(|i| i as NodeId).collect());
+        rhs
+    }
+}
+
+/// An edge pair resolved against a host graph: the signature plus the
+/// canonical-index → actual-node correspondence.
+#[derive(Debug, Clone)]
+pub struct ResolvedDigram {
+    /// The canonical signature.
+    pub sig: DigramSig,
+    /// `nodes[i]` = host node playing canonical node `i`.
+    pub nodes: Vec<NodeId>,
+    /// The two edges in canonical order.
+    pub edges: [EdgeId; 2],
+}
+
+impl ResolvedDigram {
+    /// Host nodes the replacement nonterminal edge attaches to, in order.
+    pub fn attachment_nodes(&self) -> Vec<NodeId> {
+        self.sig.external_indices().map(|i| self.nodes[i]).collect()
+    }
+
+    /// Host nodes deleted by the replacement, in canonical order.
+    pub fn removal_nodes(&self) -> Vec<NodeId> {
+        self.sig.internal_indices().map(|i| self.nodes[i]).collect()
+    }
+}
+
+/// Signature of `(a, b)` in that orientation, or `None` if the edges share
+/// no node.
+fn oriented(g: &Hypergraph, a: EdgeId, b: EdgeId) -> Option<(DigramSig, Vec<NodeId>)> {
+    let att_a = g.att(a);
+    let att_b = g.att(b);
+    let mut nodes: Vec<NodeId> = att_a.to_vec();
+    let mut att_b_idx: Vec<u8> = Vec::with_capacity(att_b.len());
+    let mut shares = false;
+    for &u in att_b {
+        match nodes.iter().position(|&x| x == u) {
+            Some(i) => {
+                if i < att_a.len() {
+                    shares = true;
+                }
+                att_b_idx.push(i as u8);
+            }
+            None => {
+                nodes.push(u);
+                att_b_idx.push((nodes.len() - 1) as u8);
+            }
+        }
+    }
+    if !shares {
+        return None;
+    }
+    let mut ext_mask = 0u32;
+    for (i, &v) in nodes.iter().enumerate() {
+        // Incidences of v among {a, b}: one for each edge attaching it.
+        let within =
+            att_a.contains(&v) as usize + att_b.contains(&v) as usize;
+        if g.degree(v) > within || g.is_external(v) {
+            ext_mask |= 1 << i;
+        }
+    }
+    let sig = DigramSig {
+        label_a: g.label(a),
+        label_b: g.label(b),
+        rank_a: att_a.len() as u8,
+        att_b: att_b_idx,
+        ext_mask,
+    };
+    Some((sig, nodes))
+}
+
+/// Canonicalize the unordered pair `{e, f}` against `g`: compute both
+/// orientations and keep the lexicographically smaller signature.
+/// Returns `None` if the edges don't share a node (not a digram) or are the
+/// same edge.
+pub fn resolve(g: &Hypergraph, e: EdgeId, f: EdgeId) -> Option<ResolvedDigram> {
+    if e == f {
+        return None;
+    }
+    let (sig_ef, nodes_ef) = oriented(g, e, f)?;
+    let (sig_fe, nodes_fe) = oriented(g, f, e)?;
+    if sig_ef <= sig_fe {
+        Some(ResolvedDigram { sig: sig_ef, nodes: nodes_ef, edges: [e, f] })
+    } else {
+        Some(ResolvedDigram { sig: sig_fe, nodes: nodes_fe, edges: [f, e] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_hypergraph::EdgeLabel::Terminal as T;
+
+    fn graph(n: usize, edges: &[(u32, u32, u32)]) -> Hypergraph {
+        let mut g = Hypergraph::with_nodes(n);
+        for &(s, l, t) in edges {
+            g.add_edge(T(l), &[s, t]);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_digram() {
+        // 0 -a-> 1 -b-> 2, nothing else: only ends external? No — no other
+        // edges at all, so NO node is external.
+        let g = graph(3, &[(0, 0, 1), (1, 1, 2)]);
+        let d = resolve(&g, 0, 1).unwrap();
+        assert_eq!(d.sig.label_a, T(0));
+        assert_eq!(d.sig.label_b, T(1));
+        assert_eq!(d.sig.att_b, vec![1, 2]);
+        assert_eq!(d.sig.ext_mask, 0);
+        assert_eq!(d.sig.num_nodes(), 3);
+        assert_eq!(d.sig.rank(), 0);
+    }
+
+    #[test]
+    fn chain_with_context_marks_ends_external() {
+        // context edges at 0 and 2 make them external; middle stays internal.
+        let g = graph(5, &[(0, 0, 1), (1, 1, 2), (3, 2, 0), (2, 2, 4)]);
+        let d = resolve(&g, 0, 1).unwrap();
+        assert_eq!(d.sig.ext_mask, 0b101);
+        assert_eq!(d.sig.rank(), 2);
+        assert_eq!(d.removal_nodes(), vec![1]);
+        assert_eq!(d.attachment_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn fig1c_center_becomes_external() {
+        // Fig. 1c: the a·b digram whose center also carries c-edges — the
+        // extra edges prohibit the center node's removal, so it is external
+        // (while the chain's end nodes, having no other edges here, are not).
+        let g = graph(
+            4,
+            &[(0, 0, 1), (1, 1, 2), (1, 2, 3), (3, 2, 1)],
+        );
+        let d = resolve(&g, 0, 1).unwrap();
+        assert_eq!(d.sig.ext_mask, 0b010);
+        assert_eq!(d.sig.rank(), 1);
+        assert_eq!(d.removal_nodes(), vec![0, 2]);
+        assert_eq!(d.attachment_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn orientation_is_canonical() {
+        let g = graph(3, &[(0, 0, 1), (1, 1, 2)]);
+        let d1 = resolve(&g, 0, 1).unwrap();
+        let d2 = resolve(&g, 1, 0).unwrap();
+        assert_eq!(d1.sig, d2.sig);
+        assert_eq!(d1.edges, d2.edges);
+    }
+
+    #[test]
+    fn directed_shapes_are_distinct() {
+        // The directed analogues of Fig. 2's shapes around a shared node
+        // must all produce distinct signatures.
+        let shapes: Vec<Hypergraph> = vec![
+            graph(3, &[(0, 0, 1), (1, 0, 2)]), // chain through 1
+            graph(3, &[(1, 0, 0), (1, 0, 2)]), // fork from 1
+            graph(3, &[(0, 0, 1), (2, 0, 1)]), // co-fork into 1
+            graph(2, &[(0, 0, 1), (1, 1, 0)]), // 2-cycle (labels differ)
+            graph(2, &[(0, 0, 1), (0, 1, 1)]), // parallel
+        ];
+        let sigs: Vec<DigramSig> = shapes
+            .iter()
+            .map(|g| resolve(g, 0, 1).unwrap().sig)
+            .collect();
+        for i in 0..sigs.len() {
+            for j in (i + 1)..sigs.len() {
+                assert_ne!(sigs[i], sigs[j], "shapes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn same_shape_same_sig_across_instances() {
+        // Two disjoint copies of a chain with context: identical signatures.
+        let g = graph(
+            8,
+            &[
+                (0, 0, 1),
+                (1, 1, 2),
+                (2, 0, 3), // context at 2... also makes 2 external
+                (4, 0, 5),
+                (5, 1, 6),
+                (6, 0, 7),
+            ],
+        );
+        let d1 = resolve(&g, 0, 1).unwrap();
+        let d2 = resolve(&g, 3, 4).unwrap();
+        assert_eq!(d1.sig, d2.sig);
+        assert_ne!(d1.nodes, d2.nodes);
+    }
+
+    #[test]
+    fn non_adjacent_edges_are_not_digrams() {
+        let g = graph(4, &[(0, 0, 1), (2, 0, 3)]);
+        assert!(resolve(&g, 0, 1).is_none());
+        assert!(resolve(&g, 0, 0).is_none());
+    }
+
+    #[test]
+    fn hyperedge_digram() {
+        let mut g = Hypergraph::with_nodes(4);
+        g.add_edge(EdgeLabel::Nonterminal(0), &[0, 1, 2]);
+        g.add_edge(T(0), &[2, 3]);
+        g.add_edge(T(1), &[3, 0]); // context making 3 and 0 external
+        let d = resolve(&g, 0, 1).unwrap();
+        // Canonical orientation puts the terminal edge first (terminals sort
+        // below nonterminals): a = T0(2,3), b = N0(0,1,2). Canonical nodes
+        // are [2, 3, 0, 1].
+        assert_eq!(d.sig.label_a, T(0));
+        assert_eq!(d.sig.rank_a, 2);
+        assert_eq!(d.sig.att_b, vec![2, 3, 0]);
+        // node 2: both digram edges only → internal; node 3: context edge →
+        // external; node 0: context edge → external; node 1: internal.
+        assert_eq!(d.sig.ext_mask, 0b0110);
+        assert_eq!(d.sig.rank(), 2);
+    }
+
+    #[test]
+    fn host_external_nodes_count_as_external() {
+        let mut g = graph(3, &[(0, 0, 1), (1, 1, 2)]);
+        g.set_ext(vec![1]);
+        let d = resolve(&g, 0, 1).unwrap();
+        assert_eq!(d.sig.ext_mask, 0b010);
+    }
+
+    #[test]
+    fn to_rhs_reconstructs_the_digram() {
+        let g = graph(5, &[(0, 0, 1), (1, 1, 2), (3, 2, 0), (2, 2, 4)]);
+        let d = resolve(&g, 0, 1).unwrap();
+        let rhs = d.sig.to_rhs();
+        assert_eq!(rhs.num_nodes(), 3);
+        assert_eq!(rhs.num_edges(), 2);
+        assert_eq!(rhs.rank(), 2);
+        rhs.validate().unwrap();
+        // The rhs's own digram signature must equal the original — round trip
+        // through the canonical form (rhs has no context, so externals come
+        // from the rhs ext list).
+        let d2 = resolve(&rhs, 0, 1).unwrap();
+        assert_eq!(d2.sig, d.sig);
+    }
+
+    #[test]
+    fn parallel_edges_share_two_nodes() {
+        let g = graph(2, &[(0, 0, 1), (0, 1, 1)]);
+        let d = resolve(&g, 0, 1).unwrap();
+        assert_eq!(d.sig.num_nodes(), 2);
+        assert_eq!(d.sig.att_b, vec![0, 1]);
+        assert_eq!(d.sig.rank(), 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Occurrence bookkeeping (§III-A2, §III-C1).
+//!
+//! For every digram the table keeps a list of (intended) non-overlapping
+//! occurrences. Occurrences are found by the paper's greedy per-node pairing:
+//! at node `v`, incident edges are grouped by (label, position of `v` in the
+//! attachment) — "directions can be viewed as labels" — and the groups are
+//! zipped pairwise via `Occ(E₁,E₂)`, considering only O(degree) of the
+//! O(degree²) possible pairs.
+//!
+//! Non-overlap within a digram's list is enforced by *occupancy*: an edge
+//! that has been counted in an occurrence with a partner labeled σ is
+//! excluded from further pairings with σ-labeled partners (the paper's
+//! `E_{σ1,σ2}(v)` sets) — here tracked globally per (edge, partner label),
+//! which is slightly more conservative than the per-node sets and keeps
+//! every list overlap-free by construction.
+
+use crate::digram::{resolve, DigramSig};
+use crate::queue::BucketQueue;
+use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
+use grepair_util::{FxHashMap, FxHashSet};
+
+/// Index into [`OccTable::occs`].
+pub type OccId = u32;
+/// Index into [`OccTable::digrams`].
+pub type DigramIdx = u32;
+
+/// One counted occurrence.
+#[derive(Debug, Clone)]
+pub struct Occ {
+    /// The two edges (canonical order of the resolved digram).
+    pub edges: [EdgeId; 2],
+    /// Which digram this occurrence was counted for.
+    pub digram: DigramIdx,
+    /// False once consumed by a replacement or invalidated by edge removal.
+    pub alive: bool,
+}
+
+/// Per-digram state.
+#[derive(Debug)]
+pub struct DigramEntry {
+    /// Canonical signature.
+    pub sig: DigramSig,
+    /// Occurrence list (append-only; dead entries skipped on drain).
+    pub occ_ids: Vec<OccId>,
+    /// Number of live occurrences.
+    pub live: usize,
+    /// Nonterminal assigned when this digram was first replaced (reused if
+    /// the same shape becomes frequent again).
+    pub nt: Option<u32>,
+}
+
+/// The occurrence table plus its priority queue hooks.
+#[derive(Debug, Default)]
+pub struct OccTable {
+    /// Arena of all occurrences ever counted.
+    pub occs: Vec<Occ>,
+    /// Arena of digram entries.
+    pub digrams: Vec<DigramEntry>,
+    /// Signature → digram index.
+    pub index: FxHashMap<DigramSig, DigramIdx>,
+    /// Edge → occurrences containing it (live entries only meaningful).
+    edge_occs: FxHashMap<EdgeId, Vec<OccId>>,
+    /// (edge, partner label) → occupying occurrence.
+    occupied: FxHashMap<(EdgeId, EdgeLabel), OccId>,
+    /// Unordered edge pairs already counted once (never recount a pair).
+    seen_pairs: FxHashSet<(EdgeId, EdgeId)>,
+}
+
+impl OccTable {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live-occurrence count of a digram.
+    pub fn live(&self, d: DigramIdx) -> usize {
+        self.digrams[d as usize].live
+    }
+
+    fn pair_key(e: EdgeId, f: EdgeId) -> (EdgeId, EdgeId) {
+        (e.min(f), e.max(f))
+    }
+
+    /// Is `edge` free to be counted with a partner labeled `partner`?
+    fn is_free(&mut self, edge: EdgeId, partner: EdgeLabel) -> bool {
+        match self.occupied.get(&(edge, partner)) {
+            Some(&occ) if self.occs[occ as usize].alive => false,
+            Some(_) => {
+                self.occupied.remove(&(edge, partner));
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Count all occurrences centered around `v`, inserting them into the
+    /// table and reporting count changes to `queue`. `max_rank` bounds the
+    /// digram rank (§III-B2); rank-0 digrams are skipped (the paper's ranked
+    /// alphabets exclude rank 0).
+    pub fn count_at_node(
+        &mut self,
+        g: &Hypergraph,
+        v: NodeId,
+        max_rank: usize,
+        queue: &mut BucketQueue,
+    ) {
+        self.count_at_node_inner(g, v, max_rank, queue, None);
+    }
+
+    /// Like [`OccTable::count_at_node`], but only group pairs touching one
+    /// of the `focus` (label, position) groups are considered. This is the
+    /// paper's incremental update (§III-A2): after a replacement only pairs
+    /// `{e', e}` involving the new nonterminal edge become occurrences, so
+    /// rescanning all label pairs around high-degree nodes is wasted work.
+    pub fn count_at_node_focused(
+        &mut self,
+        g: &Hypergraph,
+        v: NodeId,
+        max_rank: usize,
+        queue: &mut BucketQueue,
+        focus: &FxHashSet<(EdgeLabel, u8)>,
+    ) {
+        self.count_at_node_inner(g, v, max_rank, queue, Some(focus));
+    }
+
+    fn count_at_node_inner(
+        &mut self,
+        g: &Hypergraph,
+        v: NodeId,
+        max_rank: usize,
+        queue: &mut BucketQueue,
+        focus: Option<&FxHashSet<(EdgeLabel, u8)>>,
+    ) {
+        // Group incident edges by (label, position of v): direction-as-label.
+        let mut groups: std::collections::BTreeMap<(EdgeLabel, u8), Vec<EdgeId>> =
+            std::collections::BTreeMap::new();
+        for e in g.incident(v) {
+            let pos = g.att(e).iter().position(|&x| x == v).unwrap() as u8;
+            groups.entry((g.label(e), pos)).or_default().push(e);
+        }
+        let keys: Vec<(EdgeLabel, u8)> = groups.keys().copied().collect();
+        for (i, &k1) in keys.iter().enumerate() {
+            for &k2 in &keys[i..] {
+                if let Some(focus) = focus {
+                    if !focus.contains(&k1) && !focus.contains(&k2) {
+                        continue;
+                    }
+                }
+                if k1 == k2 {
+                    // Same group: pair the free edges consecutively
+                    // (the Occ(E₁,E₂) split for σ1 = σ2).
+                    let list = &groups[&k1];
+                    let mut i = 0usize;
+                    loop {
+                        let Some(e) = self.next_free(g, list, &mut i, k1.0) else { break };
+                        let Some(f) = self.next_free(g, list, &mut i, k1.0) else { break };
+                        self.try_count(g, e, f, max_rank, queue);
+                    }
+                } else {
+                    // Distinct groups: zip the two free lists lazily. The
+                    // two-pointer walk stops as soon as either side runs
+                    // out, so a pairing against a tiny group never scans a
+                    // huge one — this keeps high-degree hubs linear.
+                    let list1 = &groups[&k1];
+                    let list2 = &groups[&k2];
+                    let (mut i1, mut i2) = (0usize, 0usize);
+                    loop {
+                        let Some(e) = self.next_free(g, list1, &mut i1, k2.0) else { break };
+                        let Some(f) = self.next_free(g, list2, &mut i2, k1.0) else { break };
+                        self.try_count(g, e, f, max_rank, queue);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance `cursor` through `list` to the next alive edge that is free
+    /// with respect to `partner` label; returns it (cursor past it) or None.
+    fn next_free(
+        &mut self,
+        g: &Hypergraph,
+        list: &[EdgeId],
+        cursor: &mut usize,
+        partner: EdgeLabel,
+    ) -> Option<EdgeId> {
+        while *cursor < list.len() {
+            let e = list[*cursor];
+            *cursor += 1;
+            if g.edge_alive(e) && self.is_free(e, partner) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Try to record `{e, f}` as an occurrence. Applies the pair-seen filter
+    /// and the rank bounds; on success occupies both edges.
+    fn try_count(
+        &mut self,
+        g: &Hypergraph,
+        e: EdgeId,
+        f: EdgeId,
+        max_rank: usize,
+        queue: &mut BucketQueue,
+    ) {
+        if self.seen_pairs.contains(&Self::pair_key(e, f)) {
+            return;
+        }
+        let Some(resolved) = resolve(g, e, f) else { return };
+        let rank = resolved.sig.rank();
+        if rank == 0 || rank > max_rank {
+            return;
+        }
+        self.seen_pairs.insert(Self::pair_key(e, f));
+        let d = self.digram_index(resolved.sig);
+        let occ_id = self.occs.len() as OccId;
+        self.occs.push(Occ { edges: resolved.edges, digram: d, alive: true });
+        let entry = &mut self.digrams[d as usize];
+        entry.occ_ids.push(occ_id);
+        entry.live += 1;
+        let live = entry.live;
+        self.edge_occs.entry(e).or_default().push(occ_id);
+        self.edge_occs.entry(f).or_default().push(occ_id);
+        self.occupied.insert((e, g.label(f)), occ_id);
+        self.occupied.insert((f, g.label(e)), occ_id);
+        queue.update(d, live);
+    }
+
+    /// Get or create the digram entry for `sig`.
+    pub fn digram_index(&mut self, sig: DigramSig) -> DigramIdx {
+        if let Some(&d) = self.index.get(&sig) {
+            return d;
+        }
+        let d = self.digrams.len() as DigramIdx;
+        self.digrams.push(DigramEntry { sig: sig.clone(), occ_ids: Vec::new(), live: 0, nt: None });
+        self.index.insert(sig, d);
+        d
+    }
+
+    /// Invalidate every occurrence containing `edge` (called right before
+    /// the edge is removed from the graph); reports count drops to `queue`.
+    pub fn kill_edge(&mut self, edge: EdgeId, queue: &mut BucketQueue) {
+        let Some(occ_ids) = self.edge_occs.remove(&edge) else { return };
+        for occ_id in occ_ids {
+            let occ = &mut self.occs[occ_id as usize];
+            if occ.alive {
+                occ.alive = false;
+                let entry = &mut self.digrams[occ.digram as usize];
+                entry.live -= 1;
+                queue.update(occ.digram, entry.live);
+            }
+        }
+    }
+
+    /// Drain the occurrence list of digram `d`, resetting its live count.
+    /// Returns the occurrence IDs in counted order (dead ones included —
+    /// the caller re-validates).
+    pub fn drain_digram(&mut self, d: DigramIdx, queue: &mut BucketQueue) -> Vec<OccId> {
+        let entry = &mut self.digrams[d as usize];
+        entry.live = 0;
+        queue.update(d, 0);
+        std::mem::take(&mut entry.occ_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_hypergraph::EdgeLabel::Terminal as T;
+
+    fn count_all(g: &Hypergraph, max_rank: usize) -> (OccTable, BucketQueue) {
+        let mut table = OccTable::new();
+        let mut queue = BucketQueue::new(g.num_edges().max(4));
+        for v in g.node_ids() {
+            table.count_at_node(g, v, max_rank, &mut queue);
+        }
+        (table, queue)
+    }
+
+    #[test]
+    fn counts_repeated_chain_digram() {
+        // Path a·b repeated 5 times: the three *interior* a·b occurrences
+        // share one signature (both end nodes external, middle internal);
+        // the two boundary ones differ (a path end has no context edge).
+        let mut g = Hypergraph::with_nodes(11);
+        for i in 0..5u32 {
+            g.add_edge(T(0), &[2 * i, 2 * i + 1]);
+            g.add_edge(T(1), &[2 * i + 1, 2 * i + 2]);
+        }
+        let (table, _q) = count_all(&g, 4);
+        let best = table.digrams.iter().map(|d| d.live).max().unwrap();
+        assert_eq!(best, 3);
+        // Exactly one digram reaches 3; the two boundary shapes get 1 each.
+        let lives: Vec<usize> =
+            table.digrams.iter().map(|d| d.live).filter(|&l| l > 0).collect();
+        assert_eq!(lives.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn occupancy_prevents_overlaps_within_a_digram() {
+        // Star of 5 same-label out-edges: pairs must not share edges.
+        let mut g = Hypergraph::with_nodes(6);
+        for i in 1..6u32 {
+            g.add_edge(T(0), &[0, i]);
+        }
+        let (table, _q) = count_all(&g, 4);
+        for entry in &table.digrams {
+            let mut used = std::collections::HashSet::new();
+            for &occ_id in &entry.occ_ids {
+                let occ = &table.occs[occ_id as usize];
+                for e in occ.edges {
+                    assert!(used.insert((entry.sig.clone(), e)), "edge {e} reused");
+                }
+            }
+        }
+        // 5 edges → 2 pairs.
+        let total: usize = table.digrams.iter().map(|d| d.live).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn max_rank_filters_digrams() {
+        // Fork with context on every node: digram rank would be 3.
+        let mut g = Hypergraph::with_nodes(9);
+        g.add_edge(T(0), &[0, 1]);
+        g.add_edge(T(1), &[1, 2]);
+        // context edges making all three digram nodes external
+        g.add_edge(T(2), &[3, 0]);
+        g.add_edge(T(2), &[4, 1]);
+        g.add_edge(T(2), &[5, 2]);
+        // duplicate the pattern so the digram would be counted twice
+        g.add_edge(T(0), &[6, 7]);
+        g.add_edge(T(1), &[7, 8]);
+        g.add_edge(T(2), &[3, 6]);
+        g.add_edge(T(2), &[4, 7]);
+        g.add_edge(T(2), &[5, 8]);
+        let (t2, _) = count_all(&g, 2);
+        let (t3, _) = count_all(&g, 3);
+        let sig_rank = |t: &OccTable| {
+            t.digrams.iter().filter(|d| d.live > 0).map(|d| d.sig.rank()).max().unwrap_or(0)
+        };
+        assert!(sig_rank(&t2) <= 2);
+        assert!(sig_rank(&t3) <= 3);
+        // With maxRank 3 the a·b digram (rank 3) is countable.
+        assert!(t3.digrams.iter().any(|d| d.sig.rank() == 3 && d.live == 2));
+    }
+
+    #[test]
+    fn rank_zero_digrams_are_skipped() {
+        // Isolated 2-edge component: its only digram has rank 0.
+        let mut g = Hypergraph::with_nodes(3);
+        g.add_edge(T(0), &[0, 1]);
+        g.add_edge(T(1), &[1, 2]);
+        let (table, _q) = count_all(&g, 4);
+        assert!(table.digrams.iter().all(|d| d.live == 0));
+    }
+
+    #[test]
+    fn kill_edge_invalidates_and_decrements() {
+        let mut g = Hypergraph::with_nodes(11);
+        for i in 0..5u32 {
+            g.add_edge(T(0), &[2 * i, 2 * i + 1]);
+            g.add_edge(T(1), &[2 * i + 1, 2 * i + 2]);
+        }
+        let (mut table, mut queue) = count_all(&g, 4);
+        let d = (0..table.digrams.len() as u32)
+            .max_by_key(|&i| table.digrams[i as usize].live)
+            .unwrap();
+        assert_eq!(table.live(d), 3);
+        // Edge 2 is the `a` of the first interior occurrence.
+        table.kill_edge(2, &mut queue);
+        assert_eq!(table.live(d), 2);
+        // Killing again is a no-op.
+        table.kill_edge(2, &mut queue);
+        assert_eq!(table.live(d), 2);
+    }
+
+    #[test]
+    fn node_order_changes_occurrence_count_like_fig5() {
+        // The Fig. 5 phenomenon: greedy counting is order-sensitive. A star
+        // of four 2-edge chains (center 0, chains 0→x→y): visiting the
+        // middles first finds the maximum set of 4 chain occurrences;
+        // visiting the center first greedily pairs the center's out-edges
+        // into fork digrams, occupying them and capping every list at 2.
+        let star = |order: &[u32]| {
+            let mut g = Hypergraph::with_nodes(9);
+            for i in 0..4u32 {
+                g.add_edge(T(0), &[0, 1 + 2 * i]); // center -> middle
+                g.add_edge(T(0), &[1 + 2 * i, 2 + 2 * i]); // middle -> leaf
+            }
+            let mut table = OccTable::new();
+            let mut queue = BucketQueue::new(8);
+            for &v in order {
+                table.count_at_node(&g, v, 8, &mut queue);
+            }
+            table.digrams.iter().map(|d| d.live).max().unwrap_or(0)
+        };
+        // "Jumping" order (middles first, like Fig. 5c): 4 occurrences.
+        assert_eq!(star(&[1, 3, 5, 7, 0, 2, 4, 6, 8]), 4);
+        // Center-first (like Fig. 5a): the greedy fork pairing wins, 2.
+        assert_eq!(star(&[0, 1, 2, 3, 4, 5, 6, 7, 8]), 2);
+    }
+
+    #[test]
+    fn focused_recount_only_touches_focus_groups() {
+        let mut g = Hypergraph::with_nodes(5);
+        g.add_edge(T(0), &[0, 1]);
+        g.add_edge(T(0), &[0, 2]);
+        g.add_edge(T(1), &[0, 3]);
+        g.add_edge(T(1), &[0, 4]);
+        let mut table = OccTable::new();
+        let mut queue = BucketQueue::new(8);
+        // Focus on label-0/source groups only: the (T1,T1) pair is skipped.
+        let mut focus = grepair_util::FxHashSet::default();
+        focus.insert((T(0), 0u8));
+        table.count_at_node_focused(&g, 0, 8, &mut queue, &focus);
+        let counted: usize = table.digrams.iter().map(|d| d.live).sum();
+        // (T0,T0) and (T0,T1)×… pairs only; the pure T1×T1 pair is absent.
+        assert!(counted >= 1);
+        for entry in &table.digrams {
+            if entry.live > 0 {
+                assert!(
+                    entry.sig.label_a == T(0) || entry.sig.label_b == T(0),
+                    "{:?}",
+                    entry.sig
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_never_recounted() {
+        let mut g = Hypergraph::with_nodes(3);
+        g.add_edge(T(0), &[0, 1]);
+        g.add_edge(T(1), &[1, 2]);
+        g.add_edge(T(2), &[2, 0]); // context making things external
+        let mut table = OccTable::new();
+        let mut queue = BucketQueue::new(8);
+        for v in g.node_ids() {
+            table.count_at_node(&g, v, 4, &mut queue);
+        }
+        let first = table.occs.len();
+        // Recounting the same nodes must add nothing.
+        for v in g.node_ids() {
+            table.count_at_node(&g, v, 4, &mut queue);
+        }
+        assert_eq!(table.occs.len(), first);
+    }
+}

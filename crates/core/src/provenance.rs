@@ -1,0 +1,262 @@
+//! Provenance: mapping `val(G)` node IDs back to input node IDs.
+//!
+//! The paper (§III-C2 end) notes that the grammar reproduces an *isomorphic*
+//! copy of the input and that a mapping from new IDs to original IDs can be
+//! produced "as it always produces the same isomorphic copy", which is what
+//! makes compression lossless for graphs with node data (the ψ′ mapping).
+//!
+//! We materialize that mapping. Every nonterminal edge in the start graph
+//! carries a [`Prov`] tree that mirrors its expansion: the original IDs of
+//! the internal nodes its rule creates, plus one child tree per nonterminal
+//! edge of the rule (in edge-ID order). Because both rule inlining
+//! (`grepair_grammar::apply_rule`) and derivation create internal nodes in
+//! rhs node-ID order and recurse in rhs edge-ID order, flattening the tree
+//! depth-first yields exactly the derivation's node-creation order.
+//!
+//! Pruning reshapes rules by inlining; [`Prov::splice_children`] applies the
+//! matching reshaping to the trees (inlined nodes merge into their parent,
+//! their children get appended — mirroring how `apply_rule` appends).
+
+use grepair_grammar::Grammar;
+use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
+use grepair_util::FxHashMap;
+
+/// Expansion provenance of one nonterminal edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prov {
+    /// The nonterminal labeling the edge this tree describes.
+    pub nt: u32,
+    /// Original input-node IDs of the internal nodes `rhs(nt)` creates, in
+    /// rhs node-ID order.
+    pub internal: Vec<NodeId>,
+    /// One subtree per nonterminal edge of `rhs(nt)`, in rhs edge-ID order.
+    pub children: Vec<Prov>,
+}
+
+impl Prov {
+    /// Depth-first flatten: the original IDs in derivation creation order.
+    pub fn flatten_into(&self, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(&self.internal);
+        for child in &self.children {
+            child.flatten_into(out);
+        }
+    }
+
+    /// Total number of nodes this expansion creates.
+    pub fn size(&self) -> usize {
+        self.internal.len() + self.children.iter().map(Prov::size).sum::<usize>()
+    }
+
+    /// Splice for "rule `inlined` was inlined into `rhs(host)`": at every
+    /// tree node describing a `host` expansion, the children at
+    /// `positions` (ascending indices into `children`, all labeled
+    /// `inlined`) dissolve — their internal IDs append to the host's, their
+    /// children append behind the host's remaining children. This mirrors
+    /// `apply_rule`'s append-at-the-end layout exactly.
+    pub fn splice_children(&mut self, host: u32, positions: &[usize]) {
+        for child in &mut self.children {
+            child.splice_children(host, positions);
+        }
+        if self.nt != host || positions.is_empty() {
+            return;
+        }
+        let mut removed = Vec::with_capacity(positions.len());
+        for &p in positions.iter().rev() {
+            removed.push(self.children.remove(p));
+        }
+        removed.reverse(); // ascending position order again
+        for sub in removed {
+            debug_assert!(!positions.is_empty());
+            self.internal.extend_from_slice(&sub.internal);
+            self.children.extend(sub.children);
+        }
+    }
+
+    /// Renumber nonterminal indices after rules were dropped/renumbered.
+    pub fn renumber(&mut self, mapping: &[u32]) {
+        self.nt = mapping[self.nt as usize];
+        debug_assert_ne!(self.nt, u32::MAX, "prov references dropped rule");
+        for child in &mut self.children {
+            child.renumber(mapping);
+        }
+    }
+
+    /// Check this tree is consistent with `grammar`: internal count matches
+    /// the rhs, children match the rhs's nonterminal edges in order.
+    pub fn validate(&self, grammar: &Grammar) -> Result<(), String> {
+        let rhs = grammar.rule(self.nt);
+        let internal = rhs.num_nodes() - rhs.rank();
+        if self.internal.len() != internal {
+            return Err(format!(
+                "N{}: prov has {} internal ids, rhs creates {internal}",
+                self.nt,
+                self.internal.len()
+            ));
+        }
+        let nt_edges: Vec<u32> = rhs
+            .edges()
+            .filter_map(|e| match e.label {
+                EdgeLabel::Nonterminal(i) => Some(i),
+                EdgeLabel::Terminal(_) => None,
+            })
+            .collect();
+        if nt_edges.len() != self.children.len() {
+            return Err(format!(
+                "N{}: prov has {} children, rhs has {} nonterminal edges",
+                self.nt,
+                self.children.len(),
+                nt_edges.len()
+            ));
+        }
+        for (child, &label) in self.children.iter().zip(&nt_edges) {
+            if child.nt != label {
+                return Err(format!(
+                    "N{}: prov child says N{}, rhs edge says N{label}",
+                    self.nt, child.nt
+                ));
+            }
+            child.validate(grammar)?;
+        }
+        Ok(())
+    }
+}
+
+/// Assemble the full `val(G)`-ID → original-ID map:
+/// alive start nodes first (in ID order, mapped through `original_id`), then
+/// each start nonterminal edge's flattened tree in edge-ID order — matching
+/// [`Grammar::derive`]'s creation order bit for bit.
+pub fn build_node_map(
+    grammar: &Grammar,
+    original_id: &[NodeId],
+    prov: &FxHashMap<EdgeId, Prov>,
+) -> Vec<NodeId> {
+    let mut map = Vec::new();
+    for v in grammar.start.node_ids() {
+        map.push(original_id[v as usize]);
+    }
+    for e in grammar.start.edges() {
+        if e.label.is_nonterminal() {
+            let tree = prov
+                .get(&e.id)
+                .unwrap_or_else(|| panic!("missing provenance for start edge {}", e.id));
+            tree.flatten_into(&mut map);
+        }
+    }
+    map
+}
+
+/// Validate every start-edge tree against the grammar, plus that the map is
+/// a permutation of the expected original IDs.
+pub fn validate_provenance(
+    grammar: &Grammar,
+    original_id: &[NodeId],
+    prov: &FxHashMap<EdgeId, Prov>,
+    expected_nodes: &[NodeId],
+) -> Result<(), String> {
+    for e in grammar.start.edges() {
+        if let EdgeLabel::Nonterminal(nt) = e.label {
+            let tree = prov
+                .get(&e.id)
+                .ok_or_else(|| format!("missing prov for start edge {}", e.id))?;
+            if tree.nt != nt {
+                return Err(format!("prov label mismatch on edge {}", e.id));
+            }
+            tree.validate(grammar)?;
+        }
+    }
+    let map = build_node_map(grammar, original_id, prov);
+    let mut seen: Vec<NodeId> = map.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    if seen.len() != map.len() {
+        return Err("node map contains duplicate original IDs".into());
+    }
+    let mut expected: Vec<NodeId> = expected_nodes.to_vec();
+    expected.sort_unstable();
+    if seen != expected {
+        return Err(format!(
+            "node map covers {} originals, expected {}",
+            seen.len(),
+            expected.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(nt: u32, internal: Vec<NodeId>) -> Prov {
+        Prov { nt, internal, children: Vec::new() }
+    }
+
+    #[test]
+    fn flatten_is_depth_first() {
+        let tree = Prov {
+            nt: 2,
+            internal: vec![10],
+            children: vec![
+                Prov { nt: 0, internal: vec![11, 12], children: vec![leaf(1, vec![13])] },
+                leaf(1, vec![14]),
+            ],
+        };
+        let mut out = Vec::new();
+        tree.flatten_into(&mut out);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+        assert_eq!(tree.size(), 5);
+    }
+
+    #[test]
+    fn splice_merges_marked_children() {
+        // host N5 has children [N7, N3, N7]; rule N7 gets inlined into
+        // rhs(N5): both N7 children dissolve.
+        let mut tree = Prov {
+            nt: 5,
+            internal: vec![1],
+            children: vec![
+                Prov { nt: 7, internal: vec![2], children: vec![leaf(4, vec![3])] },
+                leaf(3, vec![9]),
+                Prov { nt: 7, internal: vec![5], children: vec![leaf(4, vec![6])] },
+            ],
+        };
+        let before: usize = tree.size();
+        tree.splice_children(5, &[0, 2]);
+        assert_eq!(tree.size(), before);
+        assert_eq!(tree.internal, vec![1, 2, 5]);
+        let child_nts: Vec<u32> = tree.children.iter().map(|c| c.nt).collect();
+        assert_eq!(child_nts, vec![3, 4, 4]);
+        // Flatten order matches the post-inline expansion order.
+        let mut out = Vec::new();
+        tree.flatten_into(&mut out);
+        assert_eq!(out, vec![1, 2, 5, 9, 3, 6]);
+    }
+
+    #[test]
+    fn splice_recurses_into_nested_hosts() {
+        let mut tree = Prov {
+            nt: 9,
+            internal: vec![],
+            children: vec![Prov {
+                nt: 5,
+                internal: vec![1],
+                children: vec![leaf(7, vec![2])],
+            }],
+        };
+        tree.splice_children(5, &[0]);
+        assert_eq!(tree.children[0].internal, vec![1, 2]);
+        assert!(tree.children[0].children.is_empty());
+    }
+
+    #[test]
+    fn renumber_applies_everywhere() {
+        let mut tree = Prov {
+            nt: 2,
+            internal: vec![],
+            children: vec![leaf(0, vec![1])],
+        };
+        tree.renumber(&[5, u32::MAX, 1]);
+        assert_eq!(tree.nt, 1);
+        assert_eq!(tree.children[0].nt, 5);
+    }
+}

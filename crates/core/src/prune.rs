@@ -1,0 +1,286 @@
+//! Pruning (§III-A3): remove rules that do not contribute to compression.
+//!
+//! Two phases, as in the paper: first every nonterminal with `ref(A) = 1`
+//! is inlined (con is −|handle| < 0 by definition), then the nonterminals
+//! are traversed in bottom-up ≤NT order and each with `con(A) ≤ 0` is
+//! inlined everywhere. Contributions are recomputed as the grammar changes,
+//! because inlining alters the sizes and reference counts the formula reads
+//! — the paper notes that "as we remove rules, the contribution of other
+//! nonterminals might change".
+//!
+//! Every inline is mirrored in the provenance forest (see
+//! [`crate::provenance`]): an inline into the start graph materializes the
+//! tree's internal IDs as real start-graph nodes; an inline into another
+//! rule splices the affected tree nodes.
+
+use crate::provenance::Prov;
+use grepair_grammar::{apply_rule, Grammar};
+use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
+use grepair_util::FxHashMap;
+
+/// Run both pruning phases. Returns the number of rules inlined away.
+///
+/// Inlined rules are left as empty placeholders (so indices stay stable);
+/// the caller runs [`Grammar::drop_unreferenced_rules`] afterwards.
+pub fn prune(
+    grammar: &mut Grammar,
+    prov: &mut FxHashMap<EdgeId, Prov>,
+    original_id: &mut Vec<NodeId>,
+) -> usize {
+    let mut pruned = 0usize;
+
+    // Phase 1: ref(A) = 1 ⇒ inline. Reference counts of other rules are
+    // unchanged by these inlines (the single occurrence moves, nothing is
+    // duplicated), so one pass over a snapshot suffices.
+    let refs = grammar.ref_counts();
+    for nt in 0..grammar.num_nonterminals() as u32 {
+        if refs[nt as usize] == 1 {
+            inline_everywhere(grammar, nt, prov, original_id);
+            pruned += 1;
+        }
+    }
+
+    // Phase 2: bottom-up, con(A) ≤ 0 ⇒ inline everywhere.
+    let order = grammar
+        .topo_order_bottom_up()
+        .expect("grammar must be straight-line");
+    for nt in order {
+        let refs = grammar.ref_counts();
+        let r = refs[nt as usize];
+        if r == 0 {
+            continue; // already inlined away (or never referenced)
+        }
+        if grammar.contribution(nt, r) <= 0 {
+            inline_everywhere(grammar, nt, prov, original_id);
+            pruned += 1;
+        }
+    }
+    pruned
+}
+
+/// Inline nonterminal `b` at every reference (rules first, then the start
+/// graph), keep provenance in sync, and empty `b`'s rule.
+pub fn inline_everywhere(
+    grammar: &mut Grammar,
+    b: u32,
+    prov: &mut FxHashMap<EdgeId, Prov>,
+    original_id: &mut Vec<NodeId>,
+) {
+    let rhs_b = grammar.rule(b).clone();
+
+    // 1. Inline into every other rule, splicing the provenance forest.
+    for a in 0..grammar.num_nonterminals() as u32 {
+        if a == b {
+            continue;
+        }
+        // Positions of b-edges among rhs(a)'s nonterminal edges, pre-inline.
+        let nt_edges: Vec<(EdgeId, u32)> = grammar
+            .rule(a)
+            .edges()
+            .filter_map(|e| match e.label {
+                EdgeLabel::Nonterminal(i) => Some((e.id, i)),
+                EdgeLabel::Terminal(_) => None,
+            })
+            .collect();
+        let positions: Vec<usize> = nt_edges
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, label))| *label == b)
+            .map(|(i, _)| i)
+            .collect();
+        if positions.is_empty() {
+            continue;
+        }
+        let victim_edges: Vec<EdgeId> = nt_edges
+            .iter()
+            .filter(|(_, label)| *label == b)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in victim_edges {
+            apply_rule(grammar.rule_mut(a), e, &rhs_b);
+        }
+        for tree in prov.values_mut() {
+            tree.splice_children(a, &positions);
+        }
+    }
+
+    // 2. Inline into the start graph, materializing provenance.
+    let s_edges: Vec<EdgeId> = grammar
+        .start
+        .edges()
+        .filter(|e| e.label == EdgeLabel::Nonterminal(b))
+        .map(|e| e.id)
+        .collect();
+    for e in s_edges {
+        let tree = prov
+            .remove(&e)
+            .unwrap_or_else(|| panic!("missing provenance for start edge {e}"));
+        let result = apply_rule(&mut grammar.start, e, &rhs_b);
+        debug_assert_eq!(result.created_nodes.len(), tree.internal.len());
+        original_id.resize(grammar.start.node_bound(), NodeId::MAX);
+        for (&node, &orig) in result.created_nodes.iter().zip(&tree.internal) {
+            original_id[node as usize] = orig;
+        }
+        let mut children = tree.children.into_iter();
+        for ce in result.created_edges {
+            if grammar.start.label(ce).is_nonterminal() {
+                let child = children
+                    .next()
+                    .expect("provenance children shorter than rhs nonterminal edges");
+                prov.insert(ce, child);
+            }
+        }
+        debug_assert!(children.next().is_none(), "leftover provenance children");
+    }
+
+    // 3. Empty the rule; drop_unreferenced_rules removes it at the end.
+    *grammar.rule_mut(b) = Hypergraph::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::build_node_map;
+    use grepair_hypergraph::EdgeLabel::{Nonterminal as N, Terminal as T};
+
+    /// Grammar: S has one N0-edge (ref 1) and rhs(N0) = a·b chain; prune
+    /// must inline it and leave a rule-free grammar.
+    #[test]
+    fn singly_referenced_rule_is_inlined() {
+        let mut start = Hypergraph::with_nodes(2);
+        let e = start.add_edge(N(0), &[0, 1]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(1), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        let mut prov = FxHashMap::default();
+        prov.insert(e, Prov { nt: 0, internal: vec![7], children: vec![] });
+        let mut original_id: Vec<NodeId> = vec![3, 5];
+
+        let pruned = prune(&mut g, &mut prov, &mut original_id);
+        assert_eq!(pruned, 1);
+        g.drop_unreferenced_rules();
+        assert_eq!(g.num_nonterminals(), 0);
+        assert_eq!(g.start.num_edges(), 2);
+        assert_eq!(g.start.num_nodes(), 3);
+        // The materialized internal node carries original ID 7.
+        assert_eq!(original_id[2], 7);
+        let map = build_node_map(&g, &original_id, &prov);
+        assert_eq!(map, vec![3, 5, 7]);
+        g.validate().unwrap();
+    }
+
+    /// The Fig. 6 reconstruction: con(A) = 3 > 0, so pruning keeps the rule.
+    #[test]
+    fn contributing_rule_survives() {
+        let mut start = Hypergraph::with_nodes(9);
+        let mut prov = FxHashMap::default();
+        for (s, t) in [(0u32, 1u32), (2, 3), (4, 5), (6, 7)] {
+            let e = start.add_edge(N(0), &[s, t]);
+            prov.insert(e, Prov { nt: 0, internal: vec![100 + s], children: vec![] });
+        }
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(0), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        let mut original_id: Vec<NodeId> = (0..9).collect();
+
+        let pruned = prune(&mut g, &mut prov, &mut original_id);
+        assert_eq!(pruned, 0);
+        assert_eq!(g.num_nonterminals(), 1);
+    }
+
+    /// A non-contributing rule referenced twice (con = 2·(5−3)−5 = −1)
+    /// must be inlined at both sites.
+    #[test]
+    fn non_contributing_rule_is_inlined_everywhere() {
+        let mut start = Hypergraph::with_nodes(4);
+        let mut prov = FxHashMap::default();
+        for (s, t) in [(0u32, 1u32), (2, 3)] {
+            let e = start.add_edge(N(0), &[s, t]);
+            prov.insert(e, Prov { nt: 0, internal: vec![50 + s], children: vec![] });
+        }
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(1), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        let mut original_id: Vec<NodeId> = (0..4).collect();
+
+        let pruned = prune(&mut g, &mut prov, &mut original_id);
+        assert_eq!(pruned, 1);
+        g.drop_unreferenced_rules();
+        assert_eq!(g.num_nonterminals(), 0);
+        assert_eq!(g.start.num_edges(), 4);
+        assert_eq!(g.start.num_nodes(), 6);
+        let map = build_node_map(&g, &original_id, &prov);
+        assert_eq!(map, vec![0, 1, 2, 3, 50, 52]);
+    }
+
+    /// Nested case: N1 (kept) references N0 (inlined); the prov forest must
+    /// be spliced so flattening still matches the expansion order.
+    #[test]
+    fn inline_into_rule_splices_provenance() {
+        // S: two N1-edges. rhs(N1) = N0-edge · c-edge (via a middle node).
+        // rhs(N0) = a·b. ref(N0) = 1 → phase 1 inlines N0 into rhs(N1).
+        let mut start = Hypergraph::with_nodes(4);
+        let mut prov = FxHashMap::default();
+        let e0 = start.add_edge(N(1), &[0, 1]);
+        let e1 = start.add_edge(N(1), &[2, 3]);
+        prov.insert(
+            e0,
+            Prov {
+                nt: 1,
+                internal: vec![10],
+                children: vec![Prov { nt: 0, internal: vec![11], children: vec![] }],
+            },
+        );
+        prov.insert(
+            e1,
+            Prov {
+                nt: 1,
+                internal: vec![20],
+                children: vec![Prov { nt: 0, internal: vec![21], children: vec![] }],
+            },
+        );
+        let mut rhs0 = Hypergraph::with_nodes(3);
+        rhs0.add_edge(T(0), &[0, 2]);
+        rhs0.add_edge(T(1), &[2, 1]);
+        rhs0.set_ext(vec![0, 1]);
+        let mut rhs1 = Hypergraph::with_nodes(3);
+        rhs1.add_edge(N(0), &[0, 2]);
+        rhs1.add_edge(T(2), &[2, 1]);
+        rhs1.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 3);
+        g.add_rule(rhs0);
+        g.add_rule(rhs1);
+        g.validate().unwrap();
+        let mut original_id: Vec<NodeId> = (0..4).collect();
+
+        inline_everywhere(&mut g, 0, &mut prov, &mut original_id);
+        let mapping = g.drop_unreferenced_rules();
+        for tree in prov.values_mut() {
+            tree.renumber(&mapping);
+        }
+        g.validate().unwrap();
+        assert_eq!(g.num_nonterminals(), 1);
+        assert_eq!(g.rule(0).num_edges(), 3); // c + a + b
+
+        // Provenance must validate against the new grammar and flatten in
+        // the new expansion order: internal of N1 (old middle 10, then the
+        // spliced 11), no children.
+        for e in [e0, e1] {
+            prov[&e].validate(&g).unwrap();
+        }
+        let map = build_node_map(&g, &original_id, &prov);
+        assert_eq!(map, vec![0, 1, 2, 3, 10, 11, 20, 21]);
+
+        // And deriving must agree with counting.
+        assert_eq!(g.derive().num_nodes(), map.len());
+    }
+}

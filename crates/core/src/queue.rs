@@ -1,0 +1,259 @@
+//! The digram priority queue.
+//!
+//! Larsson & Moffat \[15\] keep digrams in ⌈√n⌉ buckets keyed by occurrence
+//! count, the last bucket collecting everything at or above √n; the most
+//! frequent digram is then found in (amortized) constant time, and count
+//! updates are O(1) bucket moves. The paper adopts the same structure with
+//! n = |E| (§III-C1). [`BucketQueue`] implements it; a naive max-scan
+//! reference implementation lives in the tests for differential checking.
+
+/// Opaque handle: the caller's digram index.
+pub type Item = u32;
+
+/// Bucket priority queue over items with mutable counts.
+///
+/// Items with count < 2 are not queued (a digram needs two non-overlapping
+/// occurrences to be *active*). The caller reports every count change via
+/// [`BucketQueue::update`].
+#[derive(Debug)]
+pub struct BucketQueue {
+    /// `buckets[c]` holds items with count `c` (2 ≤ c < cap); `buckets[cap]`
+    /// holds items with count ≥ cap.
+    buckets: Vec<Vec<Item>>,
+    /// Position of each item inside its bucket (`u32::MAX` = not queued).
+    pos: Vec<u32>,
+    /// Bucket index of each item (`u32::MAX` = not queued).
+    bucket_of: Vec<u32>,
+    /// Highest possibly-nonempty bucket (lazy bound).
+    max_bucket: usize,
+    cap: usize,
+}
+
+impl BucketQueue {
+    /// Queue sized for an input with `num_edges` edges: cap = ⌈√num_edges⌉,
+    /// clamped to at least 2.
+    pub fn new(num_edges: usize) -> Self {
+        let cap = (num_edges as f64).sqrt().ceil() as usize;
+        let cap = cap.max(2);
+        Self {
+            buckets: vec![Vec::new(); cap + 1],
+            pos: Vec::new(),
+            bucket_of: Vec::new(),
+            max_bucket: 0,
+            cap,
+        }
+    }
+
+    fn ensure(&mut self, item: Item) {
+        let need = item as usize + 1;
+        if self.pos.len() < need {
+            self.pos.resize(need, u32::MAX);
+            self.bucket_of.resize(need, u32::MAX);
+        }
+    }
+
+    fn bucket_for(&self, count: usize) -> usize {
+        count.min(self.cap)
+    }
+
+    fn detach(&mut self, item: Item) {
+        let b = self.bucket_of[item as usize];
+        if b == u32::MAX {
+            return;
+        }
+        let p = self.pos[item as usize] as usize;
+        let bucket = &mut self.buckets[b as usize];
+        let removed = bucket.swap_remove(p);
+        debug_assert_eq!(removed, item);
+        if p < bucket.len() {
+            let moved = bucket[p];
+            self.pos[moved as usize] = p as u32;
+        }
+        self.pos[item as usize] = u32::MAX;
+        self.bucket_of[item as usize] = u32::MAX;
+    }
+
+    /// Report that `item` now has `count` live occurrences.
+    pub fn update(&mut self, item: Item, count: usize) {
+        self.ensure(item);
+        let new_bucket = if count < 2 { u32::MAX } else { self.bucket_for(count) as u32 };
+        if self.bucket_of[item as usize] == new_bucket {
+            return;
+        }
+        self.detach(item);
+        if new_bucket != u32::MAX {
+            let b = new_bucket as usize;
+            self.pos[item as usize] = self.buckets[b].len() as u32;
+            self.bucket_of[item as usize] = new_bucket;
+            self.buckets[b].push(item);
+            self.max_bucket = self.max_bucket.max(b);
+        }
+    }
+
+    /// Remove `item` from the queue entirely.
+    pub fn remove(&mut self, item: Item) {
+        if (item as usize) < self.pos.len() {
+            self.detach(item);
+        }
+    }
+
+    /// The item with the largest count, or `None` if no active digram
+    /// remains. `counts` supplies current counts (needed to pick the true
+    /// maximum inside the overflow bucket).
+    pub fn pop_best(&mut self, counts: impl Fn(Item) -> usize) -> Option<Item> {
+        while self.max_bucket >= 2 && self.buckets[self.max_bucket].is_empty() {
+            self.max_bucket -= 1;
+        }
+        if self.max_bucket < 2 {
+            return None;
+        }
+        let bucket = &self.buckets[self.max_bucket];
+        let best = if self.max_bucket == self.cap {
+            // Overflow bucket: scan for the true maximum.
+            *bucket.iter().max_by_key(|&&it| counts(it))?
+        } else {
+            *bucket.last()?
+        };
+        self.detach(best);
+        Some(best)
+    }
+
+    /// Number of queued items (linear scan; test/diagnostic use).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Model implementation: a hash map scanned for the max.
+    #[derive(Default)]
+    struct Naive {
+        counts: HashMap<Item, usize>,
+    }
+
+    impl Naive {
+        fn update(&mut self, item: Item, count: usize) {
+            if count < 2 {
+                self.counts.remove(&item);
+            } else {
+                self.counts.insert(item, count);
+            }
+        }
+        fn pop_best(&mut self) -> Option<(Item, usize)> {
+            let (&item, &count) = self.counts.iter().max_by_key(|(_, &c)| c)?;
+            self.counts.remove(&item);
+            Some((item, count))
+        }
+    }
+
+    #[test]
+    fn basic_ordering() {
+        let mut q = BucketQueue::new(100);
+        q.update(0, 5);
+        q.update(1, 3);
+        q.update(2, 9);
+        let counts = [5usize, 3, 9];
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(2));
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(0));
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(1));
+        assert_eq!(q.pop_best(|i| counts[i as usize]), None);
+    }
+
+    #[test]
+    fn count_below_two_is_inactive() {
+        let mut q = BucketQueue::new(10);
+        q.update(0, 1);
+        assert!(q.pop_best(|_| 1).is_none());
+        q.update(0, 2);
+        assert_eq!(q.pop_best(|_| 2), Some(0));
+    }
+
+    #[test]
+    fn overflow_bucket_returns_true_max() {
+        // cap = ceil(sqrt(16)) = 4; counts 100 and 7 both land in bucket 4.
+        let mut q = BucketQueue::new(16);
+        q.update(0, 7);
+        q.update(1, 100);
+        let counts = [7usize, 100];
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(1));
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(0));
+    }
+
+    #[test]
+    fn update_moves_between_buckets() {
+        let mut q = BucketQueue::new(100);
+        q.update(0, 2);
+        q.update(1, 3);
+        q.update(0, 9); // promote
+        let counts = [9usize, 3];
+        assert_eq!(q.pop_best(|i| counts[i as usize]), Some(0));
+        q.update(1, 0); // deactivate
+        assert!(q.pop_best(|i| counts[i as usize]).is_none());
+    }
+
+    #[test]
+    fn remove_works_mid_bucket() {
+        let mut q = BucketQueue::new(100);
+        for i in 0..5u32 {
+            q.update(i, 4);
+        }
+        q.remove(2);
+        let mut seen = Vec::new();
+        while let Some(i) = q.pop_best(|_| 4) {
+            seen.push(i);
+        }
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn differential_against_naive_model() {
+        // Random-ish op sequence; after each op both structures must agree
+        // on the maximum count (the item may differ on ties).
+        let mut q = BucketQueue::new(50);
+        let mut model = Naive::default();
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        let mut x = 0xABCDEFu64;
+        for step in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let item = (x % 20) as Item;
+            let count = ((x >> 8) % 30) as usize;
+            counts.insert(item, count);
+            q.update(item, count);
+            model.update(item, count);
+            if step % 7 == 0 {
+                let got = q.pop_best(|i| counts[&i]);
+                let want = model.pop_best();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some((_, wc))) => {
+                        assert_eq!(counts[&g], wc, "step {step}");
+                        // keep the two structures in sync: the model popped a
+                        // possibly different item of equal count; re-insert
+                        // and remove the chosen one from both.
+                        if let Some((mi, _)) = want {
+                            if mi != g {
+                                model.counts.insert(mi, wc);
+                                model.counts.remove(&g);
+                            }
+                        }
+                        counts.insert(g, 0);
+                        model.update(g, 0);
+                    }
+                    other => panic!("mismatch at step {step}: {other:?}"),
+                }
+            }
+        }
+    }
+}

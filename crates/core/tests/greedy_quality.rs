@@ -1,0 +1,165 @@
+//! Ablation: quality of the greedy ω-order occurrence counting (§III-C1)
+//! against the *optimal* maximum set of non-overlapping occurrences.
+//!
+//! The paper replaces maximum matching ("Blossom requires O(|V|²|E|) time,
+//! which is infeasible") with the greedy per-node pairing and notes the node
+//! order influences the result (Fig. 5). On small graphs we can afford the
+//! exact optimum by brute force, so these tests quantify the approximation.
+//!
+//! What the compressor actually consumes is the count of the *most frequent*
+//! digram (step 3), so the quality metrics are: (a) soundness — greedy never
+//! exceeds the optimum for any digram; (b) the best greedy digram is within
+//! a factor ~2 of the best optimal digram; (c) on the repetitive inputs that
+//! matter for compression, greedy finds the optimum for the dominating
+//! digram. Note that per-shape counts can individually fall to zero: the
+//! occupancy rule shares edges across all shapes of a label pair (that is
+//! the paper's `E_{σ1,σ2}` semantics), so a weaker shape may be starved by a
+//! stronger one — the aggregate metrics below are the meaningful ones.
+
+use grepair_core::digram::{resolve, DigramSig};
+use grepair_core::occurrences::OccTable;
+use grepair_core::queue::BucketQueue;
+use grepair_hypergraph::order::{compute_order, NodeOrder};
+use grepair_hypergraph::{EdgeId, Hypergraph};
+use std::collections::HashMap;
+
+/// All (unordered) occurrence pairs per digram signature in `g`.
+fn all_occurrences(g: &Hypergraph, max_rank: usize) -> HashMap<DigramSig, Vec<(EdgeId, EdgeId)>> {
+    let mut map: HashMap<DigramSig, Vec<(EdgeId, EdgeId)>> = HashMap::new();
+    let edges: Vec<EdgeId> = g.edges().map(|e| e.id).collect();
+    for (i, &e) in edges.iter().enumerate() {
+        for &f in &edges[i + 1..] {
+            if let Some(d) = resolve(g, e, f) {
+                let rank = d.sig.rank();
+                if rank >= 1 && rank <= max_rank {
+                    map.entry(d.sig).or_default().push((e, f));
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Exact maximum number of pairwise edge-disjoint occurrences, by
+/// branch-and-bound over the occurrence list (fine for ≤ ~24 occurrences).
+fn optimal_nonoverlapping(occs: &[(EdgeId, EdgeId)]) -> usize {
+    fn go(occs: &[(EdgeId, EdgeId)], used: &mut Vec<EdgeId>, best: &mut usize, picked: usize) {
+        if picked + occs.len() <= *best {
+            return; // cannot beat the incumbent
+        }
+        match occs.first() {
+            None => *best = (*best).max(picked),
+            Some(&(e, f)) => {
+                if !used.contains(&e) && !used.contains(&f) {
+                    used.push(e);
+                    used.push(f);
+                    go(&occs[1..], used, best, picked + 1);
+                    used.pop();
+                    used.pop();
+                }
+                go(&occs[1..], used, best, picked);
+            }
+        }
+    }
+    let mut best = 0;
+    go(occs, &mut Vec::new(), &mut best, 0);
+    best
+}
+
+/// Greedy counts per digram under a node order.
+fn greedy_counts(g: &Hypergraph, order: NodeOrder, max_rank: usize) -> HashMap<DigramSig, usize> {
+    let mut table = OccTable::new();
+    let mut queue = BucketQueue::new(g.num_edges().max(4));
+    for v in compute_order(g, order) {
+        table.count_at_node(g, v, max_rank, &mut queue);
+    }
+    table
+        .digrams
+        .iter()
+        .filter(|d| d.live > 0)
+        .map(|d| (d.sig.clone(), d.live))
+        .collect()
+}
+
+fn small_random_graph(seed: u64, n: u32, m: usize) -> Hypergraph {
+    let mut x = seed | 1;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let triples: Vec<(u32, u32, u32)> = (0..m)
+        .map(|_| (rnd() as u32 % n, rnd() as u32 % 2, rnd() as u32 % n))
+        .collect();
+    Hypergraph::from_simple_edges(n as usize, triples).0
+}
+
+#[test]
+fn greedy_is_sound_and_best_digram_is_competitive() {
+    let mut competitive = 0usize;
+    let mut cases = 0usize;
+    for seed in 1..=25u64 {
+        let g = small_random_graph(seed, 10, 14);
+        let exact = all_occurrences(&g, 4);
+        let optima: HashMap<&DigramSig, usize> = exact
+            .iter()
+            .filter(|(_, occs)| occs.len() <= 20)
+            .map(|(sig, occs)| (sig, optimal_nonoverlapping(occs)))
+            .collect();
+        let best_optimal = optima.values().copied().max().unwrap_or(0);
+        for order in [NodeOrder::Natural, NodeOrder::Fp, NodeOrder::Bfs] {
+            let greedy = greedy_counts(&g, order, 4);
+            // (a) soundness: greedy never exceeds the per-shape optimum.
+            for (sig, &count) in &greedy {
+                if let Some(&opt) = optima.get(sig) {
+                    assert!(
+                        count <= opt,
+                        "seed {seed} {order}: greedy {count} > optimal {opt} for {sig:?}"
+                    );
+                }
+            }
+            // (b) the most frequent greedy digram is within a factor 2 (+1)
+            // of the most frequent digram overall.
+            let best_greedy = greedy.values().copied().max().unwrap_or(0);
+            cases += 1;
+            if 2 * best_greedy + 1 >= best_optimal {
+                competitive += 1;
+            }
+        }
+    }
+    assert!(
+        competitive * 10 >= cases * 9,
+        "best greedy digram within 2x of best optimal in only {competitive}/{cases} cases"
+    );
+}
+
+#[test]
+fn greedy_is_near_optimal_for_the_dominating_digram_on_repetitive_input() {
+    // The compressible case that matters: the repeated a·b chain. Two
+    // digram phases exist — (a·b) with `reps − 2` interior occurrences and
+    // (b·a) with `reps − 1` — and greedy locks onto whichever phase its node
+    // order reaches first (exactly the Fig. 5 phenomenon), so it is allowed
+    // to be one off the optimum but no worse.
+    let reps = 6u32;
+    let (g, _) = Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+    );
+    let exact = all_occurrences(&g, 4);
+    let best_optimal = exact
+        .values()
+        .filter(|occs| occs.len() <= 20)
+        .map(|occs| optimal_nonoverlapping(occs))
+        .max()
+        .unwrap();
+    assert_eq!(best_optimal, (reps - 1) as usize);
+    for order in [NodeOrder::Natural, NodeOrder::Fp] {
+        let greedy = greedy_counts(&g, order, 4);
+        let best_greedy = greedy.values().copied().max().unwrap_or(0);
+        assert!(
+            best_greedy + 1 >= best_optimal,
+            "{order}: dominating digram undercounted ({best_greedy} vs {best_optimal})"
+        );
+    }
+}

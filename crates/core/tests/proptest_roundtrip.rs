@@ -1,0 +1,120 @@
+//! Property-based round-trip tests: for arbitrary graphs and configurations,
+//! compressing and deriving must reproduce the input exactly (under the
+//! node map), and the grammar must satisfy all SL-HR invariants.
+
+use grepair_core::{compress, GRePairConfig};
+use grepair_hypergraph::order::NodeOrder;
+use grepair_hypergraph::Hypergraph;
+use proptest::prelude::*;
+
+/// Strategy: a random simple directed graph with up to `n` nodes, `m` edge
+/// attempts, and `labels` labels.
+fn arb_graph(n: u32, m: usize, labels: u32) -> impl Strategy<Value = Hypergraph> {
+    (2..n, proptest::collection::vec((0u32..n, 0u32..labels, 0u32..n), 0..m)).prop_map(
+        move |(nodes, triples)| {
+            let triples: Vec<(u32, u32, u32)> = triples
+                .into_iter()
+                .map(|(s, l, t)| (s % nodes, l, t % nodes))
+                .collect();
+            Hypergraph::from_simple_edges(nodes as usize, triples).0
+        },
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = GRePairConfig> {
+    (
+        2usize..=6,
+        prop_oneof![
+            Just(NodeOrder::Natural),
+            Just(NodeOrder::Bfs),
+            Just(NodeOrder::Fp0),
+            Just(NodeOrder::Fp),
+            any::<u64>().prop_map(NodeOrder::Random),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(max_rank, order, connect_components, prune)| GRePairConfig {
+            max_rank,
+            order,
+            connect_components,
+            prune,
+            num_terminals: None,
+        })
+}
+
+fn check(g: &Hypergraph, config: &GRePairConfig) {
+    let out = compress(g, config);
+    out.grammar
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid grammar ({config:?}): {e}"));
+    let derived = out.grammar.derive();
+    derived.validate().unwrap();
+    assert_eq!(derived.num_nodes(), g.num_nodes());
+    assert_eq!(derived.num_edges(), g.num_edges());
+    // Exact equality under the node map — stronger than isomorphism.
+    assert_eq!(
+        derived.edge_multiset_mapped(|v| out.node_map[v as usize]),
+        g.edge_multiset()
+    );
+    // Derived-size predictions must agree with the actual derivation.
+    assert_eq!(out.grammar.derived_node_count() as usize, derived.num_nodes());
+    assert_eq!(out.grammar.derived_edge_count() as usize, derived.num_edges());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_sparse_graphs_round_trip(
+        g in arb_graph(60, 150, 3),
+        config in arb_config(),
+    ) {
+        check(&g, &config);
+    }
+
+    #[test]
+    fn random_dense_small_graphs_round_trip(
+        g in arb_graph(12, 160, 2),
+        config in arb_config(),
+    ) {
+        check(&g, &config);
+    }
+
+    #[test]
+    fn single_label_graphs_round_trip(
+        g in arb_graph(40, 120, 1),
+        config in arb_config(),
+    ) {
+        check(&g, &config);
+    }
+
+    #[test]
+    fn disjoint_copies_round_trip(
+        copies in 2u32..12,
+        seed_edges in proptest::collection::vec((0u32..5, 0u32..2, 0u32..5), 1..8),
+        config in arb_config(),
+    ) {
+        let mut triples = Vec::new();
+        for c in 0..copies {
+            let base = 5 * c;
+            for &(s, l, t) in &seed_edges {
+                if s != t {
+                    triples.push((base + s, l, base + t));
+                }
+            }
+        }
+        let (g, _) = Hypergraph::from_simple_edges(5 * copies as usize, triples);
+        check(&g, &config);
+    }
+
+    #[test]
+    fn compression_never_loses_to_half_then_gains(
+        g in arb_graph(50, 200, 2),
+    ) {
+        // Pruned grammars are never larger than unpruned ones.
+        let unpruned = compress(&g, &GRePairConfig { prune: false, ..Default::default() });
+        let pruned = compress(&g, &GRePairConfig::default());
+        prop_assert!(pruned.grammar.size() <= unpruned.grammar.size());
+    }
+}

@@ -1,0 +1,210 @@
+//! Network graph generators (Table I analogs).
+
+use grepair_hypergraph::Hypergraph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Directed preferential attachment (Barabási–Albert flavor): each new node
+/// draws `m_per` targets weighted by current degree. Heavy-tailed in-degree,
+/// like citation/communication networks.
+pub fn preferential_attachment(n: usize, m_per: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(n * m_per);
+    // Repeated-endpoint list ≈ degree-proportional sampling.
+    let mut endpoints: Vec<u32> = vec![0];
+    for v in 1..n as u32 {
+        for _ in 0..m_per.min(v as usize) {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                triples.push((v, 0u32, t));
+                endpoints.push(t);
+            }
+        }
+        endpoints.push(v);
+    }
+    Hypergraph::from_simple_edges(n, triples).0
+}
+
+/// Erdős–Rényi G(n, m): `m` uniform random directed edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(m);
+    while triples.len() < m {
+        let s = rng.gen_range(0..n as u32);
+        let t = rng.gen_range(0..n as u32);
+        if s != t {
+            triples.push((s, 0u32, t));
+        }
+    }
+    Hypergraph::from_simple_edges(n, triples).0
+}
+
+/// Co-authorship clique model (CA-AstroPh/CondMat/GrQc analogs): `papers`
+/// papers, each a clique over 2..=`max_authors` authors drawn with
+/// preferential (power-law) author activity. Stored as directed edges both
+/// ways, matching the paper's treatment ("we considered all of them to be
+/// lists of directed edges").
+pub fn co_authorship(authors: usize, papers: usize, max_authors: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    let mut activity: Vec<u32> = (0..authors as u32).collect(); // seeded uniform
+    for _ in 0..papers {
+        let k = rng.gen_range(2..=max_authors);
+        let mut team: Vec<u32> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let a = activity[rng.gen_range(0..activity.len())];
+            if !team.contains(&a) {
+                team.push(a);
+            }
+        }
+        for i in 0..team.len() {
+            for j in 0..team.len() {
+                if i != j {
+                    triples.push((team[i], 0u32, team[j]));
+                }
+            }
+        }
+        // Authors who just published become more likely to publish again.
+        activity.extend_from_slice(&team);
+    }
+    Hypergraph::from_simple_edges(authors, triples).0
+}
+
+/// Hub-broadcast communication model (Email-EuAll / Wiki-Talk analogs):
+/// a few hubs with enormous out-degree over a large low-degree fringe.
+pub fn hub_network(n: usize, hubs: usize, fringe_degree: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    for h in 0..hubs as u32 {
+        // Each hub reaches a geometric-ish share of the fringe.
+        let reach = (n / (2 << h.min(16))).max(8);
+        for _ in 0..reach {
+            let t = rng.gen_range(0..n as u32);
+            if t != h {
+                triples.push((h, 0u32, t));
+            }
+        }
+    }
+    for v in hubs as u32..n as u32 {
+        for _ in 0..fringe_degree {
+            if rng.gen_bool(0.7) {
+                // Mostly talk to hubs.
+                let h = rng.gen_range(0..hubs as u32);
+                triples.push((v, 0u32, h));
+            } else {
+                let t = rng.gen_range(0..n as u32);
+                if t != v {
+                    triples.push((v, 0u32, t));
+                }
+            }
+        }
+    }
+    Hypergraph::from_simple_edges(n, triples).0
+}
+
+/// Copy-model web graph (NotreDame analog): each new page either copies a
+/// prototype's out-list (plus noise) or links locally. Produces the
+/// duplicated adjacency lists that LM and k² exploit.
+pub fn web_copy(n: usize, out_degree: usize, copy_prob: f64, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let mut outs = Vec::with_capacity(out_degree);
+        if v > 0 && rng.gen_bool(copy_prob) {
+            let proto = rng.gen_range(0..v);
+            outs.extend(adj[proto as usize].iter().copied().filter(|&x| x != v));
+            // Mutate a little.
+            if !outs.is_empty() && rng.gen_bool(0.3) {
+                let i = rng.gen_range(0..outs.len());
+                outs[i] = rng.gen_range(0..n as u32);
+            }
+        }
+        while outs.len() < out_degree {
+            // Local links: nearby page IDs (directory locality).
+            let span = 64u32;
+            let lo = v.saturating_sub(span);
+            let hi = ((v + span).min(n as u32 - 1)).max(lo + 1);
+            let t = rng.gen_range(lo..=hi);
+            if t != v {
+                outs.push(t);
+            }
+        }
+        adj.push(outs);
+    }
+    let triples = adj
+        .iter()
+        .enumerate()
+        .flat_map(|(v, outs)| outs.iter().map(move |&t| (v as u32, 0u32, t)));
+    Hypergraph::from_simple_edges(n, triples).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = preferential_attachment(500, 3, 42);
+        let b = preferential_attachment(500, 3, 42);
+        assert_eq!(a.edge_multiset(), b.edge_multiset());
+        let c = preferential_attachment(500, 3, 43);
+        assert_ne!(a.edge_multiset(), c.edge_multiset());
+    }
+
+    #[test]
+    fn sizes_are_in_the_right_ballpark() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.num_nodes(), 1000);
+        assert!(g.num_edges() > 4500, "{}", g.num_edges());
+
+        let g = preferential_attachment(1000, 4, 1);
+        assert!(g.num_edges() > 2500);
+
+        let g = co_authorship(500, 400, 5, 1);
+        assert!(g.num_edges() > 500);
+    }
+
+    #[test]
+    fn pa_has_heavy_tail() {
+        let g = preferential_attachment(2000, 3, 7);
+        let max_deg = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(max_deg as f64 > 8.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn coauthorship_is_symmetric() {
+        let g = co_authorship(300, 200, 4, 3);
+        for e in g.edges() {
+            let (s, t) = (e.att[0], e.att[1]);
+            assert!(
+                g.out_neighbors(t).any(|x| x == s),
+                "missing reverse edge {t}->{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn web_copy_duplicates_lists() {
+        let g = web_copy(2000, 6, 0.7, 9);
+        // Count exact duplicate out-lists — the signature of the copy model.
+        let mut lists: Vec<Vec<u32>> = (0..2000u32)
+            .map(|v| {
+                let mut l: Vec<u32> = g.out_neighbors(v).collect();
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        lists.sort();
+        let total = lists.len();
+        lists.dedup();
+        assert!(lists.len() < total, "no duplicated adjacency lists");
+    }
+
+    #[test]
+    fn hub_network_has_hubs() {
+        let g = hub_network(3000, 4, 2, 11);
+        let hub_deg = g.degree(0);
+        assert!(hub_deg > 100, "hub degree {hub_deg}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Edge labels: terminals (the input alphabet Σ) vs nonterminals (grammar
+//! symbols introduced by the compressor).
+
+/// Label of a hyperedge.
+///
+/// The paper works over a ranked alphabet Σ plus a disjoint nonterminal
+/// alphabet N. Both sides are dense small integers here; keeping the
+/// distinction in the type (rather than an offset convention) makes grammar
+/// code self-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeLabel {
+    /// A symbol of the input alphabet Σ.
+    Terminal(u32),
+    /// A grammar nonterminal introduced by compression.
+    Nonterminal(u32),
+}
+
+impl EdgeLabel {
+    /// True for `Terminal`.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, EdgeLabel::Terminal(_))
+    }
+
+    /// True for `Nonterminal`.
+    pub fn is_nonterminal(self) -> bool {
+        matches!(self, EdgeLabel::Nonterminal(_))
+    }
+
+    /// The raw symbol index within its alphabet.
+    pub fn index(self) -> u32 {
+        match self {
+            EdgeLabel::Terminal(i) | EdgeLabel::Nonterminal(i) => i,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeLabel::Terminal(i) => write!(f, "t{i}"),
+            EdgeLabel::Nonterminal(i) => write!(f, "N{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(EdgeLabel::Terminal(0).is_terminal());
+        assert!(!EdgeLabel::Terminal(0).is_nonterminal());
+        assert!(EdgeLabel::Nonterminal(3).is_nonterminal());
+        assert_eq!(EdgeLabel::Nonterminal(3).index(), 3);
+    }
+
+    #[test]
+    fn ordering_separates_kinds() {
+        // Terminals sort before nonterminals; used by digram canonicalization.
+        assert!(EdgeLabel::Terminal(99) < EdgeLabel::Nonterminal(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EdgeLabel::Terminal(2).to_string(), "t2");
+        assert_eq!(EdgeLabel::Nonterminal(0).to_string(), "N0");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the hypergraph substrate: structural invariants under
+//! random mutation, text round trips, and node-order laws.
+
+use grepair_hypergraph::io::{parse_hypergraph, write_hypergraph};
+use grepair_hypergraph::order::{compute_order, fp_refine, FpConfig, NodeOrder};
+use grepair_hypergraph::{EdgeLabel, Hypergraph};
+use proptest::prelude::*;
+
+/// A random mutation script over a small graph.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode,
+    AddEdge(u8, Vec<u8>),
+    RemoveEdge(u8),
+    RemoveIsolatedNode(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Op::AddNode),
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..4))
+                .prop_map(|(l, att)| Op::AddEdge(l, att)),
+            any::<u8>().prop_map(Op::RemoveEdge),
+            any::<u8>().prop_map(Op::RemoveIsolatedNode),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_under_mutation(ops in arb_ops()) {
+        let mut g = Hypergraph::with_nodes(4);
+        for op in ops {
+            match op {
+                Op::AddNode => {
+                    g.add_node();
+                }
+                Op::AddEdge(label, raw_att) => {
+                    let alive: Vec<u32> = g.node_ids().collect();
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let mut att: Vec<u32> = raw_att
+                        .iter()
+                        .map(|&x| alive[x as usize % alive.len()])
+                        .collect();
+                    att.dedup();
+                    att.sort_unstable();
+                    att.dedup();
+                    if !att.is_empty() {
+                        g.add_edge(EdgeLabel::Terminal(label as u32 % 4), &att);
+                    }
+                }
+                Op::RemoveEdge(pick) => {
+                    let edges: Vec<u32> = g.edges().map(|e| e.id).collect();
+                    if !edges.is_empty() {
+                        g.remove_edge(edges[pick as usize % edges.len()]);
+                    }
+                }
+                Op::RemoveIsolatedNode(pick) => {
+                    let isolated: Vec<u32> =
+                        g.node_ids().filter(|&v| g.degree(v) == 0).collect();
+                    if !isolated.is_empty() {
+                        g.remove_node(isolated[pick as usize % isolated.len()]);
+                    }
+                }
+            }
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn text_round_trip(ops in arb_ops()) {
+        let mut g = Hypergraph::with_nodes(3);
+        for op in ops {
+            if let Op::AddEdge(label, raw_att) = op {
+                let alive: Vec<u32> = g.node_ids().collect();
+                let mut att: Vec<u32> = raw_att
+                    .iter()
+                    .map(|&x| alive[x as usize % alive.len()])
+                    .collect();
+                att.sort_unstable();
+                att.dedup();
+                if !att.is_empty() {
+                    g.add_edge(EdgeLabel::Terminal(label as u32 % 4), &att);
+                }
+            }
+        }
+        let text = write_hypergraph(&g);
+        let back = parse_hypergraph(&text).unwrap();
+        prop_assert_eq!(back.edge_multiset(), g.edge_multiset());
+        prop_assert_eq!(back.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn every_order_is_a_permutation_of_alive_nodes(
+        edges in proptest::collection::vec((0u32..30, 0u32..3, 0u32..30), 0..80),
+        seed in any::<u64>(),
+    ) {
+        let (g, _) = Hypergraph::from_simple_edges(30, edges);
+        for order in [
+            NodeOrder::Natural,
+            NodeOrder::Random(seed),
+            NodeOrder::Bfs,
+            NodeOrder::Fp0,
+            NodeOrder::Fp,
+        ] {
+            let seq = compute_order(&g, order);
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            let expected: Vec<u32> = g.node_ids().collect();
+            prop_assert_eq!(sorted, expected, "{}", order);
+        }
+    }
+
+    #[test]
+    fn fp_is_isomorphism_invariant_on_shifted_copies(
+        edges in proptest::collection::vec((0u32..12, 0u32..2, 0u32..12), 1..40),
+    ) {
+        // colors(v) in copy 1 must equal colors(v + offset) in copy 2.
+        let n = 12u32;
+        let mut triples: Vec<(u32, u32, u32)> = edges.clone();
+        triples.extend(edges.iter().map(|&(s, l, t)| (s + n, l, t + n)));
+        let (g, _) = Hypergraph::from_simple_edges(2 * n as usize, triples);
+        let fp = fp_refine(&g, FpConfig::default());
+        for v in 0..n {
+            prop_assert_eq!(fp.colors[v as usize], fp.colors[(v + n) as usize], "node {}", v);
+        }
+    }
+
+    #[test]
+    fn fp_refines_degree_partition(
+        edges in proptest::collection::vec((0u32..25, 0u32..2, 0u32..25), 0..70),
+    ) {
+        // Nodes in the same FP class must have equal degree.
+        let (g, _) = Hypergraph::from_simple_edges(25, edges);
+        let fp = fp_refine(&g, FpConfig::default());
+        let mut by_class: std::collections::HashMap<u32, usize> = Default::default();
+        for v in g.node_ids() {
+            let class = fp.colors[v as usize];
+            let deg = g.degree(v);
+            match by_class.entry(class) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(deg);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    prop_assert_eq!(*e.get(), deg, "class {}", class);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Canonical Huffman coding of LZ77 tokens with DEFLATE's length/distance
+//! bucket tables (base value + extra bits per bucket).
+
+use crate::lz77::Token;
+use crate::LzError;
+use grepair_bits::codes::{read_gamma, write_gamma};
+use grepair_bits::{BitReader, BitWriter};
+
+/// DEFLATE length buckets: symbol 257+i covers lengths starting at
+/// `LENGTH_BASE[i]` with `LENGTH_EXTRA[i]` extra bits.
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// DEFLATE distance buckets.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size: 256 literals + EOB + 29 length buckets.
+const LIT_SYMBOLS: usize = 286;
+const DIST_SYMBOLS: usize = 30;
+
+fn length_bucket(len: u16) -> (usize, u8, u16) {
+    let i = match LENGTH_BASE.binary_search(&len) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    };
+    (257 + i, LENGTH_EXTRA[i], len - LENGTH_BASE[i])
+}
+
+fn dist_bucket(dist: u16) -> (usize, u8, u16) {
+    let i = match DIST_BASE.binary_search(&dist) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    };
+    (i, DIST_EXTRA[i], dist - DIST_BASE[i])
+}
+
+// ----------------------------------------------------------------------
+// Canonical Huffman tables
+// ----------------------------------------------------------------------
+
+/// Compute Huffman code lengths for `freqs` (0 for unused symbols) with a
+/// simple two-queue construction over a sorted leaf list.
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Heap of (weight, tie, node index); internal nodes get depth via parent
+    // pointers afterwards.
+    #[derive(Clone)]
+    struct Node {
+        parent: usize,
+    }
+    let mut nodes: Vec<Node> = used.iter().map(|_| Node { parent: usize::MAX }).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| std::cmp::Reverse((freqs[s], i)))
+        .collect();
+    while heap.len() > 1 {
+        let std::cmp::Reverse((wa, a)) = heap.pop().unwrap();
+        let std::cmp::Reverse((wb, b)) = heap.pop().unwrap();
+        let idx = nodes.len();
+        nodes.push(Node { parent: usize::MAX });
+        nodes[a].parent = idx;
+        nodes[b].parent = idx;
+        heap.push(std::cmp::Reverse((wa + wb, idx)));
+    }
+    for (i, &s) in used.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut cur = i;
+        while nodes[cur].parent != usize::MAX {
+            depth += 1;
+            cur = nodes[cur].parent;
+        }
+        lengths[s] = depth.max(1);
+    }
+    lengths
+}
+
+/// Canonical code assignment: codes per symbol given lengths.
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut count = vec![0u32; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = vec![0u32; max_len + 2];
+    let mut code = 0u32;
+    for l in 1..=max_len {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next[l as usize];
+                next[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Table-free canonical decoder: per-length `first code` and `first symbol
+/// index` arrays over symbols sorted by (length, symbol).
+struct Decoder {
+    max_len: usize,
+    first_code: Vec<u32>,
+    first_index: Vec<u32>,
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    fn new(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut symbols: Vec<u16> = (0..lengths.len() as u16)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Canonical recurrence: first_code(1) = 0,
+        // first_code(l) = (first_code(l-1) + count(l-1)) << 1.
+        let mut first_code = vec![0u32; max_len + 2];
+        let mut first_index = vec![0u32; max_len + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len {
+            if l > 1 {
+                code = (code + count[l - 1]) << 1;
+            }
+            first_code[l] = code;
+            first_index[l] = index;
+            index += count[l];
+        }
+        first_index[max_len + 1] = index;
+        Self { max_len, first_code, first_index, symbols }
+    }
+
+    fn read(&self, r: &mut BitReader<'_>) -> Result<u16, LzError> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()? as u32;
+            let count_l = if l < self.max_len + 1 {
+                self.first_index.get(l + 1).copied().unwrap_or(self.symbols.len() as u32)
+                    - self.first_index[l]
+            } else {
+                0
+            };
+            if count_l > 0 && code >= self.first_code[l] && code < self.first_code[l] + count_l {
+                let idx = self.first_index[l] + (code - self.first_code[l]);
+                return Ok(self.symbols[idx as usize]);
+            }
+        }
+        Err(LzError::Corrupt("invalid Huffman code"))
+    }
+}
+
+fn write_lengths(w: &mut BitWriter, lengths: &[u8]) {
+    // γ(len+1) per symbol with a zero-run shortcut: γ(1) then γ(run).
+    let mut i = 0;
+    while i < lengths.len() {
+        if lengths[i] == 0 {
+            let mut run = 0;
+            while i + run < lengths.len() && lengths[i + run] == 0 {
+                run += 1;
+            }
+            write_gamma(w, 1); // escape: zero run
+            write_gamma(w, run as u64);
+            i += run;
+        } else {
+            write_gamma(w, lengths[i] as u64 + 1);
+            i += 1;
+        }
+    }
+}
+
+fn read_lengths(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u8>, LzError> {
+    let mut lengths = vec![0u8; n];
+    let mut i = 0;
+    while i < n {
+        let v = read_gamma(r)?;
+        if v == 1 {
+            let run = read_gamma(r)? as usize;
+            if i + run > n {
+                return Err(LzError::Corrupt("zero run past table end"));
+            }
+            i += run;
+        } else {
+            if v - 1 > 64 {
+                return Err(LzError::Corrupt("code length too large"));
+            }
+            lengths[i] = (v - 1) as u8;
+            i += 1;
+        }
+    }
+    Ok(lengths)
+}
+
+/// Encode the token stream (with trailing EOB) into `w`.
+pub fn encode_tokens(w: &mut BitWriter, tokens: &[Token]) {
+    let mut lit_freq = vec![0u64; LIT_SYMBOLS];
+    let mut dist_freq = vec![0u64; DIST_SYMBOLS];
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_bucket(len).0] += 1;
+                dist_freq[dist_bucket(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+    let lit_lengths = code_lengths(&lit_freq);
+    let dist_lengths = code_lengths(&dist_freq);
+    let lit_codes = canonical_codes(&lit_lengths);
+    let dist_codes = canonical_codes(&dist_lengths);
+    write_lengths(w, &lit_lengths);
+    write_lengths(w, &dist_lengths);
+
+    let put = |w: &mut BitWriter, codes: &[u32], lengths: &[u8], sym: usize| {
+        debug_assert!(lengths[sym] > 0);
+        w.push_bits(codes[sym] as u64, lengths[sym] as u32);
+    };
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => put(w, &lit_codes, &lit_lengths, b as usize),
+            Token::Match { len, dist } => {
+                let (sym, extra, rest) = length_bucket(len);
+                put(w, &lit_codes, &lit_lengths, sym);
+                w.push_bits(rest as u64, extra as u32);
+                let (dsym, dextra, drest) = dist_bucket(dist);
+                put(w, &dist_codes, &dist_lengths, dsym);
+                w.push_bits(drest as u64, dextra as u32);
+            }
+        }
+    }
+    put(w, &lit_codes, &lit_lengths, EOB);
+}
+
+/// Decode a token stream written by [`encode_tokens`].
+pub fn decode_tokens(r: &mut BitReader<'_>) -> Result<Vec<Token>, LzError> {
+    let lit_lengths = read_lengths(r, LIT_SYMBOLS)?;
+    let dist_lengths = read_lengths(r, DIST_SYMBOLS)?;
+    let lit = Decoder::new(&lit_lengths);
+    let dist = Decoder::new(&dist_lengths);
+    let mut tokens = Vec::new();
+    loop {
+        let sym = lit.read(r)? as usize;
+        if sym == EOB {
+            return Ok(tokens);
+        }
+        if sym < 256 {
+            tokens.push(Token::Literal(sym as u8));
+            continue;
+        }
+        let bucket = sym - 257;
+        if bucket >= LENGTH_BASE.len() {
+            return Err(LzError::Corrupt("bad length symbol"));
+        }
+        let extra = r.read_bits(LENGTH_EXTRA[bucket] as u32)? as u16;
+        let len = LENGTH_BASE[bucket] + extra;
+        let dsym = dist.read(r)? as usize;
+        if dsym >= DIST_BASE.len() {
+            return Err(LzError::Corrupt("bad distance symbol"));
+        }
+        let dextra = r.read_bits(DIST_EXTRA[dsym] as u32)? as u16;
+        let d = DIST_BASE[dsym] + dextra;
+        tokens.push(Token::Match { len, dist: d });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_lengths() {
+        for len in 3..=258u16 {
+            let (sym, extra, rest) = length_bucket(len);
+            assert!((257..286).contains(&sym), "len {len}");
+            assert_eq!(LENGTH_BASE[sym - 257] + rest, len);
+            assert!(rest < (1 << extra) || extra == 0 && rest == 0);
+        }
+    }
+
+    #[test]
+    fn buckets_cover_all_distances() {
+        for dist in 1..=32768u16 {
+            let (sym, extra, rest) = dist_bucket(dist);
+            assert!(sym < 30);
+            assert_eq!(DIST_BASE[sym] + rest, dist);
+            assert!(rest < (1 << extra) || extra == 0 && rest == 0);
+            if dist == 32768 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn code_lengths_satisfy_kraft() {
+        let mut freqs = vec![0u64; 300];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 17) * (i as u64 % 3);
+        }
+        let lengths = code_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+        for (i, &f) in freqs.iter().enumerate() {
+            assert_eq!(f > 0, lengths[i] > 0, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = vec![5u64, 9, 12, 13, 16, 45];
+        let lengths = code_lengths(&freqs);
+        let codes = canonical_codes(&lengths);
+        for i in 0..freqs.len() {
+            for j in 0..freqs.len() {
+                if i == j {
+                    continue;
+                }
+                let (li, lj) = (lengths[i] as u32, lengths[j] as u32);
+                if li <= lj {
+                    // code i must not prefix code j
+                    assert_ne!(codes[i], codes[j] >> (lj - li), "{i} prefixes {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        let tokens = vec![Token::Literal(b'z'); 50];
+        let mut w = BitWriter::new();
+        encode_tokens(&mut w, &tokens);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(decode_tokens(&mut r).unwrap(), tokens);
+    }
+
+    #[test]
+    fn mixed_token_round_trip() {
+        let tokens = vec![
+            Token::Literal(b'a'),
+            Token::Literal(b'b'),
+            Token::Match { len: 3, dist: 2 },
+            Token::Match { len: 258, dist: 32768 },
+            Token::Literal(0),
+            Token::Match { len: 17, dist: 1 },
+        ];
+        let mut w = BitWriter::new();
+        encode_tokens(&mut w, &tokens);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(decode_tokens(&mut r).unwrap(), tokens);
+    }
+}

@@ -1,0 +1,213 @@
+//! LZ77 tokenization with hash-chain match finding (DEFLATE parameters:
+//! 32 KiB window, match lengths 3..=258).
+
+use crate::LzError;
+
+/// Maximum backward distance.
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+/// Cap on hash-chain probes per position (compression/speed trade-off).
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// Copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Backward distance, `1..=WINDOW`.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x7F4A));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+/// Greedy LZ77 with one-step lazy matching, as in DEFLATE's fast levels.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::new();
+    if n == 0 {
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i] = previous position
+    // in i's chain. usize::MAX = empty.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; n];
+
+    let find_match = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash3(data, i)];
+        let mut probes = 0;
+        while cand != usize::MAX && i - cand <= WINDOW && probes < MAX_CHAIN {
+            // Quick reject on the byte one past the current best.
+            if cand + best_len < n
+                && i + best_len < n
+                && data[cand + best_len] == data[i + best_len]
+            {
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+            }
+            cand = prev[cand];
+            probes += 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            prev[i] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let here = find_match(&head, &prev, i);
+        // One-step lazy: if the next position has a strictly longer match,
+        // emit a literal now and take the longer match next round.
+        let take = match here {
+            Some((len, dist)) => {
+                let lazy_better = i + 1 < n
+                    && find_match(&head, &prev, i + 1)
+                        .is_some_and(|(l2, _)| l2 > len + 1);
+                if lazy_better {
+                    None
+                } else {
+                    Some((len, dist))
+                }
+            }
+            None => None,
+        };
+        match take {
+            Some((len, dist)) => {
+                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                for j in i..i + len {
+                    insert(&mut head, &mut prev, j);
+                }
+                i += len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the byte stream from tokens.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, LzError> {
+    let mut out: Vec<u8> = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(LzError::Corrupt("match distance out of range"));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the point (runs), so go byte by byte.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_short() {
+        assert!(tokenize(b"").is_empty());
+        assert_eq!(tokenize(b"ab"), vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+
+    #[test]
+    fn finds_repeats() {
+        let tokens = tokenize(b"abcabcabc");
+        assert_eq!(tokens[0], Token::Literal(b'a'));
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { dist: 3, .. })),
+            "{tokens:?}"
+        );
+        assert_eq!(detokenize(&tokens).unwrap(), b"abcabcabc");
+    }
+
+    #[test]
+    fn overlapping_run_match() {
+        // "aaaa..." gives a dist-1 match longer than the distance.
+        let data = vec![b'a'; 100];
+        let tokens = tokenize(&data);
+        assert!(tokens.len() <= 3, "{tokens:?}");
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_distance_is_an_error() {
+        let err = detokenize(&[Token::Match { len: 3, dist: 5 }]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn max_len_matches() {
+        let data = b"x".repeat(MAX_MATCH * 3 + 1);
+        let tokens = tokenize(&data);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { len, .. } if *len as usize == MAX_MATCH)));
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // A repeat 40000 bytes apart must NOT produce a match (window 32768).
+        let mut data = b"UNIQUEPREFIX".to_vec();
+        data.extend((0..40_000u32).map(|i| (i % 251) as u8));
+        data.extend_from_slice(b"UNIQUEPREFIX");
+        let tokens = tokenize(&data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW);
+            }
+        }
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the DEFLATE-like compressor: lossless on arbitrary
+//! byte strings, including adversarial repetition structures.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let packed = grepair_lz::compress(&data);
+        prop_assert_eq!(grepair_lz::decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_bytes_round_trip(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..400,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let packed = grepair_lz::compress(&data);
+        prop_assert_eq!(grepair_lz::decompress(&packed).unwrap(), data.clone());
+        // Strong repetition must compress once past trivial sizes.
+        if data.len() > 2048 {
+            prop_assert!(packed.len() < data.len());
+        }
+    }
+
+    #[test]
+    fn low_entropy_alphabet_round_trip(
+        data in proptest::collection::vec(0u8..4, 0..8192)
+    ) {
+        let packed = grepair_lz::compress(&data);
+        prop_assert_eq!(grepair_lz::decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn tokenizer_is_lossless(
+        data in proptest::collection::vec(any::<u8>(), 0..4096)
+    ) {
+        let tokens = grepair_lz::lz77::tokenize(&data);
+        prop_assert_eq!(grepair_lz::lz77::detokenize(&tokens).unwrap(), data.clone());
+        for t in &tokens {
+            if let grepair_lz::lz77::Token::Match { len, dist } = t {
+                prop_assert!((*len as usize) >= grepair_lz::lz77::MIN_MATCH);
+                prop_assert!((*len as usize) <= grepair_lz::lz77::MAX_MATCH);
+                prop_assert!((*dist as usize) <= grepair_lz::lz77::WINDOW);
+            }
+        }
+    }
+}

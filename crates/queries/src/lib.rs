@@ -1,0 +1,31 @@
+//! Query evaluation over SL-HR grammars (§V) — *without decompression*.
+//!
+//! The paper describes three families and proves their complexity, but
+//! explicitly leaves them unimplemented ("The results in this section have
+//! not been implemented"). This crate implements them:
+//!
+//! * [`index::GrammarIndex`] — G-representations of `val(G)` node IDs:
+//!   locating a node costs O(log ℓ + h), mapping a representation back to an
+//!   ID costs O(h) (ℓ = nonterminal edges in S, h = grammar height).
+//! * [`neighbors`] — in/out neighborhood queries (Proposition 4):
+//!   O(log ℓ + n·h) for n neighbors.
+//! * [`reach`] — (s,t)-reachability in O(|G|) time via per-nonterminal
+//!   *skeleton graphs* (Theorem 6), built with Tarjan SCC exactly as in the
+//!   paper's proof.
+//! * [`speedup`] — one-pass CMSO-style aggregate queries (Proposition 5
+//!   flavor): number of connected components, and max/min degree.
+//! * [`rpq`] — **regular path queries**, the paper's stated future work,
+//!   via an automaton-product generalization of the skeleton construction.
+//!
+//! Every algorithm is differentially tested against the same query run on
+//! the decompressed graph.
+
+pub mod index;
+pub mod neighbors;
+pub mod reach;
+pub mod rpq;
+pub mod speedup;
+
+pub use index::{GRepr, GrammarIndex};
+pub use reach::ReachIndex;
+pub use rpq::{Nfa, Regex, RpqIndex};

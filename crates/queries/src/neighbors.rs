@@ -1,0 +1,211 @@
+//! Neighborhood queries over the grammar (Proposition 4).
+//!
+//! Given a `val(G)` node ID, compute the IDs of its in- or out-neighbors
+//! without decompressing: resolve the G-representation, scan the incident
+//! edges of the context graph, and for nonterminal edges recurse into the
+//! subgraph they derive (`getNeighboring`), converting every endpoint back
+//! to a global ID via `getID`. Runtime O(log ℓ + n·h) for n neighbors.
+
+use crate::index::GrammarIndex;
+use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
+
+/// Direction of a neighborhood query on rank-2 terminal edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `N⁺`: follow edges `v → u`.
+    Out,
+    /// `N⁻`: follow edges `u → v`.
+    In,
+}
+
+impl GrammarIndex<'_> {
+    /// Out-neighbor IDs of global node `k`, sorted ascending.
+    pub fn out_neighbors(&self, k: u64) -> Vec<u64> {
+        self.neighbors(k, Direction::Out)
+    }
+
+    /// In-neighbor IDs of global node `k`, sorted ascending.
+    pub fn in_neighbors(&self, k: u64) -> Vec<u64> {
+        self.neighbors(k, Direction::In)
+    }
+
+    /// Neighbor IDs of `k` in the given direction, sorted and deduplicated.
+    pub fn neighbors(&self, k: u64, dir: Direction) -> Vec<u64> {
+        let repr = self.locate(k);
+        let mut out = Vec::new();
+        // The final node may be shared with ancestors when it is... it is
+        // internal by construction (or a start node), so every edge of
+        // val(G) incident with it appears in its own context or below.
+        self.collect_at(&repr.path, repr.node, dir, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Collect neighbors of context-local `node` (under `path`) from its
+    /// context graph, descending into nonterminal edges.
+    fn collect_at(&self, path: &[EdgeId], node: NodeId, dir: Direction, out: &mut Vec<u64>) {
+        let ctx = self.context(path);
+        for e in ctx.incident(node) {
+            let att = ctx.att(e);
+            match ctx.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    debug_assert!(att.len() <= 2, "terminal hyperedges have no direction");
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let (from, to) = (att[0], att[1]);
+                    let neighbor = match dir {
+                        Direction::Out if from == node => to,
+                        Direction::In if to == node => from,
+                        _ => continue,
+                    };
+                    out.push(self.global_id(path, neighbor));
+                }
+                EdgeLabel::Nonterminal(_) => {
+                    // Descend for every position at which `node` is attached.
+                    for (pos, &x) in att.iter().enumerate() {
+                        if x == node {
+                            let mut sub = path.to_vec();
+                            sub.push(e);
+                            self.neighboring(&sub, pos, dir, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `getNeighboring(e, p)` (§V): neighbors of the `p`-th external node
+    /// within the subgraph derived from the last edge of `path`.
+    fn neighboring(&self, path: &[EdgeId], pos: usize, dir: Direction, out: &mut Vec<u64>) {
+        let nt = self.nt_at(path);
+        let rhs = self.grammar().rule(nt);
+        let v = rhs.ext()[pos];
+        for e in rhs.incident(v) {
+            let att = rhs.att(e);
+            match rhs.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == v => att[1],
+                        Direction::In if att[1] == v => att[0],
+                        _ => continue,
+                    };
+                    out.push(self.global_id(path, neighbor));
+                }
+                EdgeLabel::Nonterminal(_) => {
+                    for (p2, &x) in att.iter().enumerate() {
+                        if x == v {
+                            let mut sub = path.to_vec();
+                            sub.push(e);
+                            self.neighboring(&sub, p2, dir, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_grammar::Grammar;
+    use grepair_hypergraph::EdgeLabel::{Nonterminal as N, Terminal as T};
+    use grepair_hypergraph::Hypergraph;
+
+    fn fig1() -> Grammar {
+        let mut start = Hypergraph::with_nodes(4);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[1, 2]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 1]);
+        rhs.add_edge(T(1), &[1, 2]);
+        rhs.set_ext(vec![0, 2]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        g
+    }
+
+    /// Oracle: neighbors on the derived graph must equal neighbors on the
+    /// grammar for every node and both directions.
+    fn check_against_derivation(g: &Grammar) {
+        let derived = g.derive();
+        let idx = GrammarIndex::new(g);
+        assert_eq!(idx.total_nodes as usize, derived.num_nodes());
+        for k in 0..idx.total_nodes {
+            let mut want_out: Vec<u64> =
+                derived.out_neighbors(k as u32).map(|v| v as u64).collect();
+            want_out.sort_unstable();
+            want_out.dedup();
+            assert_eq!(idx.out_neighbors(k), want_out, "out of {k}");
+            let mut want_in: Vec<u64> =
+                derived.in_neighbors(k as u32).map(|v| v as u64).collect();
+            want_in.sort_unstable();
+            want_in.dedup();
+            assert_eq!(idx.in_neighbors(k), want_in, "in of {k}");
+        }
+    }
+
+    #[test]
+    fn fig1_neighbors_match_derivation() {
+        check_against_derivation(&fig1());
+    }
+
+    #[test]
+    fn fig1_specific_neighbors() {
+        let g = fig1();
+        let idx = GrammarIndex::new(&g);
+        // val: 0 →a 4 →b 1 →a 5 →b 2 →a 6 →b 3
+        assert_eq!(idx.out_neighbors(0), vec![4]);
+        assert_eq!(idx.out_neighbors(4), vec![1]);
+        assert_eq!(idx.in_neighbors(1), vec![4]);
+        assert_eq!(idx.out_neighbors(1), vec![5]);
+        assert_eq!(idx.in_neighbors(0), Vec::<u64>::new());
+        assert_eq!(idx.out_neighbors(3), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn nested_rules_neighbors_match() {
+        let mut start = Hypergraph::with_nodes(3);
+        start.add_edge(N(1), &[0, 1]);
+        start.add_edge(N(1), &[1, 2]);
+        start.add_edge(T(0), &[2, 0]);
+        let mut rhs0 = Hypergraph::with_nodes(3);
+        rhs0.add_edge(T(0), &[0, 2]);
+        rhs0.add_edge(T(1), &[2, 1]);
+        rhs0.set_ext(vec![0, 1]);
+        let mut rhs1 = Hypergraph::with_nodes(3);
+        rhs1.add_edge(N(0), &[0, 2]);
+        rhs1.add_edge(T(2), &[1, 2]);
+        rhs1.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 3);
+        g.add_rule(rhs0);
+        g.add_rule(rhs1);
+        g.validate().unwrap();
+        check_against_derivation(&g);
+    }
+
+    #[test]
+    fn hub_through_nonterminals() {
+        // A star compressed into nonterminals: hub neighbors span subtrees.
+        let mut start = Hypergraph::with_nodes(1);
+        for _ in 0..3 {
+            start.add_edge(N(0), &[0]);
+        }
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 1]);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.set_ext(vec![0]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        g.validate().unwrap();
+        let idx = GrammarIndex::new(&g);
+        assert_eq!(idx.out_neighbors(0).len(), 6);
+        check_against_derivation(&g);
+    }
+}

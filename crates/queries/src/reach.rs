@@ -1,0 +1,379 @@
+//! (s,t)-reachability over the grammar in O(|G|) — Theorem 6.
+//!
+//! Bottom-up (in ≤NT order), every nonterminal gets a **skeleton graph**
+//! `sk(A)`: a digraph on the external nodes of `rhs(A)` preserving exactly
+//! the reachability `val(A)` provides between them. Following the paper's
+//! proof, the skeleton is built from the SCC condensation (Tarjan) of the
+//! rhs with nested nonterminal edges replaced by their skeletons: SCCs
+//! without external nodes are shortcut away, each remaining SCC becomes a
+//! cycle over its external nodes, and inter-SCC edges connect arbitrary
+//! representatives.
+//!
+//! A query resolves both nodes' G-representations, computes the forward
+//! (resp. backward) reachable sets level by level up the derivation paths,
+//! and tests intersection at every common-prefix level — paths that leave a
+//! subtree and re-enter appear at the shallowest level they visit, where the
+//! skeleton edges summarize the detours.
+
+use crate::index::GrammarIndex;
+use grepair_grammar::Grammar;
+use grepair_hypergraph::traverse::tarjan_scc;
+use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
+
+/// Skeleton graphs for every nonterminal plus the skeletonized start graph.
+#[derive(Debug)]
+pub struct ReachIndex<'g> {
+    index: GrammarIndex<'g>,
+    /// `skeletons[A]` = edges (i, j) between external-node *positions*:
+    /// position j is reachable from position i through `val(A)`.
+    skeletons: Vec<Vec<(u8, u8)>>,
+    /// Per context (S = None, rule = Some(nt)): the context graph with every
+    /// nonterminal edge replaced by its skeleton's rank-2 edges.
+    start_prime: Hypergraph,
+    rules_prime: Vec<Hypergraph>,
+}
+
+/// Replace every nonterminal edge of `g` by plain edges realizing its
+/// skeleton relation (label 0 — labels are irrelevant for reachability).
+fn skeletonize(g: &Hypergraph, skeletons: &[Vec<(u8, u8)>]) -> Hypergraph {
+    let mut out = Hypergraph::with_nodes(g.node_bound());
+    for v in 0..g.node_bound() as NodeId {
+        if !g.node_is_alive(v) {
+            out.remove_node(v);
+        }
+    }
+    let mut seen = grepair_util::FxHashSet::default();
+    for e in g.edges() {
+        match e.label {
+            EdgeLabel::Terminal(_) => {
+                if e.att.len() == 2 && seen.insert((e.att[0], e.att[1])) {
+                    out.add_edge(EdgeLabel::Terminal(0), &[e.att[0], e.att[1]]);
+                }
+            }
+            EdgeLabel::Nonterminal(nt) => {
+                for &(i, j) in &skeletons[nt as usize] {
+                    let (a, b) = (e.att[i as usize], e.att[j as usize]);
+                    if a != b && seen.insert((a, b)) {
+                        out.add_edge(EdgeLabel::Terminal(0), &[a, b]);
+                    }
+                }
+            }
+        }
+    }
+    out.set_ext(g.ext().to_vec());
+    out
+}
+
+/// Build `sk(A)` from the skeletonized rhs, per the Theorem 6 construction.
+fn build_skeleton(rhs_prime: &Hypergraph) -> Vec<(u8, u8)> {
+    let ext = rhs_prime.ext();
+    if ext.is_empty() {
+        return Vec::new();
+    }
+    let (scc, scc_count) = tarjan_scc(rhs_prime);
+
+    // Condensation adjacency (dedup) + external positions per component.
+    let mut comp_ext: Vec<Vec<u8>> = vec![Vec::new(); scc_count];
+    for (pos, &v) in ext.iter().enumerate() {
+        comp_ext[scc[v as usize] as usize].push(pos as u8);
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); scc_count];
+    for e in rhs_prime.edges() {
+        if e.att.len() == 2 {
+            let (a, b) = (scc[e.att[0] as usize], scc[e.att[1] as usize]);
+            if a != b && !adj[a as usize].contains(&b) {
+                adj[a as usize].push(b);
+            }
+        }
+    }
+
+    // Remove components without external nodes by shortcutting D→C→E to
+    // D→E. Tarjan emits SCC ids in reverse topological order, so processing
+    // ids ascending sees every successor before its predecessors.
+    #[allow(clippy::needless_range_loop)] // index arithmetic over SCC ids
+    for c in 0..scc_count {
+        if comp_ext[c].is_empty() && !adj[c].is_empty() {
+            let succs = adj[c].clone();
+            for d in 0..scc_count {
+                if d == c || !adj[d].contains(&(c as u32)) {
+                    continue;
+                }
+                for &s in &succs {
+                    if s as usize != d && !adj[d].contains(&s) {
+                        adj[d].push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Emit: a cycle over each component's external positions, plus one edge
+    // per condensation edge between components that (still) have externals —
+    // via reachability through ext-free components already shortcut above.
+    let mut edges: Vec<(u8, u8)> = Vec::new();
+    for c in 0..scc_count {
+        let positions = &comp_ext[c];
+        if positions.len() > 1 {
+            for w in 0..positions.len() {
+                edges.push((positions[w], positions[(w + 1) % positions.len()]));
+            }
+        }
+        if positions.is_empty() {
+            continue;
+        }
+        for &d in &adj[c] {
+            if let Some(&target) = comp_ext[d as usize].first() {
+                edges.push((positions[0], target));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&(a, b)| a != b);
+    edges
+}
+
+impl<'g> ReachIndex<'g> {
+    /// Precompute all skeletons in one bottom-up pass — O(|G|).
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let order = grammar
+            .topo_order_bottom_up()
+            .expect("grammar must be straight-line");
+        let mut skeletons: Vec<Vec<(u8, u8)>> = vec![Vec::new(); grammar.num_nonterminals()];
+        let mut rules_prime: Vec<Hypergraph> = vec![Hypergraph::new(); grammar.num_nonterminals()];
+        for nt in order {
+            let rhs_prime = skeletonize(grammar.rule(nt), &skeletons);
+            skeletons[nt as usize] = build_skeleton(&rhs_prime);
+            rules_prime[nt as usize] = rhs_prime;
+        }
+        let start_prime = skeletonize(&grammar.start, &skeletons);
+        Self { index: GrammarIndex::new(grammar), skeletons, start_prime, rules_prime }
+    }
+
+    /// The navigation index (shared with neighborhood queries).
+    pub fn index(&self) -> &GrammarIndex<'g> {
+        &self.index
+    }
+
+    /// The skeleton relation of nonterminal `nt` (external-position pairs).
+    pub fn skeleton(&self, nt: u32) -> &[(u8, u8)] {
+        &self.skeletons[nt as usize]
+    }
+
+    fn context_prime(&self, path: &[EdgeId]) -> &Hypergraph {
+        if path.is_empty() {
+            &self.start_prime
+        } else {
+            &self.rules_prime[self.index.nt_at(path) as usize]
+        }
+    }
+
+    /// Forward (or backward) closure of `seeds` within a skeletonized
+    /// context graph.
+    fn closure(g: &Hypergraph, seeds: &[NodeId], backward: bool) -> Vec<bool> {
+        let mut seen = vec![false; g.node_bound()];
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                queue.push(s);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            let next: Vec<NodeId> = if backward {
+                g.in_neighbors(v).collect()
+            } else {
+                g.out_neighbors(v).collect()
+            };
+            for u in next {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push(u);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Per-level reachable sets walking up a G-representation: entry `d`
+    /// holds the closure within the context at depth `d` (0 = S).
+    fn level_sets(&self, path: &[EdgeId], node: NodeId, backward: bool) -> Vec<Vec<bool>> {
+        let mut sets: Vec<Vec<bool>> = vec![Vec::new(); path.len() + 1];
+        let contexts = self.index.contexts(path);
+        let mut seeds: Vec<NodeId> = vec![node];
+        for depth in (0..=path.len()).rev() {
+            let ctx_prime = self.context_prime(&path[..depth]);
+            let closure = Self::closure(ctx_prime, &seeds, backward);
+            if depth > 0 {
+                // Map reached external positions to parent attachment nodes.
+                let rhs = contexts[depth];
+                let parent_att = contexts[depth - 1].att(path[depth - 1]);
+                seeds = rhs
+                    .ext()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &x)| closure[x as usize])
+                    .map(|(pos, _)| parent_att[pos])
+                    .collect();
+            }
+            sets[depth] = closure;
+        }
+        sets
+    }
+
+    /// Is `val(G)` node `t` reachable from node `s`? O(|G|).
+    pub fn reachable(&self, s: u64, t: u64) -> bool {
+        if s == t {
+            return true;
+        }
+        let rs = self.index.locate(s);
+        let rt = self.index.locate(t);
+        let forward = self.level_sets(&rs.path, rs.node, false);
+        let backward = self.level_sets(&rt.path, rt.node, true);
+        // Common-prefix depth of the two derivation paths.
+        let common = rs
+            .path
+            .iter()
+            .zip(&rt.path)
+            .take_while(|(a, b)| a == b)
+            .count();
+        // Both set vectors cover depths 0..=common (common ≤ both path
+        // lengths); at each shared context a forward/backward intersection
+        // witnesses a path.
+        for depth in 0..=common {
+            if forward[depth]
+                .iter()
+                .zip(&backward[depth])
+                .any(|(&x, &y)| x && y)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: reachability over the grammar must match BFS on val(G), for
+    /// all node pairs.
+    fn check_all_pairs(g: &Grammar) {
+        let derived = g.derive();
+        let r = ReachIndex::new(g);
+        assert_eq!(r.index().total_nodes as usize, derived.num_nodes());
+        for s in 0..derived.num_nodes() as u64 {
+            for t in 0..derived.num_nodes() as u64 {
+                let want =
+                    grepair_hypergraph::traverse::reachable(&derived, s as u32, t as u32);
+                assert_eq!(r.reachable(s, t), want, "reach({s},{t})");
+            }
+        }
+    }
+
+    use grepair_hypergraph::EdgeLabel::{Nonterminal as N, Terminal as T};
+
+    #[test]
+    fn fig1_chain_reachability() {
+        let mut start = Hypergraph::with_nodes(4);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[1, 2]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 1]);
+        rhs.add_edge(T(1), &[1, 2]);
+        rhs.set_ext(vec![0, 2]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn cycle_through_nonterminals() {
+        // S: A(0,1), A(1,0) — val is a 4-node directed cycle.
+        let mut start = Hypergraph::with_nodes(2);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[1, 0]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(0), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn deep_nesting_same_subtree() {
+        // Both endpoints inside the same S-subtree (tests the
+        // common-prefix levels, not just the S level).
+        let mut start = Hypergraph::with_nodes(2);
+        start.add_edge(N(1), &[0, 1]);
+        let mut rhs0 = Hypergraph::with_nodes(3); // a·b chain
+        rhs0.add_edge(T(0), &[0, 2]);
+        rhs0.add_edge(T(0), &[2, 1]);
+        rhs0.set_ext(vec![0, 1]);
+        let mut rhs1 = Hypergraph::with_nodes(4); // N0 then N0, sharing a mid node
+        rhs1.add_edge(N(0), &[0, 2]);
+        rhs1.add_edge(N(0), &[3, 2]); // converging, NOT a chain
+        rhs1.add_edge(T(0), &[2, 1]);
+        rhs1.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs0);
+        g.add_rule(rhs1);
+        g.validate().unwrap();
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn exit_and_reenter_subtree() {
+        // A path that must leave a subtree and re-enter another: two
+        // nonterminal edges chained through S nodes plus a back edge.
+        let mut start = Hypergraph::with_nodes(3);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(T(0), &[1, 2]);
+        start.add_edge(N(0), &[2, 0]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(0), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn skeleton_of_internal_scc() {
+        // rhs with an internal cycle that connects ext 0 to ext 1 only
+        // through a non-external SCC (exercises the shortcut step).
+        let mut start = Hypergraph::with_nodes(4);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(4);
+        rhs.add_edge(T(0), &[0, 2]); // into the cycle
+        rhs.add_edge(T(0), &[2, 3]);
+        rhs.add_edge(T(0), &[3, 2]); // cycle 2↔3
+        rhs.add_edge(T(0), &[3, 1]); // out of the cycle
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        let r = ReachIndex::new(&g);
+        assert_eq!(r.skeleton(0), &[(0, 1)]);
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn disconnected_val_graph() {
+        let mut start = Hypergraph::with_nodes(4);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 2]);
+        rhs.add_edge(T(0), &[2, 1]);
+        rhs.set_ext(vec![0, 1]);
+        let mut g = Grammar::new(start, 1);
+        g.add_rule(rhs);
+        check_all_pairs(&g);
+    }
+}

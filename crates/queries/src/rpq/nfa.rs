@@ -1,0 +1,289 @@
+//! A small NFA over terminal edge labels, built from a regex AST via
+//! Thompson construction with ε-elimination.
+
+use grepair_util::FxHashSet;
+
+/// Regular expression over terminal labels.
+#[derive(Debug, Clone)]
+pub enum Regex {
+    /// A single edge label.
+    Label(u32),
+    /// Concatenation.
+    Cat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// `Label` shorthand.
+    pub fn label(l: u32) -> Regex {
+        Regex::Label(l)
+    }
+
+    /// `Cat` shorthand.
+    pub fn cat(parts: Vec<Regex>) -> Regex {
+        Regex::Cat(parts)
+    }
+
+    /// `Alt` shorthand.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        Regex::Alt(parts)
+    }
+
+    /// `Star` shorthand.
+    pub fn star(inner: Regex) -> Regex {
+        Regex::Star(Box::new(inner))
+    }
+
+    /// `Plus` shorthand.
+    pub fn plus(inner: Regex) -> Regex {
+        Regex::Plus(Box::new(inner))
+    }
+
+    /// `Opt` shorthand.
+    pub fn opt(inner: Regex) -> Regex {
+        Regex::Opt(Box::new(inner))
+    }
+}
+
+/// ε-free NFA over edge labels.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    num_states: u32,
+    /// (state, label, state).
+    transitions: Vec<(u32, u32, u32)>,
+    start: Vec<u32>,
+    accept: Vec<u32>,
+}
+
+impl Nfa {
+    /// Number of states.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Start states (ε-closed).
+    pub fn start_states(&self) -> &[u32] {
+        &self.start
+    }
+
+    /// Accepting states.
+    pub fn accept_states(&self) -> &[u32] {
+        &self.accept
+    }
+
+    /// Is `q` accepting?
+    pub fn is_accepting(&self, q: u32) -> bool {
+        self.accept.contains(&q)
+    }
+
+    /// Successor states of `q` on `label`.
+    pub fn step(&self, q: u32, label: u32) -> impl Iterator<Item = u32> + '_ {
+        self.transitions
+            .iter()
+            .filter(move |&&(a, l, _)| a == q && l == label)
+            .map(|&(_, _, b)| b)
+    }
+
+    /// Predecessor states of `q` on `label`.
+    pub fn step_back(&self, q: u32, label: u32) -> impl Iterator<Item = u32> + '_ {
+        self.transitions
+            .iter()
+            .filter(move |&&(_, l, b)| b == q && l == label)
+            .map(|&(a, _, _)| a)
+    }
+
+    /// Does the NFA accept this label word?
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut current: FxHashSet<u32> = self.start.iter().copied().collect();
+        for &label in word {
+            current = current
+                .iter()
+                .flat_map(|&q| self.step(q, label))
+                .collect();
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.is_accepting(q))
+    }
+
+    /// Thompson construction with ε-elimination.
+    pub fn from_regex(re: &Regex) -> Nfa {
+        // ε-NFA: states with ε edges, then close.
+        let mut b = Builder::default();
+        let start = b.fresh();
+        let end = b.fresh();
+        b.build(re, start, end);
+        b.finish(start, end)
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    next: u32,
+    eps: Vec<(u32, u32)>,
+    trans: Vec<(u32, u32, u32)>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        self.next += 1;
+        self.next - 1
+    }
+
+    fn build(&mut self, re: &Regex, from: u32, to: u32) {
+        match re {
+            Regex::Label(l) => self.trans.push((from, *l, to)),
+            Regex::Cat(parts) => {
+                if parts.is_empty() {
+                    self.eps.push((from, to));
+                    return;
+                }
+                let mut cur = from;
+                for (i, part) in parts.iter().enumerate() {
+                    let nxt = if i + 1 == parts.len() { to } else { self.fresh() };
+                    self.build(part, cur, nxt);
+                    cur = nxt;
+                }
+            }
+            Regex::Alt(parts) => {
+                for part in parts {
+                    self.build(part, from, to);
+                }
+            }
+            Regex::Star(inner) => {
+                let mid = self.fresh();
+                self.eps.push((from, mid));
+                self.eps.push((mid, to));
+                self.build(inner, mid, mid);
+            }
+            Regex::Plus(inner) => {
+                let mid = self.fresh();
+                self.build(inner, from, mid);
+                self.eps.push((mid, to));
+                self.build(inner, mid, mid);
+            }
+            Regex::Opt(inner) => {
+                self.eps.push((from, to));
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    /// ε-closure per state.
+    fn closure(&self, q: u32) -> Vec<u32> {
+        let mut seen = vec![q];
+        let mut stack = vec![q];
+        while let Some(x) = stack.pop() {
+            for &(a, b) in &self.eps {
+                if a == x && !seen.contains(&b) {
+                    seen.push(b);
+                    stack.push(b);
+                }
+            }
+        }
+        seen
+    }
+
+    fn finish(self, start: u32, end: u32) -> Nfa {
+        // Eliminate ε: transition (q, l, r) becomes (q', l, r) for every q'
+        // with q ∈ closure(q'); accepting = states whose closure hits `end`.
+        let n = self.next;
+        let mut transitions = Vec::new();
+        let closures: Vec<Vec<u32>> = (0..n).map(|q| self.closure(q)).collect();
+        for q in 0..n {
+            for &c in &closures[q as usize] {
+                for &(a, l, b) in &self.trans {
+                    if a == c && !transitions.contains(&(q, l, b)) {
+                        transitions.push((q, l, b));
+                    }
+                }
+            }
+        }
+        let accept: Vec<u32> =
+            (0..n).filter(|&q| closures[q as usize].contains(&end)).collect();
+        Nfa { num_states: n, transitions, start: vec![start], accept }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_acceptance() {
+        let nfa = Nfa::from_regex(&Regex::cat(vec![Regex::label(0), Regex::label(1)]));
+        assert!(nfa.accepts(&[0, 1]));
+        assert!(!nfa.accepts(&[0]));
+        assert!(!nfa.accepts(&[1, 0]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn star_accepts_empty_and_repeats() {
+        let nfa = Nfa::from_regex(&Regex::star(Regex::label(2)));
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[2]));
+        assert!(nfa.accepts(&[2, 2, 2, 2]));
+        assert!(!nfa.accepts(&[2, 0]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let nfa = Nfa::from_regex(&Regex::plus(Regex::label(1)));
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&[1]));
+        assert!(nfa.accepts(&[1, 1]));
+    }
+
+    #[test]
+    fn alternation() {
+        let nfa = Nfa::from_regex(&Regex::alt(vec![Regex::label(0), Regex::label(1)]));
+        assert!(nfa.accepts(&[0]));
+        assert!(nfa.accepts(&[1]));
+        assert!(!nfa.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn optional() {
+        let nfa = Nfa::from_regex(&Regex::cat(vec![
+            Regex::label(0),
+            Regex::opt(Regex::label(1)),
+            Regex::label(0),
+        ]));
+        assert!(nfa.accepts(&[0, 0]));
+        assert!(nfa.accepts(&[0, 1, 0]));
+        assert!(!nfa.accepts(&[0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn nested_composition() {
+        // (a b)* a
+        let nfa = Nfa::from_regex(&Regex::cat(vec![
+            Regex::star(Regex::cat(vec![Regex::label(0), Regex::label(1)])),
+            Regex::label(0),
+        ]));
+        assert!(nfa.accepts(&[0]));
+        assert!(nfa.accepts(&[0, 1, 0]));
+        assert!(nfa.accepts(&[0, 1, 0, 1, 0]));
+        assert!(!nfa.accepts(&[0, 1]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn step_and_back_are_consistent() {
+        let nfa = Nfa::from_regex(&Regex::plus(Regex::label(3)));
+        for q in 0..nfa.num_states() {
+            for next in nfa.step(q, 3).collect::<Vec<_>>() {
+                assert!(nfa.step_back(next, 3).any(|p| p == q));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! One-pass speed-up queries (Proposition 5 flavor).
+//!
+//! CMSO-definable properties and functions can be evaluated in a single
+//! bottom-up pass through the grammar. Two of the functions the paper lists
+//! are implemented here as concrete examples:
+//!
+//! * [`connected_components`] — per nonterminal, summarize how `val(A)`
+//!   connects its external nodes (a partition) and how many components it
+//!   closes off internally; compose summaries upward.
+//! * [`degree_extrema`] — per nonterminal, the degree each external node
+//!   gains inside `val(A)` and the min/max over internal nodes; compose.
+//!
+//! Both run in O(|G|) instead of O(|val(G)|) — the speed-up proportional to
+//! the compression ratio.
+
+use grepair_grammar::Grammar;
+use grepair_hypergraph::traverse::UnionFind;
+use grepair_hypergraph::{EdgeLabel, Hypergraph};
+
+/// Per-nonterminal connectivity summary.
+#[derive(Debug, Clone)]
+struct ConnSummary {
+    /// `partition[i] = partition[j]` iff external positions i and j are
+    /// connected within `val(A)` (class ids are dense).
+    partition: Vec<u8>,
+    /// Components of `val(A)` touching no external node.
+    closed: u64,
+}
+
+fn summarize(rhs: &Hypergraph, summaries: &[ConnSummary]) -> ConnSummary {
+    let mut uf = UnionFind::new(rhs.node_bound());
+    let mut closed = 0u64;
+    for e in rhs.edges() {
+        match e.label {
+            EdgeLabel::Terminal(_) => {
+                for w in e.att.windows(2) {
+                    uf.union(w[0], w[1]);
+                }
+            }
+            EdgeLabel::Nonterminal(nt) => {
+                let sub = &summaries[nt as usize];
+                closed += sub.closed;
+                // Merge attachment nodes whose positions share a class.
+                for i in 0..e.att.len() {
+                    for j in (i + 1)..e.att.len() {
+                        if sub.partition[i] == sub.partition[j] {
+                            uf.union(e.att[i], e.att[j]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Project onto external positions.
+    let ext = rhs.ext();
+    let mut class_of = Vec::with_capacity(ext.len());
+    let mut reps: Vec<u32> = Vec::new();
+    for &x in ext {
+        let r = uf.find(x);
+        let class = match reps.iter().position(|&q| q == r) {
+            Some(i) => i,
+            None => {
+                reps.push(r);
+                reps.len() - 1
+            }
+        };
+        class_of.push(class as u8);
+    }
+    // Internal components not reaching any external node.
+    let mut internal_reps: Vec<u32> = Vec::new();
+    for v in rhs.node_ids() {
+        let r = uf.find(v);
+        if !reps.contains(&r) && !internal_reps.contains(&r) {
+            internal_reps.push(r);
+        }
+    }
+    closed += internal_reps.len() as u64;
+    ConnSummary { partition: class_of, closed }
+}
+
+/// Number of connected components of `val(G)` (undirected view), computed
+/// in one pass through the grammar.
+pub fn connected_components(grammar: &Grammar) -> u64 {
+    let order = grammar
+        .topo_order_bottom_up()
+        .expect("grammar must be straight-line");
+    let mut summaries: Vec<ConnSummary> =
+        vec![ConnSummary { partition: Vec::new(), closed: 0 }; grammar.num_nonterminals()];
+    for nt in order {
+        summaries[nt as usize] = summarize(grammar.rule(nt), &summaries);
+    }
+    // Treat S as a rank-0 "rule": all components are closed.
+    let mut start = grammar.start.clone();
+    start.set_ext(Vec::new());
+    let top = summarize(&start, &summaries);
+    top.closed
+}
+
+/// Per-nonterminal degree summary.
+#[derive(Debug, Clone)]
+struct DegreeSummary {
+    /// Degree each external position gains inside `val(A)`.
+    ext_degree: Vec<u64>,
+    /// Min/max degree over the *internal* nodes of `val(A)` (None if none).
+    internal: Option<(u64, u64)>,
+}
+
+fn degree_summary(rhs: &Hypergraph, summaries: &[DegreeSummary]) -> DegreeSummary {
+    let mut deg = vec![0u64; rhs.node_bound()];
+    let mut internal: Option<(u64, u64)> = None;
+    let fold = |range: Option<(u64, u64)>, lo: u64, hi: u64| match range {
+        None => Some((lo, hi)),
+        Some((a, b)) => Some((a.min(lo), b.max(hi))),
+    };
+    for e in rhs.edges() {
+        match e.label {
+            EdgeLabel::Terminal(_) => {
+                for &v in e.att {
+                    deg[v as usize] += 1;
+                }
+            }
+            EdgeLabel::Nonterminal(nt) => {
+                let sub = &summaries[nt as usize];
+                for (pos, &v) in e.att.iter().enumerate() {
+                    deg[v as usize] += sub.ext_degree[pos];
+                }
+                if let Some((lo, hi)) = sub.internal {
+                    internal = fold(internal, lo, hi);
+                }
+            }
+        }
+    }
+    for v in rhs.node_ids() {
+        if !rhs.is_external(v) {
+            internal = fold(internal, deg[v as usize], deg[v as usize]);
+        }
+    }
+    let ext_degree = rhs.ext().iter().map(|&x| deg[x as usize]).collect();
+    DegreeSummary { ext_degree, internal }
+}
+
+/// `(min, max)` degree over all nodes of `val(G)` (undirected incidence
+/// count), in one pass through the grammar. `None` for the empty graph.
+pub fn degree_extrema(grammar: &Grammar) -> Option<(u64, u64)> {
+    let order = grammar
+        .topo_order_bottom_up()
+        .expect("grammar must be straight-line");
+    let mut summaries: Vec<DegreeSummary> = vec![
+        DegreeSummary { ext_degree: Vec::new(), internal: None };
+        grammar.num_nonterminals()
+    ];
+    for nt in order {
+        summaries[nt as usize] = degree_summary(grammar.rule(nt), &summaries);
+    }
+    let mut start = grammar.start.clone();
+    start.set_ext(Vec::new());
+    let top = degree_summary(&start, &summaries);
+    top.internal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::Hypergraph;
+
+    fn oracle_components(g: &Hypergraph) -> u64 {
+        grepair_hypergraph::traverse::connected_components(g).1 as u64
+    }
+
+    fn oracle_degrees(g: &Hypergraph) -> Option<(u64, u64)> {
+        let degs: Vec<u64> = g.node_ids().map(|v| g.degree(v) as u64).collect();
+        Some((*degs.iter().min()?, *degs.iter().max()?))
+    }
+
+    fn check(g: &Hypergraph) {
+        let out = compress(g, &GRePairConfig::default());
+        assert_eq!(
+            connected_components(&out.grammar),
+            oracle_components(g),
+            "components"
+        );
+        assert_eq!(degree_extrema(&out.grammar), oracle_degrees(g), "degrees");
+    }
+
+    #[test]
+    fn repeated_chain() {
+        let (g, _) = Hypergraph::from_simple_edges(
+            41,
+            (0..20u32).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1, 2 * i + 2)]),
+        );
+        check(&g);
+    }
+
+    #[test]
+    fn disjoint_copies() {
+        let mut triples = Vec::new();
+        for c in 0..10u32 {
+            let b = 4 * c;
+            triples.extend([(b, 0u32, b + 1), (b + 1, 0, b + 2), (b + 2, 0, b + 3), (b, 0, b + 2)]);
+        }
+        let (g, _) = Hypergraph::from_simple_edges(40, triples);
+        check(&g); // 10 components, degree extremes 1..3
+        assert_eq!(oracle_components(&g), 10);
+    }
+
+    #[test]
+    fn isolated_nodes_count_as_components() {
+        let (g, _) = Hypergraph::from_simple_edges(10, vec![(0u32, 0u32, 1u32)]);
+        check(&g); // 1 edge component + 8 isolated nodes = 9
+        assert_eq!(oracle_components(&g), 9);
+    }
+
+    #[test]
+    fn hub_degrees() {
+        let (g, _) =
+            Hypergraph::from_simple_edges(33, (1..=32u32).map(|i| (0u32, 0u32, i)));
+        check(&g);
+        let out = compress(&g, &GRePairConfig::default());
+        assert_eq!(degree_extrema(&out.grammar), Some((1, 32)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Formatting helpers for experiment reports.
+
+/// Render a byte count with a binary-prefix unit, e.g. `1.24 MiB`.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Render a count with thousands separators, e.g. `2,394,385`.
+pub fn human_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Bits-per-edge given a size in bits and an edge count.
+///
+/// This is the headline metric of the paper's evaluation (§IV). Returns
+/// `f64::INFINITY` for empty graphs so callers can't divide by zero silently.
+pub fn bits_per_edge(bits: u64, edges: u64) -> f64 {
+    if edges == 0 {
+        f64::INFINITY
+    } else {
+        bits as f64 / edges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_small_values_are_exact() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+    }
+
+    #[test]
+    fn bytes_scaled_units() {
+        assert_eq!(human_bytes(1024), "1.00 KiB");
+        assert_eq!(human_bytes(1_300_000), "1.24 MiB");
+    }
+
+    #[test]
+    fn counts_grouped() {
+        assert_eq!(human_count(0), "0");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1000), "1,000");
+        assert_eq!(human_count(2_394_385), "2,394,385");
+    }
+
+    #[test]
+    fn bpe_basic() {
+        assert_eq!(bits_per_edge(100, 10), 10.0);
+        assert!(bits_per_edge(100, 0).is_infinite());
+    }
+}

@@ -1,0 +1,133 @@
+//! A fast, non-cryptographic hasher in the style of rustc's FxHash.
+//!
+//! This is the classic Firefox/rustc hash: state is folded one `usize` at a
+//! time with a rotate, xor, and multiply by a large odd constant. It is not
+//! HashDoS resistant — fine here, since every key we hash is internally
+//! generated (node/edge IDs, digram signatures), never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit seed constant, `floor(2^64 / phi)`, same as rustc-hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Streaming FxHash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut bytes = bytes;
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(chunk.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with FxHash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("digram"), hash_one("digram"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&999], 1998);
+
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn byte_streams_of_different_lengths_differ() {
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abcd"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+        assert_ne!(h(b"abcdefghijkl"), h(b"abcdefghijkm"));
+    }
+}

@@ -1,0 +1,71 @@
+//! RDF compression scenario (the paper's Table V use case).
+//!
+//! DBpedia-style "types" graphs lay most nodes out in star patterns around
+//! a few type hubs; gRePair captures each star arm family with a handful of
+//! rules and beats the per-label k²-tree representation by a wide margin.
+//!
+//! ```sh
+//! cargo run --release --example rdf_compression
+//! ```
+
+use graph_grammar_repair::baselines::k2;
+use graph_grammar_repair::datasets::{rdf, stats};
+use graph_grammar_repair::prelude::*;
+
+fn main() {
+    // A mapping-based-types analog: 60k instances, 50 type hubs, |Σ| = 1.
+    let graph = rdf::types_star(60_000, 50, 42);
+    let s = stats(&graph);
+    println!(
+        "types graph: |V| = {}, |E| = {}, |Σ| = {}, |[≅FP]| = {}",
+        s.nodes, s.edges, s.labels, s.fp_classes
+    );
+
+    // gRePair with the paper's defaults.
+    let compressed = compress(&graph, &GRePairConfig::default());
+    let encoded = encode(&compressed.grammar);
+
+    // The Table V baseline: one k²-tree per predicate.
+    let baseline = k2::encode(&graph);
+
+    println!(
+        "gRePair: {:>9} bytes ({:.3} bpe, {} rules)",
+        encoded.byte_len(),
+        encoded.bits_per_edge(graph.num_edges()),
+        compressed.grammar.num_nonterminals()
+    );
+    println!(
+        "k2-tree: {:>9} bytes ({:.3} bpe)",
+        baseline.bytes.len(),
+        baseline.bits_per_edge(graph.num_edges())
+    );
+    println!(
+        "gRePair output is {:.1}x smaller",
+        baseline.bit_len as f64 / encoded.bit_len as f64
+    );
+
+    // A richer RDF shape: property tables with 71 predicates.
+    let graph = rdf::property_graph(20_000, 71, 12, 4_000, 7);
+    let s = stats(&graph);
+    println!(
+        "\nproperty graph: |V| = {}, |E| = {}, |Σ| = {}, |[≅FP]| = {}",
+        s.nodes, s.edges, s.labels, s.fp_classes
+    );
+    let compressed = compress(&graph, &GRePairConfig::default());
+    let encoded = encode(&compressed.grammar);
+    let baseline = k2::encode(&graph);
+    println!(
+        "gRePair {:.3} bpe vs k2-tree {:.3} bpe",
+        encoded.bits_per_edge(graph.num_edges()),
+        baseline.bits_per_edge(graph.num_edges())
+    );
+
+    // RDF data is attached to nodes via the ψ′ node map: node k of val(G)
+    // corresponds to input node node_map[k], so dictionaries stay usable.
+    let derived = compressed.grammar.derive();
+    assert_eq!(
+        derived.edge_multiset_mapped(|v| compressed.node_map[v as usize]),
+        graph.edge_multiset()
+    );
+    println!("lossless: dictionary IDs recoverable through the node map");
+}

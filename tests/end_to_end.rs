@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the full pipeline
+//! generate → compress → encode → decode → derive → query, on every dataset
+//! family, checked for exact losslessness and query agreement.
+
+use graph_grammar_repair::baselines::{k2, lm};
+use graph_grammar_repair::datasets::{network, rdf, ttt, version};
+use graph_grammar_repair::hypergraph::traverse;
+use graph_grammar_repair::prelude::*;
+use graph_grammar_repair::queries::speedup;
+
+/// Compress, serialize, decode, derive, and compare exactly.
+fn full_round_trip(g: &Hypergraph, config: &GRePairConfig) -> CompressedGraph {
+    let out = compress(g, config);
+    out.grammar.validate().expect("valid grammar");
+    let encoded = encode(&out.grammar);
+    let decoded = decode(&encoded.bytes, encoded.bit_len).expect("decodable");
+    let derived = decoded.derive();
+    assert_eq!(derived.num_nodes(), g.num_nodes());
+    assert_eq!(derived.num_edges(), g.num_edges());
+    assert_eq!(
+        derived.edge_multiset_mapped(|v| out.node_map[v as usize]),
+        g.edge_multiset(),
+        "val(decode(encode(G))) != input"
+    );
+    out
+}
+
+#[test]
+fn network_graph_pipeline() {
+    let g = network::co_authorship(800, 600, 5, 11);
+    let out = full_round_trip(&g, &GRePairConfig::default());
+    assert!(out.stats.ratio() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn rdf_pipeline_compresses_stars() {
+    let g = rdf::types_star(6_000, 12, 5);
+    let out = full_round_trip(&g, &GRePairConfig::default());
+    let encoded = encode(&out.grammar);
+    let baseline = k2::encode(&g);
+    assert!(
+        encoded.bit_len * 2 < baseline.bit_len,
+        "gRePair {} vs k2 {}: stars must compress at least 2x better",
+        encoded.bit_len,
+        baseline.bit_len
+    );
+}
+
+#[test]
+fn version_graph_pipeline_beats_baselines() {
+    let g = version::disjoint_copies(&version::circle_with_diagonal(), 256);
+    let out = full_round_trip(&g, &GRePairConfig::default());
+    let encoded = encode(&out.grammar);
+    let k2 = k2::encode(&g);
+    let lm = lm::encode(&g);
+    assert!(encoded.bit_len < k2.bit_len / 4, "vs k2");
+    assert!(encoded.bit_len < lm.bit_len, "vs LM");
+}
+
+#[test]
+fn ttt_subdue_compresses_like_the_paper() {
+    // Paper: 0.12 bpe on Tic-Tac-Toe vs 9.62 for k2.
+    let g = ttt::subdue_endgames();
+    let out = full_round_trip(&g, &GRePairConfig::default());
+    let encoded = encode(&out.grammar);
+    let bpe = encoded.bits_per_edge(g.num_edges());
+    assert!(bpe < 1.0, "expected sub-1 bpe on identical copies, got {bpe}");
+    let k2 = k2::encode(&g);
+    assert!(encoded.bit_len * 8 < k2.bit_len, "paper shows ~80x gap, ours {bpe}");
+}
+
+#[test]
+fn exact_game_graph_round_trips() {
+    let g = ttt::game_graph();
+    full_round_trip(&g, &GRePairConfig::default());
+}
+
+#[test]
+fn queries_agree_end_to_end() {
+    let history = version::CoauthorshipHistory::generate(4, 30, 200, 20, 3);
+    let g = history.version_graph(3);
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+
+    // Aggregates.
+    let (_, cc) = traverse::connected_components(&derived);
+    assert_eq!(speedup::connected_components(&out.grammar), cc as u64);
+
+    // Spot-check reachability and neighborhoods on a sample.
+    let reach = ReachIndex::new(&out.grammar);
+    let idx = GrammarIndex::new(&out.grammar);
+    let n = derived.num_nodes() as u64;
+    for i in 0..50u64 {
+        let s = (i * 6151) % n;
+        let t = (i * 911 + 5) % n;
+        assert_eq!(
+            reach.reachable(s, t),
+            traverse::reachable(&derived, s as u32, t as u32),
+            "reach({s},{t})"
+        );
+        let mut want: Vec<u64> = derived.out_neighbors(s as u32).map(u64::from).collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(idx.out_neighbors(s), want, "out({s})");
+    }
+}
+
+#[test]
+fn node_map_relocates_node_data() {
+    // The ψ′ use case: per-node data must be recoverable after compression.
+    let g = rdf::property_graph(500, 9, 4, 100, 9);
+    let data: Vec<String> = (0..g.node_bound()).map(|v| format!("uri:{v}")).collect();
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+    // Every derived node's data is data[node_map[k]]; check edges carry the
+    // same endpoint data as the original.
+    let derived_pairs: Vec<(String, String)> = derived
+        .edges()
+        .filter(|e| e.att.len() == 2)
+        .map(|e| {
+            (
+                data[out.node_map[e.att[0] as usize] as usize].clone(),
+                data[out.node_map[e.att[1] as usize] as usize].clone(),
+            )
+        })
+        .collect();
+    let original_pairs: Vec<(String, String)> = g
+        .edges()
+        .map(|e| (data[e.att[0] as usize].clone(), data[e.att[1] as usize].clone()))
+        .collect();
+    let mut a = derived_pairs;
+    let mut b = original_pairs;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn text_io_pipeline() {
+    use graph_grammar_repair::hypergraph::io;
+    let g = network::preferential_attachment(300, 3, 17);
+    let mut text = String::new();
+    for e in g.edges() {
+        text.push_str(&format!("{} {}\n", e.att[0], e.att[1]));
+    }
+    let (parsed, _, dropped) = io::parse_pairs(&text).unwrap();
+    assert_eq!(dropped, 0);
+    assert_eq!(parsed.num_edges(), g.num_edges());
+    full_round_trip(&parsed, &GRePairConfig::default());
+}
+
+#[test]
+fn all_configs_on_all_families() {
+    let graphs = [
+        network::erdos_renyi(300, 900, 1),
+        rdf::types_star(500, 6, 2),
+        version::disjoint_copies(&version::circle_with_diagonal(), 20),
+    ];
+    for g in &graphs {
+        for max_rank in [2, 4, 6] {
+            for order in [NodeOrder::Fp, NodeOrder::Bfs, NodeOrder::Natural] {
+                let config = GRePairConfig { max_rank, order, ..Default::default() };
+                full_round_trip(g, &config);
+            }
+        }
+    }
+}
+
+#[test]
+fn grepair_on_string_graphs_matches_string_repair() {
+    // Conclusion claim: "gRePair over string- and tree-graphs obtains
+    // similar compression ratios as the original specialized versions".
+    // The string (abc)^512 as a path graph:
+    let reps = 512u32;
+    let triples = (0..reps).flat_map(|i| {
+        let b = 3 * i;
+        [(b, 0u32, b + 1), (b + 1, 1, b + 2), (b + 2, 2, b + 3)]
+    });
+    let (g, _) = Hypergraph::from_simple_edges((3 * reps + 1) as usize, triples);
+    let out = compress(&g, &GRePairConfig::default());
+    let seq: Vec<u32> = (0..3 * reps).map(|i| i % 3).collect();
+    let sg = graph_grammar_repair::baselines::repair_strings::repair(&seq, 3);
+    // Both should be logarithmic in the input: O(log n) rules.
+    let n_rules = out.grammar.num_nonterminals();
+    let s_rules = sg.rules.len();
+    assert!(n_rules <= 4 * s_rules + 8, "gRePair {n_rules} vs RePair {s_rules}");
+    assert!(s_rules <= 4 * n_rules + 8, "RePair {s_rules} vs gRePair {n_rules}");
+    assert!(n_rules < 40, "should be logarithmic, got {n_rules}");
+}
+
+#[test]
+fn rpq_over_compressed_version_graph() {
+    use graph_grammar_repair::queries::{rpq, Nfa, Regex, RpqIndex};
+    let g = version::disjoint_copies(&version::circle_with_diagonal(), 64);
+    let out = compress(&g, &GRePairConfig::default());
+    let derived = out.grammar.derive();
+    // All edges share label 0; L = (00)* reaches only even distances.
+    let nfa = Nfa::from_regex(&Regex::star(Regex::cat(vec![
+        Regex::label(0),
+        Regex::label(0),
+    ])));
+    let idx = RpqIndex::new(&out.grammar, nfa.clone());
+    let n = derived.num_nodes() as u64;
+    for i in 0..60u64 {
+        let s = (i * 257) % n;
+        let t = (i * 7919 + 1) % n;
+        assert_eq!(
+            idx.matches(s, t),
+            rpq::rpq_on_graph(&derived, &nfa, s as u32, t as u32),
+            "rpq({s},{t})"
+        );
+    }
+}
+
+#[test]
+fn compression_is_deterministic() {
+    let g = network::co_authorship(400, 300, 5, 23);
+    let a = compress(&g, &GRePairConfig::default());
+    let b = compress(&g, &GRePairConfig::default());
+    assert_eq!(a.grammar.size(), b.grammar.size());
+    assert_eq!(a.node_map, b.node_map);
+    let ea = encode(&a.grammar);
+    let eb = encode(&b.grammar);
+    assert_eq!(ea.bytes, eb.bytes);
+}
