@@ -151,8 +151,7 @@ impl OccTable {
                     // (the Occ(E₁,E₂) split for σ1 = σ2).
                     let list = &groups[&k1];
                     let mut i = 0usize;
-                    loop {
-                        let Some(e) = self.next_free(g, list, &mut i, k1.0) else { break };
+                    while let Some(e) = self.next_free(g, list, &mut i, k1.0) {
                         let Some(f) = self.next_free(g, list, &mut i, k1.0) else { break };
                         self.try_count(g, e, f, max_rank, queue);
                     }
@@ -164,8 +163,7 @@ impl OccTable {
                     let list1 = &groups[&k1];
                     let list2 = &groups[&k2];
                     let (mut i1, mut i2) = (0usize, 0usize);
-                    loop {
-                        let Some(e) = self.next_free(g, list1, &mut i1, k2.0) else { break };
+                    while let Some(e) = self.next_free(g, list1, &mut i1, k2.0) {
                         let Some(f) = self.next_free(g, list2, &mut i2, k1.0) else { break };
                         self.try_count(g, e, f, max_rank, queue);
                     }

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the slice of the `criterion` 0.5 API that the gRePair benches
+//! use: [`Criterion::benchmark_group`], group `sample_size` / `throughput` /
+//! `bench_function` / `finish`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`].
+//!
+//! Instead of criterion's statistical machinery it runs a short calibration
+//! pass, then times `sample_size` batches and prints min / mean per
+//! iteration. Good enough to spot order-of-magnitude regressions and to keep
+//! `cargo bench` meaningful offline; swap for the registry crate when
+//! network access is available.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-element or per-byte throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]. This stand-in treats all
+/// variants identically (one setup per measured invocation).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Entry point handed to the functions in [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` (harness = false benches get `--test`) run each
+        // closure once for smoke coverage instead of timing it.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            test_mode,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let test_mode = self.test_mode;
+        self.benchmark_group("ungrouped".to_string())
+            .run_one(&id.into(), f, 10, None, test_mode);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time `f` and print a one-line summary.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (samples, throughput, test_mode) = (self.sample_size, self.throughput, self.test_mode);
+        let name = self.name.clone();
+        BenchmarkGroup::run_named(&name, &id.into(), f, samples, throughput, test_mode);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        f: impl FnMut(&mut Bencher),
+        samples: usize,
+        throughput: Option<Throughput>,
+        test_mode: bool,
+    ) {
+        let name = self.name.clone();
+        BenchmarkGroup::run_named(&name, id, f, samples, throughput, test_mode);
+    }
+
+    fn run_named(
+        group: &str,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+        samples: usize,
+        throughput: Option<Throughput>,
+        test_mode: bool,
+    ) {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: if test_mode { 1 } else { samples },
+            calibrate: !test_mode,
+            total: Duration::ZERO,
+            total_iters: 0,
+            min_sample: Duration::MAX,
+            min_sample_iters: 1,
+        };
+        f(&mut bencher);
+        if test_mode {
+            println!("{group}/{id}: ok (smoke)");
+            return;
+        }
+        if bencher.total_iters == 0 {
+            println!("{group}/{id}: no iterations recorded");
+            return;
+        }
+        let mean = bencher.total.as_nanos() as f64 / bencher.total_iters as f64;
+        let min = bencher.min_sample.as_nanos() as f64 / bencher.min_sample_iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 * 1e3 / mean),
+            Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / (mean * 1e-9) / (1 << 20) as f64),
+        });
+        println!(
+            "{group}/{id}: mean {} min {}{}",
+            fmt_ns(mean),
+            fmt_ns(min),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// End the group (separator line, matching criterion's API shape).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures. Handed to the `|b| ...` callback of `bench_function`.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    calibrate: bool,
+    total: Duration,
+    total_iters: u64,
+    min_sample: Duration,
+    min_sample_iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.calibrate {
+            // One untimed warmup, then size batches to ~5 ms each.
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed().max(Duration::from_nanos(20));
+            self.iters_per_sample =
+                (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.total_iters += self.iters_per_sample;
+            if elapsed < self.min_sample {
+                self.min_sample = elapsed;
+                self.min_sample_iters = self.iters_per_sample;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Setup cost forces one input per timed invocation here.
+        let samples = if self.calibrate { self.samples } else { 1 };
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.total_iters += 1;
+            if elapsed < self.min_sample {
+                self.min_sample = elapsed;
+                self.min_sample_iters = 1;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
