@@ -8,20 +8,33 @@
 //! ```
 //!
 //! Absolute numbers differ from the paper (its datasets are proprietary
-//! dumps; ours are structural analogs — see DESIGN.md §4); the *shapes*
-//! (who wins, by how much, where the crossovers are) are the reproduction
-//! target and are recorded against the paper in EXPERIMENTS.md.
+//! dumps; ours are structural analogs — see DESIGN.md §4, which also
+//! records the expected *shapes*: who wins, by how much, where the
+//! crossovers are. Those shapes are the reproduction target).
 
 use grepair_bench::*;
 use grepair_core::GRePairConfig;
 use grepair_hypergraph::order::NodeOrder;
 use grepair_hypergraph::Hypergraph;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+const USAGE: &str = "usage: repro [--all] [--quick] [SECTION]...
+sections: --table1 --table2 --table3 --table4 --table5 --table6
+          --fig10 --fig11 --fig12 --fig13 --fig14
+          --ratios --queries --strings
+no sections selects --all; --quick shrinks every dataset 4x";
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(unknown) = validate_repro_flags(&args) {
+        eprintln!("error: unknown flag {unknown:?}");
+        eprintln!();
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
     let has = |f: &str| args.iter().any(|a| a == f);
-    let all = has("--all") || args.is_empty();
+    let all = has("--all") || args.iter().all(|a| a == "--quick");
     let scale = if has("--quick") { Scale::Quick } else { Scale::Full };
 
     let t0 = Instant::now();
@@ -68,6 +81,7 @@ fn main() {
         strings();
     }
     eprintln!("\n[repro completed in {:?}]", t0.elapsed());
+    ExitCode::SUCCESS
 }
 
 fn banner(title: &str) {
@@ -384,7 +398,9 @@ fn ratios(scale: Scale) {
     }
 }
 
-/// §V (extension): query timings over the grammar vs the decompressed graph.
+/// §V (extension): query timings over the grammar vs the decompressed
+/// graph, plus the serving path (one loaded `GraphStore` answering the same
+/// requests as a batch).
 fn queries(scale: Scale) {
     banner("Queries (SS V, implemented here): grammar vs decompressed graph");
     // The long-path case: grammar is logarithmic in the graph.
@@ -398,7 +414,7 @@ fn queries(scale: Scale) {
     );
     let history = dblp_history(scale, 11);
     let cases = [("path(2^n)", path), ("DBLP60-70", history.version_graph(10))];
-    let widths = [12, 9, 9, 14, 14, 13, 13];
+    let widths = [12, 9, 9, 14, 14, 14, 13, 13];
     println!(
         "{}",
         row(
@@ -408,6 +424,7 @@ fn queries(scale: Scale) {
                 "|G|".into(),
                 "reach(gram)".into(),
                 "reach(BFS)".into(),
+                "reach(store)".into(),
                 "cc(gram)".into(),
                 "cc(graph)".into(),
             ],
@@ -433,6 +450,26 @@ fn queries(scale: Scale) {
         let bfs_reach = t.elapsed();
         assert_eq!(a, b, "grammar and BFS reachability disagree on {name}");
 
+        // The serving path: the same requests through one GraphStore batch
+        // (duplicate sources share forward closures).
+        let store = grepair_store::GraphStore::from_grammar(out.grammar.clone())
+            .expect("compressed grammar is valid");
+        let batch: Vec<grepair_store::Query> = pairs
+            .iter()
+            .map(|&(s, t)| grepair_store::Query::Reach { s, t })
+            .collect();
+        let t = Instant::now();
+        let answers = store.query_batch(&batch);
+        let store_reach = t.elapsed();
+        let c: Vec<bool> = answers
+            .into_iter()
+            .map(|r| match r.expect("in-range reach query") {
+                grepair_store::QueryAnswer::Bool(b) => b,
+                other => panic!("reach answered {other:?}"),
+            })
+            .collect();
+        assert_eq!(a, c, "store batch reachability disagrees on {name}");
+
         let t = Instant::now();
         let cc_g = grepair_queries::speedup::connected_components(&out.grammar);
         let grammar_cc = t.elapsed();
@@ -450,6 +487,7 @@ fn queries(scale: Scale) {
                     out.grammar.size().to_string(),
                     format!("{grammar_reach:.1?}"),
                     format!("{bfs_reach:.1?}"),
+                    format!("{store_reach:.1?}"),
                     format!("{grammar_cc:.1?}"),
                     format!("{graph_cc:.1?}"),
                 ],

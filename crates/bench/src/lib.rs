@@ -13,6 +13,23 @@ use grepair_core::{compress, CompressedGraph, GRePairConfig};
 use grepair_datasets::{network, rdf, stats, ttt, version, DatasetStats};
 use grepair_hypergraph::Hypergraph;
 
+/// The flags the `repro` binary understands: every section of the paper's
+/// evaluation, the global `--quick` scale switch, and `--all`.
+pub const REPRO_FLAGS: &[&str] = &[
+    "--all", "--quick", "--table1", "--table2", "--table3", "--table4", "--table5", "--table6",
+    "--fig10", "--fig11", "--fig12", "--fig13", "--fig14", "--ratios", "--queries", "--strings",
+];
+
+/// Check a `repro` argument list: `Err(flag)` names the first argument that
+/// is not a known flag (including `--help` — `repro` has no options beyond
+/// [`REPRO_FLAGS`], so anything else is a usage error, not a silent no-op).
+pub fn validate_repro_flags(args: &[String]) -> Result<(), String> {
+    match args.iter().find(|a| !REPRO_FLAGS.contains(&a.as_str())) {
+        Some(unknown) => Err(unknown.clone()),
+        None => Ok(()),
+    }
+}
+
 /// Dataset family, mirroring the paper's three tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -241,6 +258,21 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repro_flags_validate() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(validate_repro_flags(&args(&[])), Ok(()));
+        assert_eq!(validate_repro_flags(&args(&["--table1", "--quick"])), Ok(()));
+        assert_eq!(validate_repro_flags(&args(&["--all"])), Ok(()));
+        // Unknown flags — including --help — name the offender.
+        assert_eq!(validate_repro_flags(&args(&["--help"])), Err("--help".into()));
+        assert_eq!(
+            validate_repro_flags(&args(&["--table1", "--tabel2"])),
+            Err("--tabel2".into())
+        );
+        assert_eq!(validate_repro_flags(&args(&["table1"])), Err("table1".into()));
+    }
 
     #[test]
     fn suites_are_nonempty_and_deterministic() {

@@ -14,8 +14,13 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     /// Reader over `bytes` containing exactly `bit_len` valid bits.
+    ///
+    /// `bit_len` is clamped to the bits actually present: a hostile header
+    /// claiming more bits than the buffer holds must surface as
+    /// [`BitError::UnexpectedEnd`] on the read that runs out, never as an
+    /// out-of-bounds byte index.
     pub fn new(bytes: &'a [u8], bit_len: u64) -> Self {
-        debug_assert!(bit_len <= bytes.len() as u64 * 8);
+        let bit_len = bit_len.min(bytes.len() as u64 * 8);
         Self { bytes, bit_len, pos: 0 }
     }
 
@@ -94,6 +99,21 @@ mod tests {
         assert_eq!(bytes.len(), 1); // padded to a byte
         let mut r = BitReader::new(&bytes, len);
         r.skip(3).unwrap();
+        assert_eq!(r.read_bit(), Err(BitError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn lying_bit_len_is_clamped() {
+        // A header claiming 10^6 bits over a 2-byte buffer: reads succeed
+        // for the 16 real bits, then error — no out-of-bounds access.
+        let bytes = [0xAB, 0xCD];
+        let mut r = BitReader::new(&bytes, 1_000_000);
+        assert_eq!(r.remaining(), 16);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.read_bit(), Err(BitError::UnexpectedEnd));
+        // Empty buffer, nonzero claim.
+        let mut r = BitReader::new(&[], 64);
+        assert_eq!(r.remaining(), 0);
         assert_eq!(r.read_bit(), Err(BitError::UnexpectedEnd));
     }
 

@@ -1,12 +1,14 @@
 //! Command implementations for the `grepair` CLI.
+//!
+//! Everything that touches a `.g2g` goes through
+//! [`grepair_store::GraphStore`], so the CLI inherits the store's zero-panic
+//! guarantee: hostile bytes and out-of-range ids become error messages and a
+//! non-zero exit code.
 
-use crate::{compress_and_report, read_graph, CompressOpts};
+use crate::{compress_and_report, read_graph, read_graph_with_map, CompressOpts};
 use grepair_datasets as datasets;
 use grepair_hypergraph::{EdgeLabel, Hypergraph};
-use grepair_queries::{speedup, GrammarIndex, ReachIndex};
-
-/// Container magic for `.g2g` files.
-const MAGIC: &[u8; 4] = b"G2G1";
+use grepair_store::{parse_query, write_container, GraphStore, GrepairError};
 
 /// `grepair stats <graph>`.
 pub fn stats(path: &str) -> Result<(), String> {
@@ -21,13 +23,10 @@ pub fn stats(path: &str) -> Result<(), String> {
 
 /// `grepair compress <graph> -o <out>`.
 pub fn compress_file(input: &str, opts: &CompressOpts) -> Result<(), String> {
-    let g = read_graph(input)?;
+    let (g, originals) = read_graph_with_map(input)?;
     let out = compress_and_report(&g, &opts.config);
     let encoded = grepair_codec::encode(&out.grammar);
-    let mut file = Vec::with_capacity(encoded.bytes.len() + 16);
-    file.extend_from_slice(MAGIC);
-    file.extend_from_slice(&encoded.bit_len.to_le_bytes());
-    file.extend_from_slice(&encoded.bytes);
+    let file = write_container(&encoded.bytes, encoded.bit_len);
     std::fs::write(&opts.output, &file).map_err(|e| format!("{}: {e}", opts.output))?;
     println!(
         "wrote {} ({} bytes, {:.3} bits/edge)",
@@ -36,8 +35,16 @@ pub fn compress_file(input: &str, opts: &CompressOpts) -> Result<(), String> {
         encoded.bits_per_edge(g.num_edges())
     );
     if let Some(map_path) = &opts.map {
+        // Compose the compressor's derived→dense map with the parser's
+        // dense→original renumbering, so each line reads
+        // `<derived id> <label the input file used>` and `decompress --map`
+        // can relabel without any second sidecar.
         let mut text = String::new();
-        for (derived, original) in out.node_map.iter().enumerate() {
+        for (derived, dense) in out.node_map.iter().enumerate() {
+            let original = originals
+                .get(*dense as usize)
+                .copied()
+                .ok_or_else(|| format!("{map_path}: node map references unknown dense id {dense}"))?;
             text.push_str(&format!("{derived} {original}\n"));
         }
         std::fs::write(map_path, text).map_err(|e| format!("{map_path}: {e}"))?;
@@ -46,19 +53,65 @@ pub fn compress_file(input: &str, opts: &CompressOpts) -> Result<(), String> {
     Ok(())
 }
 
-fn read_g2g(path: &str) -> Result<grepair_grammar::Grammar, String> {
-    let file = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    if file.len() < 12 || &file[..4] != MAGIC {
-        return Err(format!("{path}: not a g2g file"));
-    }
-    let bit_len = u64::from_le_bytes(file[4..12].try_into().unwrap());
-    grepair_codec::decode(&file[12..], bit_len).map_err(|e| format!("{path}: {e}"))
+/// Load a `.g2g` through the store, prefixing non-IO errors with the path
+/// (IO errors already carry it).
+fn open_store(path: &str) -> Result<GraphStore, String> {
+    GraphStore::open(path).map_err(|e| match e {
+        GrepairError::Io { .. } => e.to_string(),
+        other => format!("{path}: {other}"),
+    })
 }
 
-/// `grepair decompress <in> -o <out>`.
-pub fn decompress_file(input: &str, output: &str) -> Result<(), String> {
-    let grammar = read_g2g(input)?;
-    let derived = grammar.derive();
+/// Read a `derived original` node-map file written by `compress --map`.
+fn read_node_map(path: &str, nodes: usize) -> Result<Vec<u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut map = vec![None; nodes];
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, String> {
+            tok.ok_or_else(|| format!("{path}:{}: expected two columns", i + 1))?
+                .parse()
+                .map_err(|e| format!("{path}:{}: {e}", i + 1))
+        };
+        let derived = parse(it.next())? as usize;
+        let original = parse(it.next())?;
+        if let Some(extra) = it.next() {
+            return Err(format!("{path}:{}: unexpected trailing token {extra:?}", i + 1));
+        }
+        if derived >= nodes {
+            return Err(format!(
+                "{path}:{}: derived id {derived} out of range (graph has {nodes} nodes)",
+                i + 1
+            ));
+        }
+        if map[derived].is_some() {
+            return Err(format!("{path}:{}: duplicate mapping for derived id {derived}", i + 1));
+        }
+        map[derived] = Some(original);
+    }
+    map.into_iter()
+        .enumerate()
+        .map(|(v, m)| m.ok_or_else(|| format!("{path}: no mapping for derived id {v}")))
+        .collect()
+}
+
+/// `grepair decompress <in> -o <out> [--map FILE]`.
+pub fn decompress_file(input: &str, output: &str, map: Option<&str>) -> Result<(), String> {
+    let store = open_store(input)?;
+    let derived = store.grammar().derive();
+    let relabel: Option<Vec<u64>> = map
+        .map(|path| read_node_map(path, derived.num_nodes()))
+        .transpose()?;
+    let label_of = |v: u32| -> u64 {
+        match &relabel {
+            Some(m) => m[v as usize],
+            None => v as u64,
+        }
+    };
     // Pairs for single-label rank-2 graphs, triples otherwise.
     let single_label = derived
         .edges()
@@ -66,9 +119,14 @@ pub fn decompress_file(input: &str, output: &str) -> Result<(), String> {
     let mut text = String::new();
     for e in derived.edges() {
         if single_label {
-            text.push_str(&format!("{} {}\n", e.att[0], e.att[1]));
+            text.push_str(&format!("{} {}\n", label_of(e.att[0]), label_of(e.att[1])));
         } else {
-            text.push_str(&format!("{} {} {}\n", e.att[0], e.label.index(), e.att[1]));
+            text.push_str(&format!(
+                "{} {} {}\n",
+                label_of(e.att[0]),
+                e.label.index(),
+                label_of(e.att[1])
+            ));
         }
     }
     std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))?;
@@ -84,29 +142,119 @@ pub fn decompress_file(input: &str, output: &str) -> Result<(), String> {
 
 /// `grepair query ...`.
 pub fn query(args: &[String]) -> Result<(), String> {
+    let id = |tok: Option<&String>, what: &str| -> Result<u64, String> {
+        tok.ok_or_else(|| format!("missing {what}"))?
+            .parse()
+            .map_err(|e| format!("bad {what}: {e}"))
+    };
     match args.first().map(String::as_str) {
         Some("reach") => {
-            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
-            let s: u64 = args.get(2).ok_or("missing s")?.parse().map_err(|e| format!("{e}"))?;
-            let t: u64 = args.get(3).ok_or("missing t")?.parse().map_err(|e| format!("{e}"))?;
-            let reach = ReachIndex::new(&grammar);
-            println!("{}", if reach.reachable(s, t) { "reachable" } else { "not reachable" });
+            let store = open_store(args.get(1).ok_or("missing g2g file")?)?;
+            let s = id(args.get(2), "s")?;
+            let t = id(args.get(3), "t")?;
+            let reachable = store.reachable(s, t).map_err(|e| e.to_string())?;
+            println!("{}", if reachable { "reachable" } else { "not reachable" });
             Ok(())
         }
         Some("neighbors") => {
-            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
-            let v: u64 = args.get(2).ok_or("missing v")?.parse().map_err(|e| format!("{e}"))?;
-            let idx = GrammarIndex::new(&grammar);
-            println!("out: {:?}", idx.out_neighbors(v));
-            println!("in:  {:?}", idx.in_neighbors(v));
+            let store = open_store(args.get(1).ok_or("missing g2g file")?)?;
+            let v = id(args.get(2), "v")?;
+            let out = store.out_neighbors(v).map_err(|e| e.to_string())?;
+            let inn = store.in_neighbors(v).map_err(|e| e.to_string())?;
+            println!("out: {out:?}");
+            println!("in:  {inn:?}");
             Ok(())
         }
         Some("components") => {
-            let grammar = read_g2g(args.get(1).ok_or("missing g2g file")?)?;
-            println!("{}", speedup::connected_components(&grammar));
+            let store = open_store(args.get(1).ok_or("missing g2g file")?)?;
+            println!("{}", store.components());
+            Ok(())
+        }
+        Some("rpq") => {
+            let store = open_store(args.get(1).ok_or("missing g2g file")?)?;
+            let s = id(args.get(2), "s")?;
+            let t = id(args.get(3), "t")?;
+            if args.len() < 5 {
+                return Err("missing rpq pattern atoms".into());
+            }
+            let pattern = args[4..].join(" ");
+            let matched = store.rpq(&pattern, s, t).map_err(|e| e.to_string())?;
+            println!("{}", if matched { "match" } else { "no match" });
             Ok(())
         }
         other => Err(format!("unknown query {other:?}")),
+    }
+}
+
+/// `grepair store serve-file <in.g2g> <queries.txt> [--batch N]`: the
+/// traffic-shaped scenario — load once, answer a stream of queries.
+///
+/// One answer line per query line, in input order: the rendered answer, or
+/// `error: <reason>` for requests the store rejected (a bad request never
+/// stops the stream — a server must outlive its worst client). Serving
+/// statistics go to stderr.
+pub fn store_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("serve-file") => {
+            let g2g = args.get(1).ok_or("missing g2g file")?;
+            let queries_path = args.get(2).ok_or("missing queries file")?;
+            crate::validate_value_flags(&args[3..], &["--batch"])?;
+            let batch_size: usize = match crate::flag_value(&args[3..], "--batch") {
+                Some(raw) => raw.parse().map_err(|e| format!("bad --batch: {e}"))?,
+                None => 1024,
+            };
+            if batch_size == 0 {
+                return Err("--batch must be at least 1".into());
+            }
+            let store = open_store(g2g)?;
+            let text = std::fs::read_to_string(queries_path)
+                .map_err(|e| format!("{queries_path}: {e}"))?;
+
+            // Parse every line first; parse failures become per-line errors
+            // without stalling the well-formed requests around them.
+            let mut parsed = Vec::new();
+            for raw in text.lines() {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                parsed.push(parse_query(line).map_err(|e| e.to_string()));
+            }
+            let queries: Vec<_> = parsed.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
+
+            // Answer in batches, then interleave answers back in line order.
+            let mut answers = Vec::with_capacity(queries.len());
+            for chunk in queries.chunks(batch_size) {
+                answers.extend(store.query_batch(chunk));
+            }
+            let mut next = 0usize;
+            let mut errors = 0usize;
+            for p in &parsed {
+                match p {
+                    Ok(_) => {
+                        match &answers[next] {
+                            Ok(a) => println!("{a}"),
+                            Err(e) => {
+                                errors += 1;
+                                println!("error: {e}");
+                            }
+                        }
+                        next += 1;
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        println!("error: {e}");
+                    }
+                }
+            }
+            eprintln!(
+                "served {} queries ({errors} errors) from {g2g}: {}",
+                parsed.len(),
+                store.stats()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store command {other:?}")),
     }
 }
 

@@ -4,15 +4,21 @@
 //! grepair stats      <graph.txt>
 //! grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order fp|fp0|bfs|natural|random]
 //!                    [--no-prune] [--no-virtual] [--map <out.map>]
-//! grepair decompress <in.g2g> -o <graph.txt>
+//! grepair decompress <in.g2g> -o <graph.txt> [--map <in.map>]
 //! grepair query      reach <in.g2g> <s> <t>
 //! grepair query      neighbors <in.g2g> <v>
 //! grepair query      components <in.g2g>
+//! grepair query      rpq <in.g2g> <s> <t> <atom>...
+//! grepair store      serve-file <in.g2g> <queries.txt> [--batch N]
 //! grepair generate   <kind> [n] [seed] -o <graph.txt>
 //! ```
 //!
 //! Graph text formats: SNAP-style `source target` pairs, or integer RDF
 //! triples `subject predicate object` (three columns, autodetected).
+//!
+//! Every decode and query path is fallible end to end (the CLI is a thin
+//! shell over [`grepair_store::GraphStore`]): hostile `.g2g` bytes and
+//! out-of-range node ids exit with an error message, never a panic.
 
 use grepair_core::{compress, GRePairConfig};
 use grepair_hypergraph::order::NodeOrder;
@@ -37,8 +43,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   grepair stats      <graph.txt>
   grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order ORDER] [--no-prune] [--no-virtual] [--map FILE]
-  grepair decompress <in.g2g> -o <graph.txt>
-  grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g>
+  grepair decompress <in.g2g> -o <graph.txt> [--map FILE]
+  grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
+  grepair store      serve-file <in.g2g> <queries.txt> [--batch N]
   grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -51,10 +58,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("decompress") => {
             let input = args.get(1).ok_or("missing input file")?;
+            validate_value_flags(&args[2..], &["-o", "--map"])?;
             let output = flag_value(&args[2..], "-o").ok_or("missing -o OUTPUT")?;
-            commands::decompress_file(input, &output)
+            let map = flag_value(&args[2..], "--map");
+            commands::decompress_file(input, &output, map.as_deref())
         }
         Some("query") => commands::query(&args[1..]),
+        Some("store") => commands::store_cmd(&args[1..]),
         Some("generate") => commands::generate(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".into()),
@@ -76,6 +86,24 @@ pub(crate) fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Check that `args` is exactly a sequence of `known` value-taking flags,
+/// each followed by its value — a typoed or value-less flag is a usage
+/// error, not a silent no-op.
+pub(crate) fn validate_value_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !known.contains(&a.as_str()) {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+        if i + 1 >= args.len() {
+            return Err(format!("flag {a} needs a value"));
+        }
+        i += 2;
+    }
+    Ok(())
 }
 
 fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
@@ -106,6 +134,13 @@ fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
 
 /// Read a graph from a text file, autodetecting pairs vs triples.
 pub fn read_graph(path: &str) -> Result<Hypergraph, String> {
+    read_graph_with_map(path).map(|(g, _)| g)
+}
+
+/// Like [`read_graph`], but also return the dense-id → original-label map
+/// the parser built (index = dense node id, value = the label the input
+/// file used).
+pub fn read_graph_with_map(path: &str) -> Result<(Hypergraph, Vec<u64>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let columns = text
         .lines()
@@ -114,8 +149,8 @@ pub fn read_graph(path: &str) -> Result<Hypergraph, String> {
         .map(|l| l.split_whitespace().count())
         .unwrap_or(2);
     match columns {
-        2 => io::parse_pairs(&text).map(|(g, _, _)| g).map_err(|e| e.to_string()),
-        3 => io::parse_triples(&text).map(|(g, _, _)| g).map_err(|e| e.to_string()),
+        2 => io::parse_pairs(&text).map(|(g, m, _)| (g, m)).map_err(|e| e.to_string()),
+        3 => io::parse_triples(&text).map(|(g, m, _)| (g, m)).map_err(|e| e.to_string()),
         n => Err(format!("{path}: expected 2 or 3 columns, found {n}")),
     }
 }
@@ -197,5 +232,16 @@ mod tests {
     fn unknown_command_is_reported() {
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn value_flags_are_validated() {
+        let known = ["-o", "--map"];
+        assert!(validate_value_flags(&args(&[]), &known).is_ok());
+        assert!(validate_value_flags(&args(&["-o", "x"]), &known).is_ok());
+        assert!(validate_value_flags(&args(&["--map", "m", "-o", "x"]), &known).is_ok());
+        assert!(validate_value_flags(&args(&["--mpa", "m"]), &known).is_err());
+        assert!(validate_value_flags(&args(&["-o"]), &known).is_err());
+        assert!(validate_value_flags(&args(&["stray", "-o", "x"]), &known).is_err());
     }
 }

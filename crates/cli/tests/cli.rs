@@ -1,0 +1,267 @@
+//! End-to-end tests of the `grepair` binary: the CLI must answer hostile
+//! input (bad files, out-of-range ids) with clean errors — exit code ≠ 0
+//! and a message, never a panic — and the compress/decompress map pipeline
+//! must round-trip original node labels.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Scratch directory unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grepair_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn grepair(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_grepair"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn assert_clean_failure(out: &Output, needle: &str, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{what}: expected failure, got success");
+    assert!(
+        !stderr.contains("panicked"),
+        "{what}: must not panic:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{what}: stderr must mention {needle:?}:\n{stderr}"
+    );
+}
+
+/// Compress a small two-label path graph, returning the .g2g path.
+fn compressed_fixture() -> String {
+    let input = scratch("fixture.txt");
+    let g2g = scratch("fixture.g2g");
+    let mut text = String::new();
+    for i in 0..20u32 {
+        text.push_str(&format!("{} 0 {}\n{} 1 {}\n", 2 * i, 2 * i + 1, 2 * i + 1, 2 * i + 2));
+    }
+    std::fs::write(&input, text).unwrap();
+    let out = grepair(&["compress", input.to_str().unwrap(), "-o", g2g.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    g2g.to_str().unwrap().to_string()
+}
+
+#[test]
+fn out_of_range_neighbors_is_a_clean_error() {
+    let g2g = compressed_fixture();
+    // 41 nodes: ids 0..41 are valid, 1000000 is not.
+    let out = grepair(&["query", "neighbors", &g2g, "1000000"]);
+    assert_clean_failure(&out, "out of range", "out-of-range neighbors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0..41"), "must name the valid range:\n{stderr}");
+    // Same for reach, on both endpoints.
+    assert_clean_failure(
+        &grepair(&["query", "reach", &g2g, "1000000", "0"]),
+        "out of range",
+        "out-of-range reach source",
+    );
+    assert_clean_failure(
+        &grepair(&["query", "reach", &g2g, "0", "1000000"]),
+        "out of range",
+        "out-of-range reach target",
+    );
+    // In-range queries succeed.
+    let ok = grepair(&["query", "neighbors", &g2g, "0"]);
+    assert!(ok.status.success());
+}
+
+#[test]
+fn corrupt_g2g_files_are_clean_errors() {
+    let g2g = compressed_fixture();
+    let bytes = std::fs::read(&g2g).unwrap();
+    // Truncations at several offsets, including inside the header.
+    for (i, keep) in [0usize, 4, 11, 12, bytes.len() / 2, bytes.len() - 1]
+        .into_iter()
+        .enumerate()
+    {
+        let path = scratch(&format!("trunc_{i}.g2g"));
+        std::fs::write(&path, &bytes[..keep.min(bytes.len())]).unwrap();
+        for subcmd in [
+            vec!["query", "components", path.to_str().unwrap()],
+            vec!["decompress", path.to_str().unwrap(), "-o", "/dev/null"],
+        ] {
+            let out = grepair(&subcmd);
+            assert_clean_failure(&out, path.to_str().unwrap(), &format!("truncate at {keep}"));
+        }
+    }
+    // Flipped magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    let path = scratch("badmagic.g2g");
+    std::fs::write(&path, &bad).unwrap();
+    assert_clean_failure(
+        &grepair(&["query", "components", path.to_str().unwrap()]),
+        "not a g2g",
+        "bad magic",
+    );
+    // Missing file.
+    assert_clean_failure(
+        &grepair(&["query", "components", "/nonexistent/x.g2g"]),
+        "/nonexistent/x.g2g",
+        "missing file",
+    );
+}
+
+#[test]
+fn map_round_trips_non_dense_labels() {
+    // Node labels are sparse and out of order on purpose.
+    let input = scratch("sparse.txt");
+    std::fs::write(&input, "700 13\n13 9000\n9000 42\n42 700\n700 9000\n").unwrap();
+    let g2g = scratch("sparse.g2g");
+    let map = scratch("sparse.map");
+    let restored = scratch("sparse_restored.txt");
+
+    let out = grepair(&[
+        "compress",
+        input.to_str().unwrap(),
+        "-o",
+        g2g.to_str().unwrap(),
+        "--map",
+        map.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = grepair(&[
+        "decompress",
+        g2g.to_str().unwrap(),
+        "-o",
+        restored.to_str().unwrap(),
+        "--map",
+        map.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let edges = |text: &str| -> BTreeSet<(u64, u64)> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let mut it = l.split_whitespace();
+                (it.next().unwrap().parse().unwrap(), it.next().unwrap().parse().unwrap())
+            })
+            .collect()
+    };
+    let original = edges(&std::fs::read_to_string(&input).unwrap());
+    let round_tripped = edges(&std::fs::read_to_string(&restored).unwrap());
+    assert_eq!(original, round_tripped, "labels must survive the round trip");
+}
+
+#[test]
+fn serve_file_answers_a_mixed_stream() {
+    let g2g = compressed_fixture();
+    let queries = scratch("queries.txt");
+    std::fs::write(
+        &queries,
+        "# a comment and a blank line are skipped\n\n\
+         out 0\n\
+         in 2\n\
+         neighbors 1\n\
+         reach 0 40\n\
+         reach 40 0\n\
+         rpq 5 5 0*\n\
+         components\n\
+         degrees\n\
+         out 99999\n\
+         frobnicate 1\n\
+         reach 0 40\n",
+    )
+    .unwrap();
+    let out = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "serve-file should keep serving:\n{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 11, "one answer per query line:\n{stdout}");
+    assert_eq!(lines[3], "true", "reach 0 40");
+    assert_eq!(lines[4], "false", "reach 40 0");
+    assert_eq!(lines[5], "true", "rpq 5 5 matches the empty word of 0*");
+    assert_eq!(lines[6], "1", "one component");
+    assert!(lines[8].starts_with("error:"), "out-of-range mid-stream: {}", lines[8]);
+    assert!(lines[8].contains("out of range"), "{}", lines[8]);
+    assert!(lines[9].starts_with("error:"), "unknown verb mid-stream: {}", lines[9]);
+    assert_eq!(lines[10], "true", "serving continues after errors");
+    assert!(stderr.contains("served 11 queries (2 errors)"), "{stderr}");
+}
+
+#[test]
+fn serve_file_rejects_broken_setup() {
+    let g2g = compressed_fixture();
+    let queries = scratch("setup_queries.txt");
+    std::fs::write(&queries, "out 0\n").unwrap();
+    // Bad store command.
+    assert_clean_failure(&grepair(&["store", "frobnicate"]), "unknown store command", "verb");
+    // Missing queries file.
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", &g2g, "/nonexistent/q.txt"]),
+        "/nonexistent/q.txt",
+        "missing queries",
+    );
+    // Corrupt store file.
+    let path = scratch("setup_corrupt.g2g");
+    std::fs::write(&path, b"G2G1 nope").unwrap();
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", path.to_str().unwrap(), queries.to_str().unwrap()]),
+        path.to_str().unwrap(),
+        "corrupt store",
+    );
+    // Bad batch size.
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap(), "--batch", "0"]),
+        "--batch",
+        "zero batch",
+    );
+    // Typoed or value-less flags are usage errors, not silent no-ops.
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap(), "--bacth", "64"]),
+        "--bacth",
+        "typoed flag",
+    );
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap(), "--batch"]),
+        "needs a value",
+        "value-less flag",
+    );
+}
+
+#[test]
+fn decompress_rejects_bad_flags_and_map_files() {
+    let g2g = compressed_fixture();
+    let out_path = scratch("rejects_out.txt");
+    let out_str = out_path.to_str().unwrap();
+    // Unknown flag.
+    assert_clean_failure(
+        &grepair(&["decompress", &g2g, "-o", out_str, "--mpa", "x"]),
+        "--mpa",
+        "typoed --map",
+    );
+    // Map file with extra columns.
+    let bad_map = scratch("bad_columns.map");
+    std::fs::write(&bad_map, "0 5 7\n").unwrap();
+    assert_clean_failure(
+        &grepair(&["decompress", &g2g, "-o", out_str, "--map", bad_map.to_str().unwrap()]),
+        "trailing token",
+        "three-column map",
+    );
+    // Map file with a duplicate derived id.
+    let dup_map = scratch("dup.map");
+    std::fs::write(&dup_map, "0 5\n0 6\n").unwrap();
+    assert_clean_failure(
+        &grepair(&["decompress", &g2g, "-o", out_str, "--map", dup_map.to_str().unwrap()]),
+        "duplicate mapping",
+        "duplicate map line",
+    );
+    // Map file missing ids.
+    let sparse_map = scratch("missing.map");
+    std::fs::write(&sparse_map, "0 5\n").unwrap();
+    assert_clean_failure(
+        &grepair(&["decompress", &g2g, "-o", out_str, "--map", sparse_map.to_str().unwrap()]),
+        "no mapping",
+        "incomplete map",
+    );
+}

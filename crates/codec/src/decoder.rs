@@ -14,6 +14,15 @@ use grepair_hypergraph::{EdgeLabel, Hypergraph};
 /// The result is structurally validated; corrupt streams return
 /// [`CodecError`] rather than panicking.
 pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Grammar, CodecError> {
+    // A truncated or corrupt container can claim more bits than it carries;
+    // reject the lie up front rather than failing mid-stream. (`BitReader`
+    // also clamps, so even direct callers can never index out of bounds.)
+    if bit_len > bytes.len() as u64 * 8 {
+        return Err(CodecError::Malformed(format!(
+            "bit length {bit_len} exceeds the {} bits present",
+            bytes.len() as u64 * 8
+        )));
+    }
     let mut r = BitReader::new(bytes, bit_len);
 
     // --- header ---
@@ -160,6 +169,25 @@ mod tests {
             assert!(
                 decode(&encoded.bytes, cut.min(encoded.bit_len - 1)).is_err(),
                 "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn overlong_bit_len_is_rejected() {
+        let g = repeated_pattern(6);
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = encode(&out.grammar);
+        // Same bytes, header claiming more bits than are present.
+        for extra in [1u64, 8, 1 << 20, u64::MAX - encoded.bit_len] {
+            let claimed = encoded.bit_len + extra;
+            assert!(decode(&encoded.bytes, claimed).is_err(), "claimed {claimed}");
+        }
+        // Truncated byte buffer with the original bit_len header.
+        for keep in [0usize, 1, encoded.bytes.len() / 2, encoded.bytes.len() - 1] {
+            assert!(
+                decode(&encoded.bytes[..keep], encoded.bit_len).is_err(),
+                "kept {keep} bytes"
             );
         }
     }

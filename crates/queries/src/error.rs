@@ -1,0 +1,53 @@
+//! Errors for the fallible query entry points.
+//!
+//! The panicking entry points ([`crate::GrammarIndex::locate`] and friends)
+//! remain for trusted in-process callers (tests, benchmarks) whose inputs
+//! come from the compressor itself; anything driven by external input — the
+//! CLI, a [store](https://docs.rs/grepair-store) serving traffic — goes
+//! through the `try_*` variants, which return this error instead of
+//! panicking.
+
+/// A query was asked about something that does not exist in `val(G)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Node id `id` is not a node of `val(G)` (valid ids are `0..total`).
+    NodeOutOfRange {
+        /// The offending id.
+        id: u64,
+        /// Number of nodes in `val(G)`; valid ids are `0..total`.
+        total: u64,
+    },
+    /// A derivation-path operation needs a non-empty path.
+    EmptyPath,
+    /// A derivation path descended through a terminal edge.
+    TerminalEdgeOnPath,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NodeOutOfRange { id, total } => {
+                write!(f, "node id {id} out of range (valid ids: 0..{total})")
+            }
+            QueryError::EmptyPath => write!(f, "empty derivation path"),
+            QueryError::TerminalEdgeOnPath => {
+                write!(f, "derivation path through a terminal edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_valid_range() {
+        let e = QueryError::NodeOutOfRange { id: 99, total: 7 };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains("0..7"), "{msg}");
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+}

@@ -8,9 +8,18 @@
 //! start-graph node). [`GrammarIndex::locate`] computes it in
 //! O(log ℓ + h) by binary-searching subtree-size prefix sums;
 //! [`GrammarIndex::global_id`] is the inverse `getID`.
+//!
+//! The index is generic over *how it holds the grammar*: `GrammarIndex<&G>`
+//! borrows (the natural choice for one-shot runs and tests), while
+//! `GrammarIndex<Arc<Grammar>>` shares ownership so a long-lived store can
+//! keep grammar and index together without self-referential lifetimes.
+
+use std::borrow::Borrow;
 
 use grepair_grammar::Grammar;
 use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
+
+use crate::error::QueryError;
 
 /// A G-representation: the derivation path and the final node.
 ///
@@ -44,8 +53,8 @@ pub struct RuleIndex {
 
 /// Navigation index over a grammar.
 #[derive(Debug)]
-pub struct GrammarIndex<'g> {
-    grammar: &'g Grammar,
+pub struct GrammarIndex<G: Borrow<Grammar>> {
+    grammar: G,
     /// |V_S| (alive start nodes) — global IDs `0..m` are start nodes.
     pub m: usize,
     /// global id → start node.
@@ -62,11 +71,12 @@ pub struct GrammarIndex<'g> {
     pub total_nodes: u64,
 }
 
-impl<'g> GrammarIndex<'g> {
+impl<G: Borrow<Grammar>> GrammarIndex<G> {
     /// Build the index in O(|G|).
-    pub fn new(grammar: &'g Grammar) -> Self {
-        let sizes = grammar.derived_internal_node_counts();
-        let rules: Vec<RuleIndex> = grammar
+    pub fn new(grammar: G) -> Self {
+        let g: &Grammar = grammar.borrow();
+        let sizes = g.derived_internal_node_counts();
+        let rules: Vec<RuleIndex> = g
             .rules()
             .iter()
             .enumerate()
@@ -100,7 +110,7 @@ impl<'g> GrammarIndex<'g> {
             })
             .collect();
 
-        let start = &grammar.start;
+        let start = &g.start;
         let s_alive: Vec<NodeId> = start.node_ids().collect();
         let mut s_pos = vec![u32::MAX; start.node_bound()];
         for (i, &v) in s_alive.iter().enumerate() {
@@ -123,64 +133,82 @@ impl<'g> GrammarIndex<'g> {
     }
 
     /// The grammar this index navigates.
-    pub fn grammar(&self) -> &'g Grammar {
-        self.grammar
+    pub fn grammar(&self) -> &Grammar {
+        self.grammar.borrow()
     }
 
     /// The sequence of context graphs along `path`: `contexts[0]` = S, then
     /// the rhs each edge descends into; `contexts[i+1]` is the rhs of
     /// `path[i]`'s label (which labels `path[i]` within `contexts[i]`).
-    pub fn contexts(&self, path: &[EdgeId]) -> Vec<&'g Hypergraph> {
+    pub fn contexts(&self, path: &[EdgeId]) -> Vec<&Hypergraph> {
+        let g = self.grammar();
         let mut out = Vec::with_capacity(path.len() + 1);
-        out.push(&self.grammar.start);
+        out.push(&g.start);
         for &e in path {
             let host = *out.last().unwrap();
             let EdgeLabel::Nonterminal(nt) = host.label(e) else {
                 panic!("path through terminal edge");
             };
-            out.push(self.grammar.rule(nt));
+            out.push(g.rule(nt));
         }
         out
     }
 
     /// The context graph a path ends in: S for the empty path, else the rhs
     /// of the last edge's label.
-    pub fn context(&self, path: &[EdgeId]) -> &'g Hypergraph {
+    pub fn context(&self, path: &[EdgeId]) -> &Hypergraph {
         self.contexts(path).last().unwrap()
     }
 
-    /// Nonterminal labeling the last edge of `path` (panics on empty path).
+    /// Nonterminal labeling the last edge of `path` (panics on empty path;
+    /// [`GrammarIndex::try_nt_at`] is the checked variant).
     pub fn nt_at(&self, path: &[EdgeId]) -> u32 {
-        let host = self.context(&path[..path.len() - 1]);
-        match host.label(path[path.len() - 1]) {
-            EdgeLabel::Nonterminal(nt) => nt,
-            EdgeLabel::Terminal(_) => panic!("path through terminal edge"),
+        self.try_nt_at(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Nonterminal labeling the last edge of `path`.
+    pub fn try_nt_at(&self, path: &[EdgeId]) -> Result<u32, QueryError> {
+        let (&last, prefix) = path.split_last().ok_or(QueryError::EmptyPath)?;
+        let host = self.context(prefix);
+        match host.label(last) {
+            EdgeLabel::Nonterminal(nt) => Ok(nt),
+            EdgeLabel::Terminal(_) => Err(QueryError::TerminalEdgeOnPath),
         }
     }
 
     /// Compute the G-representation of global node `k` (Prop. 4 step 1):
-    /// O(log ℓ + h).
+    /// O(log ℓ + h). Panics when `k` is not a `val(G)` node;
+    /// [`GrammarIndex::try_locate`] is the checked variant.
     pub fn locate(&self, k: u64) -> GRepr {
-        assert!(k < self.total_nodes, "node id out of range");
-        if (k as usize) < self.m {
-            return GRepr { path: Vec::new(), node: self.s_alive[k as usize] };
+        self.try_locate(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Compute the G-representation of global node `k`, or report the valid
+    /// id range when `k` lies outside `val(G)`.
+    pub fn try_locate(&self, k: u64) -> Result<GRepr, QueryError> {
+        if k >= self.total_nodes {
+            return Err(QueryError::NodeOutOfRange { id: k, total: self.total_nodes });
         }
+        if (k as usize) < self.m {
+            return Ok(GRepr { path: Vec::new(), node: self.s_alive[k as usize] });
+        }
+        let g = self.grammar();
         // Binary search the S-level subtree that contains k.
         let i = self.s_offsets.partition_point(|&o| o <= k) - 1;
         let mut path = vec![self.s_nt[i]];
         let mut local = k - self.s_offsets[i];
-        let EdgeLabel::Nonterminal(mut nt) = self.grammar.start.label(self.s_nt[i]) else {
+        let EdgeLabel::Nonterminal(mut nt) = g.start.label(self.s_nt[i]) else {
             unreachable!()
         };
         loop {
             let rule = &self.rules[nt as usize];
             if (local as usize) < rule.internal_nodes.len() {
-                return GRepr { path, node: rule.internal_nodes[local as usize] };
+                return Ok(GRepr { path, node: rule.internal_nodes[local as usize] });
             }
             let j = rule.nt_offsets.partition_point(|&o| o <= local) - 1;
             let edge = rule.nt_edges[j];
             local -= rule.nt_offsets[j];
-            let EdgeLabel::Nonterminal(child) = self.grammar.rule(nt).label(edge) else {
+            let EdgeLabel::Nonterminal(child) = g.rule(nt).label(edge) else {
                 unreachable!()
             };
             path.push(edge);
@@ -320,5 +348,34 @@ mod tests {
         let g = fig1();
         let idx = GrammarIndex::new(&g);
         idx.locate(7);
+    }
+
+    #[test]
+    fn try_locate_reports_range() {
+        let g = fig1();
+        let idx = GrammarIndex::new(&g);
+        assert!(idx.try_locate(6).is_ok());
+        let err = idx.try_locate(7).unwrap_err();
+        assert_eq!(err, QueryError::NodeOutOfRange { id: 7, total: 7 });
+        assert_eq!(
+            idx.try_locate(u64::MAX).unwrap_err(),
+            QueryError::NodeOutOfRange { id: u64::MAX, total: 7 }
+        );
+    }
+
+    #[test]
+    fn try_nt_at_checks_path() {
+        let g = fig1();
+        let idx = GrammarIndex::new(&g);
+        assert_eq!(idx.try_nt_at(&[]), Err(QueryError::EmptyPath));
+        assert_eq!(idx.try_nt_at(&[0]), Ok(0));
+    }
+
+    #[test]
+    fn index_can_share_ownership() {
+        let g = std::sync::Arc::new(fig1());
+        let idx = GrammarIndex::new(g.clone());
+        assert_eq!(idx.total_nodes, 7);
+        assert_eq!(idx.grammar().num_nonterminals(), g.num_nonterminals());
     }
 }

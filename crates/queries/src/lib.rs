@@ -20,12 +20,15 @@
 //! Every algorithm is differentially tested against the same query run on
 //! the decompressed graph.
 
+pub mod error;
 pub mod index;
 pub mod neighbors;
 pub mod reach;
 pub mod rpq;
 pub mod speedup;
 
+pub use error::QueryError;
 pub use index::{GRepr, GrammarIndex};
-pub use reach::ReachIndex;
+pub use neighbors::Direction;
+pub use reach::{ReachIndex, SourceClosure};
 pub use rpq::{Nfa, Regex, RpqIndex};

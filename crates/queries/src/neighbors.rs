@@ -6,11 +6,15 @@
 //! subgraph they derive (`getNeighboring`), converting every endpoint back
 //! to a global ID via `getID`. Runtime O(log ℓ + n·h) for n neighbors.
 
+use std::borrow::Borrow;
+
+use crate::error::QueryError;
 use crate::index::GrammarIndex;
+use grepair_grammar::Grammar;
 use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
 
 /// Direction of a neighborhood query on rank-2 terminal edges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// `N⁺`: follow edges `v → u`.
     Out,
@@ -18,7 +22,7 @@ pub enum Direction {
     In,
 }
 
-impl GrammarIndex<'_> {
+impl<G: Borrow<Grammar>> GrammarIndex<G> {
     /// Out-neighbor IDs of global node `k`, sorted ascending.
     pub fn out_neighbors(&self, k: u64) -> Vec<u64> {
         self.neighbors(k, Direction::Out)
@@ -30,8 +34,16 @@ impl GrammarIndex<'_> {
     }
 
     /// Neighbor IDs of `k` in the given direction, sorted and deduplicated.
+    /// Panics on an out-of-range `k`; [`GrammarIndex::try_neighbors`] is the
+    /// checked variant.
     pub fn neighbors(&self, k: u64, dir: Direction) -> Vec<u64> {
-        let repr = self.locate(k);
+        self.try_neighbors(k, dir).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Neighbor IDs of `k` in the given direction, sorted and deduplicated,
+    /// or the valid id range when `k` lies outside `val(G)`.
+    pub fn try_neighbors(&self, k: u64, dir: Direction) -> Result<Vec<u64>, QueryError> {
+        let repr = self.try_locate(k)?;
         let mut out = Vec::new();
         // The final node may be shared with ancestors when it is... it is
         // internal by construction (or a start node), so every edge of
@@ -39,7 +51,68 @@ impl GrammarIndex<'_> {
         self.collect_at(&repr.path, repr.node, dir, &mut out);
         out.sort_unstable();
         out.dedup();
+        Ok(out)
+    }
+
+    /// Rule-relative neighbor expansion: the neighbors of the `pos`-th
+    /// external node *inside* the subgraph derived from one `nt`-edge, as
+    /// `(relative path, context-local node)` pairs. The relative path starts
+    /// with edges of `rhs(nt)`; prepending the path of a concrete `nt`-edge
+    /// occurrence and running [`GrammarIndex::global_id`] yields the global
+    /// neighbor ids. Because the expansion depends only on `(nt, pos, dir)`
+    /// — never on where the edge occurs — callers can memoize it across
+    /// queries (the `grepair-store` crate does exactly that).
+    pub fn rule_expansion(
+        &self,
+        nt: u32,
+        pos: usize,
+        dir: Direction,
+    ) -> Vec<(Vec<EdgeId>, NodeId)> {
+        let mut out = Vec::new();
+        let rhs = self.grammar().rule(nt);
+        let Some(&v) = rhs.ext().get(pos) else { return out };
+        let mut rel: Vec<EdgeId> = Vec::new();
+        self.expand(rhs, v, dir, &mut rel, &mut out);
         out
+    }
+
+    /// Recursive worker for [`GrammarIndex::rule_expansion`]: collect
+    /// `(relative path, node)` neighbor pairs of `v` within `rhs` and the
+    /// subgraphs its nonterminal edges derive.
+    fn expand(
+        &self,
+        rhs: &grepair_hypergraph::Hypergraph,
+        v: NodeId,
+        dir: Direction,
+        rel: &mut Vec<EdgeId>,
+        out: &mut Vec<(Vec<EdgeId>, NodeId)>,
+    ) {
+        for e in rhs.incident(v) {
+            let att = rhs.att(e);
+            match rhs.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == v => att[1],
+                        Direction::In if att[1] == v => att[0],
+                        _ => continue,
+                    };
+                    out.push((rel.clone(), neighbor));
+                }
+                EdgeLabel::Nonterminal(sub_nt) => {
+                    let sub_rhs = self.grammar().rule(sub_nt);
+                    for (p2, &x) in att.iter().enumerate() {
+                        if x == v {
+                            rel.push(e);
+                            self.expand(sub_rhs, sub_rhs.ext()[p2], dir, rel, out);
+                            rel.pop();
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Collect neighbors of context-local `node` (under `path`) from its

@@ -15,6 +15,9 @@
 //! subtree and re-enter appear at the shallowest level they visit, where the
 //! skeleton edges summarize the detours.
 
+use std::borrow::Borrow;
+
+use crate::error::QueryError;
 use crate::index::GrammarIndex;
 use grepair_grammar::Grammar;
 use grepair_hypergraph::traverse::tarjan_scc;
@@ -22,8 +25,8 @@ use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
 
 /// Skeleton graphs for every nonterminal plus the skeletonized start graph.
 #[derive(Debug)]
-pub struct ReachIndex<'g> {
-    index: GrammarIndex<'g>,
+pub struct ReachIndex<G: Borrow<Grammar>> {
+    index: GrammarIndex<G>,
     /// `skeletons[A]` = edges (i, j) between external-node *positions*:
     /// position j is reachable from position i through `val(A)`.
     skeletons: Vec<Vec<(u8, u8)>>,
@@ -133,25 +136,26 @@ fn build_skeleton(rhs_prime: &Hypergraph) -> Vec<(u8, u8)> {
     edges
 }
 
-impl<'g> ReachIndex<'g> {
+impl<G: Borrow<Grammar>> ReachIndex<G> {
     /// Precompute all skeletons in one bottom-up pass — O(|G|).
-    pub fn new(grammar: &'g Grammar) -> Self {
-        let order = grammar
+    pub fn new(grammar: G) -> Self {
+        let g: &Grammar = grammar.borrow();
+        let order = g
             .topo_order_bottom_up()
             .expect("grammar must be straight-line");
-        let mut skeletons: Vec<Vec<(u8, u8)>> = vec![Vec::new(); grammar.num_nonterminals()];
-        let mut rules_prime: Vec<Hypergraph> = vec![Hypergraph::new(); grammar.num_nonterminals()];
+        let mut skeletons: Vec<Vec<(u8, u8)>> = vec![Vec::new(); g.num_nonterminals()];
+        let mut rules_prime: Vec<Hypergraph> = vec![Hypergraph::new(); g.num_nonterminals()];
         for nt in order {
-            let rhs_prime = skeletonize(grammar.rule(nt), &skeletons);
+            let rhs_prime = skeletonize(g.rule(nt), &skeletons);
             skeletons[nt as usize] = build_skeleton(&rhs_prime);
             rules_prime[nt as usize] = rhs_prime;
         }
-        let start_prime = skeletonize(&grammar.start, &skeletons);
+        let start_prime = skeletonize(&g.start, &skeletons);
         Self { index: GrammarIndex::new(grammar), skeletons, start_prime, rules_prime }
     }
 
     /// The navigation index (shared with neighborhood queries).
-    pub fn index(&self) -> &GrammarIndex<'g> {
+    pub fn index(&self) -> &GrammarIndex<G> {
         &self.index
     }
 
@@ -221,17 +225,47 @@ impl<'g> ReachIndex<'g> {
         sets
     }
 
-    /// Is `val(G)` node `t` reachable from node `s`? O(|G|).
+    /// Is `val(G)` node `t` reachable from node `s`? O(|G|). Panics on an
+    /// out-of-range id; [`ReachIndex::try_reachable`] is the checked variant.
     pub fn reachable(&self, s: u64, t: u64) -> bool {
+        self.try_reachable(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Is `val(G)` node `t` reachable from node `s`, or an error naming the
+    /// valid id range.
+    pub fn try_reachable(&self, s: u64, t: u64) -> Result<bool, QueryError> {
         if s == t {
-            return true;
+            // Trivially true — but only for ids that exist; O(1), no
+            // forward pass.
+            return if s < self.index.total_nodes {
+                Ok(true)
+            } else {
+                Err(QueryError::NodeOutOfRange { id: s, total: self.index.total_nodes })
+            };
         }
-        let rs = self.index.locate(s);
-        let rt = self.index.locate(t);
+        let src = self.try_source(s)?;
+        self.try_reachable_from(&src, t)
+    }
+
+    /// Precompute the forward closure of `s` once, for reuse across many
+    /// targets: a batch of `reach s t₁`, `reach s t₂`, … then costs one
+    /// forward pass total instead of one per query.
+    pub fn try_source(&self, s: u64) -> Result<SourceClosure, QueryError> {
+        let rs = self.index.try_locate(s)?;
         let forward = self.level_sets(&rs.path, rs.node, false);
+        Ok(SourceClosure { s, path: rs.path, forward })
+    }
+
+    /// Is `t` reachable from the precomputed source? Only the backward pass
+    /// for `t` runs; the forward half comes from `src`.
+    pub fn try_reachable_from(&self, src: &SourceClosure, t: u64) -> Result<bool, QueryError> {
+        if src.s == t {
+            return Ok(true);
+        }
+        let rt = self.index.try_locate(t)?;
         let backward = self.level_sets(&rt.path, rt.node, true);
         // Common-prefix depth of the two derivation paths.
-        let common = rs
+        let common = src
             .path
             .iter()
             .zip(&rt.path)
@@ -240,16 +274,31 @@ impl<'g> ReachIndex<'g> {
         // Both set vectors cover depths 0..=common (common ≤ both path
         // lengths); at each shared context a forward/backward intersection
         // witnesses a path.
-        for depth in 0..=common {
-            if forward[depth]
-                .iter()
-                .zip(&backward[depth])
-                .any(|(&x, &y)| x && y)
-            {
-                return true;
+        for (fwd, bwd) in src.forward.iter().zip(&backward).take(common + 1) {
+            if fwd.iter().zip(bwd).any(|(&x, &y)| x && y) {
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
+    }
+}
+
+/// The forward half of a reachability query, computed once per source by
+/// [`ReachIndex::try_source`] and shared across targets.
+#[derive(Debug, Clone)]
+pub struct SourceClosure {
+    /// The source node id.
+    s: u64,
+    /// The source's derivation path.
+    path: Vec<EdgeId>,
+    /// Per-level forward-reachable sets (depth 0 = S).
+    forward: Vec<Vec<bool>>,
+}
+
+impl SourceClosure {
+    /// The source node this closure was computed for.
+    pub fn source(&self) -> u64 {
+        self.s
     }
 }
 
@@ -361,6 +410,40 @@ mod tests {
         let r = ReachIndex::new(&g);
         assert_eq!(r.skeleton(0), &[(0, 1)]);
         check_all_pairs(&g);
+    }
+
+    #[test]
+    fn source_closure_reuse_matches_pairwise() {
+        let mut start = Hypergraph::with_nodes(4);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[1, 2]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 1]);
+        rhs.add_edge(T(1), &[1, 2]);
+        rhs.set_ext(vec![0, 2]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        let r = ReachIndex::new(&g);
+        let n = r.index().total_nodes;
+        for s in 0..n {
+            let src = r.try_source(s).unwrap();
+            assert_eq!(src.source(), s);
+            for t in 0..n {
+                assert_eq!(
+                    r.try_reachable_from(&src, t).unwrap(),
+                    r.reachable(s, t),
+                    "({s},{t})"
+                );
+            }
+        }
+        // Out-of-range ids error instead of panicking, on both sides —
+        // including the s == t fast path, which must still validate.
+        assert!(r.try_source(n).is_err());
+        let src = r.try_source(0).unwrap();
+        assert!(r.try_reachable_from(&src, n).is_err());
+        assert!(r.try_reachable(n, 0).is_err());
+        assert!(r.try_reachable(n, n).is_err());
     }
 
     #[test]

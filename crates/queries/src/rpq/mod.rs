@@ -17,6 +17,9 @@
 //! Plain (s,t)-reachability is exactly the RPQ for the one-state NFA that
 //! loops on every label — a differential test below exploits that.
 
+use std::borrow::Borrow;
+
+use crate::error::QueryError;
 use crate::index::GrammarIndex;
 use grepair_grammar::Grammar;
 use grepair_hypergraph::{EdgeId, EdgeLabel, Hypergraph, NodeId};
@@ -27,8 +30,8 @@ pub use nfa::{Nfa, Regex};
 
 /// Precomputed RPQ evaluator for one grammar and one NFA.
 #[derive(Debug)]
-pub struct RpqIndex<'g> {
-    index: GrammarIndex<'g>,
+pub struct RpqIndex<G: Borrow<Grammar>> {
+    index: GrammarIndex<G>,
     nfa: Nfa,
     /// `relations[A][i * |Q| + q]` = list of (j, q') reachable from
     /// external position i in state q, within val(A).
@@ -38,16 +41,17 @@ pub struct RpqIndex<'g> {
 /// A (node, state) pair in some context graph.
 type Config = (NodeId, u32);
 
-impl<'g> RpqIndex<'g> {
+impl<G: Borrow<Grammar>> RpqIndex<G> {
     /// Build the per-nonterminal relations bottom-up — O(|G|·|Q|²·maxRank).
-    pub fn new(grammar: &'g Grammar, nfa: Nfa) -> Self {
-        let order = grammar
+    pub fn new(grammar: G, nfa: Nfa) -> Self {
+        let g: &Grammar = grammar.borrow();
+        let order = g
             .topo_order_bottom_up()
             .expect("grammar must be straight-line");
         let mut relations: Vec<Vec<Vec<(u8, u32)>>> =
-            vec![Vec::new(); grammar.num_nonterminals()];
+            vec![Vec::new(); g.num_nonterminals()];
         for nt in order {
-            let rhs = grammar.rule(nt);
+            let rhs = g.rule(nt);
             let q = nfa.num_states();
             let ext = rhs.ext();
             let mut rel = vec![Vec::new(); ext.len() * q as usize];
@@ -69,16 +73,23 @@ impl<'g> RpqIndex<'g> {
     }
 
     /// The navigation index.
-    pub fn index(&self) -> &GrammarIndex<'g> {
+    pub fn index(&self) -> &GrammarIndex<G> {
         &self.index
     }
 
     /// Is there a path from `val(G)` node `s` to node `t` whose label word
     /// is accepted by the NFA? (The empty word counts when `s == t` and the
-    /// start state accepts.)
+    /// start state accepts.) Panics on an out-of-range id;
+    /// [`RpqIndex::try_matches`] is the checked variant.
     pub fn matches(&self, s: u64, t: u64) -> bool {
-        let rs = self.index.locate(s);
-        let rt = self.index.locate(t);
+        self.try_matches(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`RpqIndex::matches`], but out-of-range ids return an error
+    /// naming the valid range instead of panicking.
+    pub fn try_matches(&self, s: u64, t: u64) -> Result<bool, QueryError> {
+        let rs = self.index.try_locate(s)?;
+        let rt = self.index.try_locate(t)?;
         let forward = self.level_sets(&rs.path, rs.node, self.nfa.start_states(), false);
         let accepts: Vec<u32> = self.nfa.accept_states().to_vec();
         let backward = self.level_sets(&rt.path, rt.node, &accepts, true);
@@ -91,10 +102,10 @@ impl<'g> RpqIndex<'g> {
         for depth in 0..=common {
             let f = &forward[depth];
             if backward[depth].iter().any(|cfg| f.contains(cfg)) {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     /// Per-level closures over (node, state) pairs, climbing the derivation

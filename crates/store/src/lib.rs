@@ -1,0 +1,51 @@
+//! Serving-grade graph store: load a compressed graph **once**, answer
+//! queries **forever**.
+//!
+//! The paper's payoff (§V) is querying `val(G)` directly on the grammar;
+//! this crate turns that from a one-shot CLI run into a long-lived,
+//! crash-proof server building block:
+//!
+//! * **Fallible load** — [`GraphStore::open`] / [`GraphStore::from_bytes`]
+//!   take any byte sequence to either a serving store or a [`GrepairError`];
+//!   no hostile container, truncation, or bit flip can panic the process.
+//! * **Eager indexing** — the G-representation navigation index and the
+//!   reachability skeletons are built at load time, so per-query latency
+//!   never pays the O(|G|) setup.
+//! * **Batched serving** — [`GraphStore::query_batch`] amortizes work
+//!   across requests: duplicate queries collapse, `reach` queries sharing a
+//!   source reuse one forward closure, and neighbor expansion of repeated
+//!   rule labels is memoized store-wide (with hit/miss counters in
+//!   [`StoreStats`]).
+//!
+//! ```
+//! use grepair_store::{GraphStore, Query, QueryAnswer, write_container};
+//!
+//! // Compress any graph, wrap it in the .g2g container, serve it.
+//! let (g, _) = grepair_hypergraph::Hypergraph::from_simple_edges(
+//!     9,
+//!     (0..8u32).map(|i| (i, 0u32, i + 1)),
+//! );
+//! let out = grepair_core::compress(&g, &grepair_core::GRePairConfig::default());
+//! let enc = grepair_codec::encode(&out.grammar);
+//! let store = GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).unwrap();
+//!
+//! let answers = store.query_batch(&[
+//!     Query::OutNeighbors(0),
+//!     Query::Reach { s: 0, t: 8 },
+//!     Query::Components,
+//! ]);
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//! assert_eq!(answers[1], Ok(QueryAnswer::Bool(true)));
+//!
+//! // Hostile input errors instead of crashing the server.
+//! assert!(GraphStore::from_bytes(b"G2G1junk").is_err());
+//! assert!(store.query(&Query::OutNeighbors(1 << 40)).is_err());
+//! ```
+
+mod error;
+pub mod query;
+mod store;
+
+pub use error::GrepairError;
+pub use query::{compile_pattern, parse_pattern, parse_query, Query, QueryAnswer};
+pub use store::{parse_container, write_container, GraphStore, StoreStats, HEADER_LEN, MAGIC};

@@ -1,0 +1,566 @@
+//! The long-lived query-serving store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use grepair_grammar::Grammar;
+use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
+use grepair_queries::neighbors::Direction;
+use grepair_queries::reach::SourceClosure;
+use grepair_queries::{speedup, GrammarIndex, QueryError, ReachIndex, RpqIndex};
+use grepair_util::FxHashMap;
+
+use crate::query::{compile_pattern, Query, QueryAnswer};
+use crate::GrepairError;
+
+/// Container magic for `.g2g` files (shared with the CLI writer).
+pub const MAGIC: &[u8; 4] = b"G2G1";
+/// Container header size: magic + little-endian `u64` bit length.
+pub const HEADER_LEN: usize = 12;
+
+/// Split a `.g2g` container into its claimed bit length and payload.
+///
+/// Only the *container* is judged here; whether the payload actually holds
+/// `bit_len` coherent bits is the codec's job.
+pub fn parse_container(file: &[u8]) -> Result<(u64, &[u8]), GrepairError> {
+    if file.len() < HEADER_LEN {
+        return Err(GrepairError::Container(format!(
+            "{} bytes is shorter than the {HEADER_LEN}-byte header",
+            file.len()
+        )));
+    }
+    if &file[..4] != MAGIC {
+        return Err(GrepairError::Container("bad magic".into()));
+    }
+    let bit_len = u64::from_le_bytes(file[4..HEADER_LEN].try_into().expect("4..12 is 8 bytes"));
+    Ok((bit_len, &file[HEADER_LEN..]))
+}
+
+/// Wrap an encoded grammar in the `.g2g` container format.
+pub fn write_container(bytes: &[u8], bit_len: u64) -> Vec<u8> {
+    let mut file = Vec::with_capacity(bytes.len() + HEADER_LEN);
+    file.extend_from_slice(MAGIC);
+    file.extend_from_slice(&bit_len.to_le_bytes());
+    file.extend_from_slice(bytes);
+    file
+}
+
+/// One memoized rule expansion: the neighbors one `(nt, ext position,
+/// direction)` combination contributes, as rule-relative `(path, node)`
+/// pairs (see [`GrammarIndex::rule_expansion`]).
+type Expansion = Arc<Vec<(Vec<EdgeId>, NodeId)>>;
+/// Cache key: `(nonterminal, external position, direction)`.
+type ExpansionKey = (u32, u32, Direction);
+
+/// Monotonic serving counters (internal; snapshot via [`StoreStats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    expansion_hits: AtomicU64,
+    expansion_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of a store's serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Decode + index-build operations performed for this store (1 unless a
+    /// future reload API grows it).
+    pub loads: u64,
+    /// Queries answered (each element of a batch counts once).
+    pub queries_served: u64,
+    /// `query_batch` invocations.
+    pub batches: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Memoized rule-expansion lookups that hit.
+    pub expansion_cache_hits: u64,
+    /// Memoized rule-expansion lookups that missed (and computed).
+    pub expansion_cache_misses: u64,
+    /// RPQ plan-cache hits (pattern already compiled against this grammar).
+    pub rpq_plan_hits: u64,
+    /// RPQ plan-cache misses.
+    pub rpq_plan_misses: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loads={} queries={} batches={} errors={} expansion_cache={}/{} rpq_plans={}/{}",
+            self.loads,
+            self.queries_served,
+            self.batches,
+            self.errors,
+            self.expansion_cache_hits,
+            self.expansion_cache_hits + self.expansion_cache_misses,
+            self.rpq_plan_hits,
+            self.rpq_plan_hits + self.rpq_plan_misses,
+        )
+    }
+}
+
+/// A loaded compressed graph, indexed once, serving forever.
+///
+/// `GraphStore` is the serving-grade counterpart of the one-shot CLI path:
+/// it decodes a `.g2g` through a fully fallible pipeline (no panic on any
+/// byte sequence), eagerly builds the navigation and reachability indexes,
+/// and then answers any number of [`Query`]s — individually via
+/// [`GraphStore::query`] or amortized via [`GraphStore::query_batch`].
+///
+/// All interior mutability is synchronized, so one store can be shared
+/// across threads (`&GraphStore: Send + Sync`).
+#[derive(Debug)]
+pub struct GraphStore {
+    grammar: Arc<Grammar>,
+    /// G-representation navigation (Prop. 4), built eagerly.
+    index: GrammarIndex<Arc<Grammar>>,
+    /// Skeleton-based reachability (Thm. 6), built eagerly.
+    reach: ReachIndex<Arc<Grammar>>,
+    /// Memoized rule expansions — hot on hub nodes, whose incident
+    /// nonterminal edges repeat few distinct labels.
+    expansions: Mutex<FxHashMap<ExpansionKey, Expansion>>,
+    /// Compiled RPQ plans per canonical pattern text.
+    plans: Mutex<FxHashMap<String, Arc<RpqIndex<Arc<Grammar>>>>>,
+    /// Whole-graph aggregates, computed at most once.
+    components: OnceLock<u64>,
+    degrees: OnceLock<Option<(u64, u64)>>,
+    counters: Counters,
+    loads: u64,
+}
+
+impl GraphStore {
+    /// Build a store from an already-validated (or freshly compressed)
+    /// grammar. Validation runs again here — the store's zero-panic
+    /// guarantee must not depend on the caller's discipline.
+    pub fn from_grammar(grammar: Grammar) -> Result<Self, GrepairError> {
+        grammar
+            .validate()
+            .map_err(|e| GrepairError::Codec(grepair_codec::CodecError::Malformed(e)))?;
+        let grammar = Arc::new(grammar);
+        Ok(Self {
+            index: GrammarIndex::new(grammar.clone()),
+            reach: ReachIndex::new(grammar.clone()),
+            grammar,
+            expansions: Mutex::new(FxHashMap::default()),
+            plans: Mutex::new(FxHashMap::default()),
+            components: OnceLock::new(),
+            degrees: OnceLock::new(),
+            counters: Counters::default(),
+            loads: 1,
+        })
+    }
+
+    /// Decode a `.g2g` container image and build the store.
+    pub fn from_bytes(file: &[u8]) -> Result<Self, GrepairError> {
+        let (bit_len, payload) = parse_container(file)?;
+        let grammar = grepair_codec::decode(payload, bit_len)?;
+        Self::from_grammar(grammar)
+    }
+
+    /// Load a `.g2g` file and build the store.
+    pub fn open(path: &str) -> Result<Self, GrepairError> {
+        let file = std::fs::read(path)
+            .map_err(|e| GrepairError::Io { path: path.into(), error: e.to_string() })?;
+        Self::from_bytes(&file)
+    }
+
+    /// The grammar being served.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Number of nodes of `val(G)` — valid query ids are `0..total_nodes()`.
+    pub fn total_nodes(&self) -> u64 {
+        self.index.total_nodes
+    }
+
+    /// Snapshot the serving statistics.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.counters;
+        StoreStats {
+            loads: self.loads,
+            queries_served: c.queries.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            expansion_cache_hits: c.expansion_hits.load(Ordering::Relaxed),
+            expansion_cache_misses: c.expansion_misses.load(Ordering::Relaxed),
+            rpq_plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            rpq_plan_misses: c.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Individual queries
+    // ------------------------------------------------------------------
+
+    /// Out-neighbors of `v`, sorted ascending.
+    pub fn out_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        Ok(self.collect_neighbors(v, Direction::Out)?)
+    }
+
+    /// In-neighbors of `v`, sorted ascending.
+    pub fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        Ok(self.collect_neighbors(v, Direction::In)?)
+    }
+
+    /// Union of both directions, sorted and deduplicated.
+    pub fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        let mut out = self.collect_neighbors(v, Direction::Out)?;
+        out.extend(self.collect_neighbors(v, Direction::In)?);
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Is `t` reachable from `s`?
+    pub fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
+        Ok(self.reach.try_reachable(s, t)?)
+    }
+
+    /// Does some `s → t` path spell a word of the pattern's language?
+    pub fn rpq(&self, pattern: &str, s: u64, t: u64) -> Result<bool, GrepairError> {
+        let plan = self.plan(pattern)?;
+        Ok(plan.try_matches(s, t)?)
+    }
+
+    /// Number of connected components of `val(G)` (memoized).
+    pub fn components(&self) -> u64 {
+        *self
+            .components
+            .get_or_init(|| speedup::connected_components(&self.grammar))
+    }
+
+    /// `(min, max)` degree over `val(G)` (memoized; `None` when empty).
+    pub fn degree_extrema(&self) -> Option<(u64, u64)> {
+        *self
+            .degrees
+            .get_or_init(|| speedup::degree_extrema(&self.grammar))
+    }
+
+    /// Answer one query, updating the serving counters.
+    pub fn query(&self, q: &Query) -> Result<QueryAnswer, GrepairError> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let result = self.answer(q, &mut FxHashMap::default());
+        if result.is_err() {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Batched queries
+    // ------------------------------------------------------------------
+
+    /// Answer many queries at once, amortizing shared work:
+    ///
+    /// * duplicate queries are answered once and the answer cloned,
+    /// * `reach` queries sharing a source reuse one forward closure
+    ///   ([`ReachIndex::try_source`]) instead of recomputing it per target,
+    /// * rule expansions and RPQ plans hit the store-wide caches.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<QueryAnswer, GrepairError>> {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let mut sources: FxHashMap<u64, Result<SourceClosure, QueryError>> = FxHashMap::default();
+        let mut memo: FxHashMap<&Query, Result<QueryAnswer, GrepairError>> = FxHashMap::default();
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            let answer = match memo.get(q) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let computed = self.answer(q, &mut sources);
+                    memo.insert(q, computed.clone());
+                    computed
+                }
+            };
+            if answer.is_err() {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(answer);
+        }
+        out
+    }
+
+    /// Shared worker for [`GraphStore::query`] / [`GraphStore::query_batch`]:
+    /// `sources` carries the per-batch forward-closure reuse (empty and
+    /// discarded for single queries).
+    fn answer(
+        &self,
+        q: &Query,
+        sources: &mut FxHashMap<u64, Result<SourceClosure, QueryError>>,
+    ) -> Result<QueryAnswer, GrepairError> {
+        Ok(match q {
+            Query::OutNeighbors(v) => QueryAnswer::Nodes(self.out_neighbors(*v)?),
+            Query::InNeighbors(v) => QueryAnswer::Nodes(self.in_neighbors(*v)?),
+            Query::Neighbors(v) => QueryAnswer::Nodes(self.neighbors(*v)?),
+            Query::Reach { s, t } if s == t => {
+                // Trivially true for valid ids — skip the forward closure.
+                QueryAnswer::Bool(self.reach.try_reachable(*s, *t)?)
+            }
+            Query::Reach { s, t } => {
+                let src = sources
+                    .entry(*s)
+                    .or_insert_with(|| self.reach.try_source(*s));
+                match src {
+                    Ok(closure) => QueryAnswer::Bool(self.reach.try_reachable_from(closure, *t)?),
+                    Err(e) => return Err(e.clone().into()),
+                }
+            }
+            Query::Rpq { s, t, pattern } => QueryAnswer::Bool(self.rpq(pattern, *s, *t)?),
+            Query::Components => QueryAnswer::Count(self.components()),
+            Query::DegreeExtrema => QueryAnswer::Extrema(self.degree_extrema()),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Caches
+    // ------------------------------------------------------------------
+
+    /// Neighbor collection with memoized nonterminal descent. The context
+    /// scan mirrors `GrammarIndex::neighbors`; the descent into each
+    /// nonterminal edge is replaced by a cache of rule-relative expansions
+    /// (see [`GrammarIndex::rule_expansion`] for the uncached reference).
+    fn collect_neighbors(&self, k: u64, dir: Direction) -> Result<Vec<u64>, QueryError> {
+        let repr = self.index.try_locate(k)?;
+        let ctx = self.index.context(&repr.path);
+        let mut out = Vec::new();
+        let mut full: Vec<EdgeId> = repr.path.clone();
+        for e in ctx.incident(repr.node) {
+            let att = ctx.att(e);
+            match ctx.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == repr.node => att[1],
+                        Direction::In if att[1] == repr.node => att[0],
+                        _ => continue,
+                    };
+                    out.push(self.index.global_id(&repr.path, neighbor));
+                }
+                EdgeLabel::Nonterminal(nt) => {
+                    for (pos, &x) in att.iter().enumerate() {
+                        if x != repr.node {
+                            continue;
+                        }
+                        let exp = self.expansion(nt, pos as u32, dir);
+                        for (rel, node) in exp.iter() {
+                            full.truncate(repr.path.len());
+                            full.push(e);
+                            full.extend_from_slice(rel);
+                            out.push(self.index.global_id(&full, *node));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Memoized rule-relative expansion for `(nt, ext position, dir)`.
+    fn expansion(&self, nt: u32, pos: u32, dir: Direction) -> Expansion {
+        let key: ExpansionKey = (nt, pos, dir);
+        {
+            let map = self.expansions.lock().expect("expansion cache poisoned");
+            if let Some(hit) = map.get(&key) {
+                self.counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        // Compute outside the lock: the recursion below re-enters
+        // `expansion` for nested nonterminals (sharing their entries too).
+        self.counters.expansion_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(self.compute_expansion(nt, pos, dir));
+        let mut map = self.expansions.lock().expect("expansion cache poisoned");
+        map.entry(key).or_insert(computed).clone()
+    }
+
+    /// Uncached expansion body; straight-line grammars make the recursion
+    /// (over strictly smaller nonterminals) finite.
+    fn compute_expansion(&self, nt: u32, pos: u32, dir: Direction) -> Vec<(Vec<EdgeId>, NodeId)> {
+        let rhs = self.grammar.rule(nt);
+        let Some(&v) = rhs.ext().get(pos as usize) else { return Vec::new() };
+        let mut out = Vec::new();
+        for e in rhs.incident(v) {
+            let att = rhs.att(e);
+            match rhs.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == v => att[1],
+                        Direction::In if att[1] == v => att[0],
+                        _ => continue,
+                    };
+                    out.push((Vec::new(), neighbor));
+                }
+                EdgeLabel::Nonterminal(sub) => {
+                    for (p2, &x) in att.iter().enumerate() {
+                        if x != v {
+                            continue;
+                        }
+                        let nested = self.expansion(sub, p2 as u32, dir);
+                        for (rel, node) in nested.iter() {
+                            let mut path = Vec::with_capacity(rel.len() + 1);
+                            path.push(e);
+                            path.extend_from_slice(rel);
+                            out.push((path, *node));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compiled-plan lookup for an RPQ pattern.
+    fn plan(&self, pattern: &str) -> Result<Arc<RpqIndex<Arc<Grammar>>>, GrepairError> {
+        {
+            let map = self.plans.lock().expect("plan cache poisoned");
+            if let Some(hit) = map.get(pattern) {
+                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.clone());
+            }
+        }
+        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let nfa = compile_pattern(pattern)?;
+        let plan = Arc::new(RpqIndex::new(self.grammar.clone(), nfa));
+        let mut map = self.plans.lock().expect("plan cache poisoned");
+        Ok(map.entry(pattern.to_string()).or_insert(plan).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::Hypergraph;
+
+    fn store_for(reps: u32) -> (GraphStore, Hypergraph) {
+        let (g, _) = Hypergraph::from_simple_edges(
+            (2 * reps + 1) as usize,
+            (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+        );
+        let out = compress(&g, &GRePairConfig::default());
+        let encoded = grepair_codec::encode(&out.grammar);
+        let file = write_container(&encoded.bytes, encoded.bit_len);
+        (GraphStore::from_bytes(&file).unwrap(), g)
+    }
+
+    #[test]
+    fn neighbors_match_uncached_index() {
+        let (store, _) = store_for(32);
+        let idx = GrammarIndex::new(store.grammar());
+        for k in 0..store.total_nodes() {
+            assert_eq!(store.out_neighbors(k).unwrap(), idx.out_neighbors(k), "out {k}");
+            assert_eq!(store.in_neighbors(k).unwrap(), idx.in_neighbors(k), "in {k}");
+        }
+        let s = store.stats();
+        assert!(s.expansion_cache_hits > 0, "repeated labels must hit: {s}");
+    }
+
+    #[test]
+    fn cached_expansion_matches_reference() {
+        let (store, _) = store_for(24);
+        let idx = GrammarIndex::new(store.grammar());
+        for nt in 0..store.grammar().num_nonterminals() as u32 {
+            let rank = store.grammar().nt_rank(nt);
+            for pos in 0..rank as u32 {
+                for dir in [Direction::Out, Direction::In] {
+                    assert_eq!(
+                        *store.expansion(nt, pos, dir),
+                        idx.rule_expansion(nt, pos as usize, dir),
+                        "nt {nt} pos {pos} {dir:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_error_cleanly() {
+        let (store, _) = store_for(8);
+        let n = store.total_nodes();
+        for q in [
+            Query::OutNeighbors(n),
+            Query::InNeighbors(n + 100),
+            Query::Neighbors(u64::MAX),
+            Query::Reach { s: 0, t: n },
+            Query::Reach { s: n, t: 0 },
+            Query::Rpq { s: n, t: 0, pattern: "0".into() },
+        ] {
+            let err = store.query(&q).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("out of range"), "{q:?}: {msg}");
+            assert!(msg.contains(&format!("0..{n}")), "{q:?}: {msg}");
+        }
+        assert_eq!(store.stats().errors, 6);
+    }
+
+    #[test]
+    fn batch_answers_match_individual() {
+        let (store, g) = store_for(16);
+        let n = store.total_nodes();
+        let mut queries = Vec::new();
+        for i in 0..n {
+            queries.push(Query::OutNeighbors(i));
+            queries.push(Query::Reach { s: 0, t: i });
+            queries.push(Query::Reach { s: i, t: n - 1 });
+        }
+        queries.push(Query::Components);
+        queries.push(Query::DegreeExtrema);
+        queries.push(Query::Rpq { s: 0, t: 2, pattern: "0 1".into() });
+        let batch = store.query_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, a) in queries.iter().zip(&batch) {
+            // Individual path must agree (fresh per-query source closures).
+            assert_eq!(a, &store.query(q), "{q:?}");
+        }
+        // Cross-check a few against the derived graph.
+        let derived = store.grammar().derive();
+        assert_eq!(derived.num_nodes() as u64, n);
+        assert_eq!(store.components(), 1);
+        let _ = g;
+    }
+
+    #[test]
+    fn batch_reuses_sources_and_plans() {
+        let (store, _) = store_for(16);
+        let n = store.total_nodes();
+        let queries: Vec<Query> = (0..n)
+            .flat_map(|t| {
+                [
+                    Query::Reach { s: 0, t },
+                    Query::Rpq { s: 0, t, pattern: "0* 1*".into() },
+                ]
+            })
+            .collect();
+        let answers = store.query_batch(&queries);
+        assert!(answers.iter().all(|a| a.is_ok()));
+        let s = store.stats();
+        // One plan compiled, reused for every rpq in the batch.
+        assert_eq!(s.rpq_plan_misses, 1, "{s}");
+        assert_eq!(s.rpq_plan_hits, n - 1, "{s}");
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.queries_served, 2 * n);
+    }
+
+    #[test]
+    fn from_grammar_revalidates() {
+        // A grammar with a dangling nonterminal reference must be rejected,
+        // not served.
+        let mut start = Hypergraph::with_nodes(2);
+        start.add_edge(EdgeLabel::Nonterminal(0), &[0, 1]);
+        let grammar = Grammar::new(start, 1);
+        assert!(GraphStore::from_grammar(grammar).is_err());
+    }
+}

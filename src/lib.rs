@@ -42,6 +42,7 @@
 //! | [`grepair_core`] | the gRePair compressor (§III): digrams, occurrence counting, bucket queue, virtual edges, pruning |
 //! | [`grepair_codec`] | the binary format (§III-C2): k²-tree start graph + δ-coded rules |
 //! | [`grepair_queries`] | neighborhood (Prop. 4), reachability (Thm. 6), speed-up queries (§V) |
+//! | [`grepair_store`] | serving-grade [`GraphStore`](grepair_store::GraphStore): fallible load → eager index → batched queries |
 //! | [`grepair_baselines`] | k²-tree, LM, HN, string-RePair baselines (§IV) |
 //! | [`grepair_datasets`] | seeded generators standing in for the paper's datasets |
 //! | [`grepair_k2tree`], [`grepair_bits`], [`grepair_lz`], [`grepair_util`] | substrates |
@@ -56,6 +57,7 @@ pub use grepair_hypergraph as hypergraph;
 pub use grepair_k2tree as k2tree;
 pub use grepair_lz as lz;
 pub use grepair_queries as queries;
+pub use grepair_store as store;
 pub use grepair_util as util;
 
 /// The items most programs need.
@@ -65,5 +67,6 @@ pub mod prelude {
     pub use grepair_grammar::Grammar;
     pub use grepair_hypergraph::order::NodeOrder;
     pub use grepair_hypergraph::{EdgeLabel, Hypergraph};
-    pub use grepair_queries::{GrammarIndex, ReachIndex};
+    pub use grepair_queries::{GrammarIndex, QueryError, ReachIndex};
+    pub use grepair_store::{GraphStore, GrepairError, Query, QueryAnswer};
 }
