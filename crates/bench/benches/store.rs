@@ -5,6 +5,9 @@
 //! reach sources, the memoized expansion cache, the RPQ plan cache).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+// The acceptance workload (10k+ mixed queries against one loaded store) is
+// shared with `repro --queries`, which records it in BENCH_store.json.
+use grepair_bench::serving::mixed_batch;
 use grepair_core::{compress, GRePairConfig};
 use grepair_hypergraph::Hypergraph;
 use grepair_store::{write_container, GraphStore, Query};
@@ -27,22 +30,6 @@ fn loaded_store(reps: u32) -> GraphStore {
     GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).expect("valid container")
 }
 
-/// The acceptance workload: 10k+ mixed queries against one loaded store.
-fn mixed_batch(n: u64, len: u64) -> Vec<Query> {
-    (0..len)
-        .map(|i| match i % 5 {
-            0 => Query::OutNeighbors(i % n),
-            1 => Query::InNeighbors((i * 7) % n),
-            2 => Query::Reach { s: (i * 3) % n, t: (i * 11) % n },
-            3 => Query::Rpq {
-                s: (i * 5) % n,
-                t: (i * 13) % n,
-                pattern: if i % 2 == 0 { "0 1".into() } else { "0* 1*".into() },
-            },
-            _ => Query::Neighbors((i * 17) % n),
-        })
-        .collect()
-}
 
 fn bench_query_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_batch");
@@ -97,6 +84,32 @@ fn bench_amortization(c: &mut Criterion) {
     group.finish();
 }
 
+/// The contention scenario: the same 10k mixed batch fanned out across
+/// 1/2/4/8 worker threads sharing one store and one batch context. On a
+/// multi-core box the 8-thread row should beat `threads_1` (the sequential
+/// path) by ≥ 3×; on fewer cores the rows document how gracefully the
+/// sharded caches degrade (no lock convoy — times stay near sequential).
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_contention");
+    group.sample_size(10);
+    let store = loaded_store(2_048);
+    let n = store.total_nodes();
+    let batch = mixed_batch(n, 10_000);
+    // Warm the store-wide caches so every thread count measures the same
+    // steady serving state, not first-touch compilation.
+    assert!(store.query_batch(&batch).iter().all(|a| a.is_ok()));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("10k_mixed_threads_{threads}"), |b| {
+            b.iter(|| {
+                let answers = store.query_batch_parallel(&batch, threads);
+                assert!(answers.iter().all(|a| a.is_ok()));
+                answers.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_load");
     group.sample_size(10);
@@ -111,5 +124,5 @@ fn bench_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_batch, bench_amortization, bench_load);
+criterion_group!(benches, bench_query_batch, bench_amortization, bench_contention, bench_load);
 criterion_main!(benches);

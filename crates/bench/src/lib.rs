@@ -13,6 +13,8 @@ use grepair_core::{compress, CompressedGraph, GRePairConfig};
 use grepair_datasets::{network, rdf, stats, ttt, version, DatasetStats};
 use grepair_hypergraph::Hypergraph;
 
+pub mod serving;
+
 /// The flags the `repro` binary understands: every section of the paper's
 /// evaluation, the global `--quick` scale switch, and `--all`.
 pub const REPRO_FLAGS: &[&str] = &[

@@ -5,10 +5,12 @@
 //! guarantee: hostile bytes and out-of-range ids become error messages and a
 //! non-zero exit code.
 
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
 use crate::{compress_and_report, read_graph, read_graph_with_map, CompressOpts};
 use grepair_datasets as datasets;
 use grepair_hypergraph::{EdgeLabel, Hypergraph};
-use grepair_store::{parse_query, write_container, GraphStore, GrepairError};
+use grepair_store::{parse_query, write_container, GraphStore, GrepairError, Query};
 
 /// `grepair stats <graph>`.
 pub fn stats(path: &str) -> Result<(), String> {
@@ -186,19 +188,63 @@ pub fn query(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `grepair store serve-file <in.g2g> <queries.txt> [--batch N]`: the
-/// traffic-shaped scenario — load once, answer a stream of queries.
+/// Answer one batch of parsed lines and write the answers (or per-line
+/// errors) in input order. Returns how many lines errored.
+fn serve_chunk(
+    store: &GraphStore,
+    pending: &[Result<Query, String>],
+    threads: usize,
+    out: &mut impl Write,
+) -> Result<usize, String> {
+    let queries: Vec<Query> = pending.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
+    let answers = if threads > 1 {
+        store.query_batch_parallel(&queries, threads)
+    } else {
+        store.query_batch(&queries)
+    };
+    let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
+        out.write_fmt(text).map_err(|e| format!("stdout: {e}"))
+    };
+    let mut next = 0usize;
+    let mut errors = 0usize;
+    for p in pending {
+        match p {
+            Ok(_) => {
+                match &answers[next] {
+                    Ok(a) => emit(out, format_args!("{a}\n"))?,
+                    Err(e) => {
+                        errors += 1;
+                        emit(out, format_args!("error: {e}\n"))?;
+                    }
+                }
+                next += 1;
+            }
+            Err(e) => {
+                errors += 1;
+                emit(out, format_args!("error: {e}\n"))?;
+            }
+        }
+    }
+    Ok(errors)
+}
+
+/// `grepair store serve-file <in.g2g> <queries.txt> [--batch N]
+/// [--threads N]`: the traffic-shaped scenario — load once, answer a
+/// stream of queries.
 ///
 /// One answer line per query line, in input order: the rendered answer, or
 /// `error: <reason>` for requests the store rejected (a bad request never
-/// stops the stream — a server must outlive its worst client). Serving
-/// statistics go to stderr.
+/// stops the stream — a server must outlive its worst client). The query
+/// file is streamed line by line in `--batch`-sized chunks, so memory use
+/// is bounded by the batch size, never by the file; `--threads N` fans each
+/// chunk out across N worker threads (`0` = one per available core).
+/// Serving statistics go to stderr.
 pub fn store_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("serve-file") => {
             let g2g = args.get(1).ok_or("missing g2g file")?;
             let queries_path = args.get(2).ok_or("missing queries file")?;
-            crate::validate_value_flags(&args[3..], &["--batch"])?;
+            crate::validate_value_flags(&args[3..], &["--batch", "--threads"])?;
             let batch_size: usize = match crate::flag_value(&args[3..], "--batch") {
                 Some(raw) => raw.parse().map_err(|e| format!("bad --batch: {e}"))?,
                 None => 1024,
@@ -206,50 +252,54 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
             if batch_size == 0 {
                 return Err("--batch must be at least 1".into());
             }
+            let threads: usize = match crate::flag_value(&args[3..], "--threads") {
+                Some(raw) => {
+                    let n: usize = raw.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                    if n == 0 {
+                        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+                    } else {
+                        n
+                    }
+                }
+                None => 1,
+            };
             let store = open_store(g2g)?;
-            let text = std::fs::read_to_string(queries_path)
+            let file = std::fs::File::open(queries_path)
                 .map_err(|e| format!("{queries_path}: {e}"))?;
+            let mut reader = BufReader::new(file);
+            let stdout = std::io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
 
-            // Parse every line first; parse failures become per-line errors
-            // without stalling the well-formed requests around them.
-            let mut parsed = Vec::new();
-            for raw in text.lines() {
-                let line = raw.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                parsed.push(parse_query(line).map_err(|e| e.to_string()));
-            }
-            let queries: Vec<_> = parsed.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
-
-            // Answer in batches, then interleave answers back in line order.
-            let mut answers = Vec::with_capacity(queries.len());
-            for chunk in queries.chunks(batch_size) {
-                answers.extend(store.query_batch(chunk));
-            }
-            let mut next = 0usize;
+            // Stream: at most one batch of parsed lines is in memory at a
+            // time, so a query log larger than RAM still serves.
+            let mut pending: Vec<Result<Query, String>> = Vec::with_capacity(batch_size);
+            let mut line = String::new();
+            let mut served = 0usize;
             let mut errors = 0usize;
-            for p in &parsed {
-                match p {
-                    Ok(_) => {
-                        match &answers[next] {
-                            Ok(a) => println!("{a}"),
-                            Err(e) => {
-                                errors += 1;
-                                println!("error: {e}");
-                            }
-                        }
-                        next += 1;
+            loop {
+                line.clear();
+                let bytes = reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("{queries_path}: {e}"))?;
+                if bytes > 0 {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
                     }
-                    Err(e) => {
-                        errors += 1;
-                        println!("error: {e}");
-                    }
+                    pending.push(parse_query(trimmed).map_err(|e| e.to_string()));
+                }
+                if pending.len() >= batch_size || (bytes == 0 && !pending.is_empty()) {
+                    served += pending.len();
+                    errors += serve_chunk(&store, &pending, threads, &mut out)?;
+                    pending.clear();
+                }
+                if bytes == 0 {
+                    break;
                 }
             }
+            out.flush().map_err(|e| format!("stdout: {e}"))?;
             eprintln!(
-                "served {} queries ({errors} errors) from {g2g}: {}",
-                parsed.len(),
+                "served {served} queries ({errors} errors) from {g2g}: {}",
                 store.stats()
             );
             Ok(())

@@ -9,7 +9,7 @@
 //! grepair query      neighbors <in.g2g> <v>
 //! grepair query      components <in.g2g>
 //! grepair query      rpq <in.g2g> <s> <t> <atom>...
-//! grepair store      serve-file <in.g2g> <queries.txt> [--batch N]
+//! grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
 //! grepair generate   <kind> [n] [seed] -o <graph.txt>
 //! ```
 //!
@@ -45,7 +45,7 @@ const USAGE: &str = "usage:
   grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order ORDER] [--no-prune] [--no-virtual] [--map FILE]
   grepair decompress <in.g2g> -o <graph.txt> [--map FILE]
   grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
-  grepair store      serve-file <in.g2g> <queries.txt> [--batch N]
+  grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
   grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)";
 
 fn run(args: &[String]) -> Result<(), String> {

@@ -190,6 +190,50 @@ fn serve_file_answers_a_mixed_stream() {
 }
 
 #[test]
+fn serve_file_streams_identically_across_batch_and_thread_settings() {
+    // The same mixed stream (interleaved parse errors, out-of-range ids,
+    // duplicates) must produce byte-identical stdout whether it is answered
+    // in one big batch, streamed in tiny chunks, or fanned out over worker
+    // threads.
+    let g2g = compressed_fixture();
+    let queries = scratch("stream_queries.txt");
+    let mut text = String::new();
+    for i in 0..200u64 {
+        match i % 7 {
+            0 => text.push_str(&format!("out {}\n", i % 41)),
+            1 => text.push_str(&format!("in {}\n", (i * 3) % 41)),
+            2 => text.push_str(&format!("reach {} {}\n", i % 41, (i * 5) % 41)),
+            3 => text.push_str(&format!("rpq {} {} 0* 1*\n", i % 41, (i * 11) % 41)),
+            4 => text.push_str("# interleaved comment\n\n"),
+            5 => text.push_str(&format!("out {}\n", 1000 + i)), // out of range
+            _ => text.push_str("bogus verb\n"),                 // parse error
+        }
+    }
+    std::fs::write(&queries, text).unwrap();
+    let baseline = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    assert!(baseline.status.success());
+    let expected = String::from_utf8_lossy(&baseline.stdout).to_string();
+    assert!(!expected.is_empty());
+    for extra in [
+        &["--batch", "7"][..],
+        &["--batch", "1"][..],
+        &["--threads", "4"][..],
+        &["--batch", "16", "--threads", "3"][..],
+        &["--threads", "0"][..], // auto: one worker per core
+    ] {
+        let mut args = vec!["store", "serve-file", &g2g, queries.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = grepair(&args);
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            expected,
+            "answers must not depend on {extra:?}"
+        );
+    }
+}
+
+#[test]
 fn serve_file_rejects_broken_setup() {
     let g2g = compressed_fixture();
     let queries = scratch("setup_queries.txt");
@@ -226,6 +270,12 @@ fn serve_file_rejects_broken_setup() {
         &grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap(), "--batch"]),
         "needs a value",
         "value-less flag",
+    );
+    // Malformed --threads.
+    assert_clean_failure(
+        &grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap(), "--threads", "lots"]),
+        "--threads",
+        "non-numeric threads",
     );
 }
 

@@ -31,4 +31,4 @@ pub use error::QueryError;
 pub use index::{GRepr, GrammarIndex};
 pub use neighbors::Direction;
 pub use reach::{ReachIndex, SourceClosure};
-pub use rpq::{Nfa, Regex, RpqIndex};
+pub use rpq::{Nfa, Regex, RpqIndex, RpqSourceClosure};

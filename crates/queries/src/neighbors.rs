@@ -43,15 +43,36 @@ impl<G: Borrow<Grammar>> GrammarIndex<G> {
     /// Neighbor IDs of `k` in the given direction, sorted and deduplicated,
     /// or the valid id range when `k` lies outside `val(G)`.
     pub fn try_neighbors(&self, k: u64, dir: Direction) -> Result<Vec<u64>, QueryError> {
-        let repr = self.try_locate(k)?;
         let mut out = Vec::new();
+        self.try_neighbors_into(k, dir, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`GrammarIndex::try_neighbors`], but clears and fills a
+    /// caller-provided buffer instead of allocating a fresh `Vec` per call —
+    /// batch evaluators answering many neighbor queries reuse one scratch
+    /// buffer. Isolated (rank-0) nodes take an early-return fast path that
+    /// skips the recursive collection entirely.
+    pub fn try_neighbors_into(
+        &self,
+        k: u64,
+        dir: Direction,
+        out: &mut Vec<u64>,
+    ) -> Result<(), QueryError> {
+        out.clear();
+        let repr = self.try_locate(k)?;
+        // Fast path: a node no edge is incident with has no neighbors in
+        // either direction — skip the collection and the sort/dedup.
+        if self.context(&repr.path).incident(repr.node).next().is_none() {
+            return Ok(());
+        }
         // The final node may be shared with ancestors when it is... it is
         // internal by construction (or a start node), so every edge of
         // val(G) incident with it appears in its own context or below.
-        self.collect_at(&repr.path, repr.node, dir, &mut out);
+        self.collect_at(&repr.path, repr.node, dir, out);
         out.sort_unstable();
         out.dedup();
-        Ok(out)
+        Ok(())
     }
 
     /// Rule-relative neighbor expansion: the neighbors of the `pos`-th
@@ -261,6 +282,35 @@ mod tests {
         g.add_rule(rhs1);
         g.validate().unwrap();
         check_against_derivation(&g);
+    }
+
+    #[test]
+    fn neighbors_into_reuses_buffer_and_handles_isolated_nodes() {
+        // fig1 plus an isolated node (4) for the rank-0 fast path.
+        let mut start = Hypergraph::with_nodes(5);
+        start.add_edge(N(0), &[0, 1]);
+        start.add_edge(N(0), &[1, 2]);
+        start.add_edge(N(0), &[2, 3]);
+        let mut rhs = Hypergraph::with_nodes(3);
+        rhs.add_edge(T(0), &[0, 1]);
+        rhs.add_edge(T(1), &[1, 2]);
+        rhs.set_ext(vec![0, 2]);
+        let mut g = Grammar::new(start, 2);
+        g.add_rule(rhs);
+        g.validate().unwrap();
+        let idx = GrammarIndex::new(&g);
+        let mut buf = vec![99u64; 8]; // stale contents must be cleared
+        for k in 0..idx.total_nodes {
+            for dir in [Direction::Out, Direction::In] {
+                idx.try_neighbors_into(k, dir, &mut buf).unwrap();
+                assert_eq!(buf, idx.try_neighbors(k, dir).unwrap(), "{k} {dir:?}");
+            }
+        }
+        // The isolated node is empty in both directions via the fast path.
+        idx.try_neighbors_into(4, Direction::Out, &mut buf).unwrap();
+        assert!(buf.is_empty());
+        // Out-of-range ids still error.
+        assert!(idx.try_neighbors_into(idx.total_nodes, Direction::Out, &mut buf).is_err());
     }
 
     #[test]

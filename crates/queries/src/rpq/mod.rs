@@ -88,20 +88,45 @@ impl<G: Borrow<Grammar>> RpqIndex<G> {
     /// Like [`RpqIndex::matches`], but out-of-range ids return an error
     /// naming the valid range instead of panicking.
     pub fn try_matches(&self, s: u64, t: u64) -> Result<bool, QueryError> {
+        // Validate both ids (O(log) locates) before the expensive forward
+        // product closure, so hostile targets cost two lookups, not a full
+        // pass. Errors report `s` before `t`, matching the shared-source
+        // batch path (which resolves the source closure first).
+        self.index.try_locate(s)?;
+        self.index.try_locate(t)?;
+        let src = self.try_source(s)?;
+        self.try_matches_from(&src, t)
+    }
+
+    /// Precompute the forward product closure of `s` once, for reuse across
+    /// many targets — the RPQ generalization of
+    /// [`crate::ReachIndex::try_source`]: a batch of `rpq s t₁`, `rpq s t₂`,
+    /// … with one pattern then costs one forward pass total.
+    pub fn try_source(&self, s: u64) -> Result<RpqSourceClosure, QueryError> {
         let rs = self.index.try_locate(s)?;
-        let rt = self.index.try_locate(t)?;
         let forward = self.level_sets(&rs.path, rs.node, self.nfa.start_states(), false);
+        Ok(RpqSourceClosure { s, path: rs.path, forward })
+    }
+
+    /// Does some `src → t` path spell a word of the pattern's language?
+    /// Only the backward pass for `t` runs; the forward half comes from
+    /// `src`.
+    pub fn try_matches_from(
+        &self,
+        src: &RpqSourceClosure,
+        t: u64,
+    ) -> Result<bool, QueryError> {
+        let rt = self.index.try_locate(t)?;
         let accepts: Vec<u32> = self.nfa.accept_states().to_vec();
         let backward = self.level_sets(&rt.path, rt.node, &accepts, true);
-        let common = rs
+        let common = src
             .path
             .iter()
             .zip(&rt.path)
             .take_while(|(a, b)| a == b)
             .count();
-        for depth in 0..=common {
-            let f = &forward[depth];
-            if backward[depth].iter().any(|cfg| f.contains(cfg)) {
+        for (f, b) in src.forward.iter().zip(&backward).take(common + 1) {
+            if b.iter().any(|cfg| f.contains(cfg)) {
                 return Ok(true);
             }
         }
@@ -142,6 +167,28 @@ impl<G: Borrow<Grammar>> RpqIndex<G> {
             sets[depth] = closed;
         }
         sets
+    }
+}
+
+/// The forward half of an RPQ evaluation: per-level product closures over
+/// (node, state) pairs, computed once per (pattern, source) by
+/// [`RpqIndex::try_source`] and shared across targets. Only meaningful
+/// against the [`RpqIndex`] that produced it (the states are indices into
+/// that index's NFA).
+#[derive(Debug, Clone)]
+pub struct RpqSourceClosure {
+    /// The source node id.
+    s: u64,
+    /// The source's derivation path.
+    path: Vec<EdgeId>,
+    /// Per-level forward-reachable (node, state) sets (depth 0 = S).
+    forward: Vec<FxHashSet<Config>>,
+}
+
+impl RpqSourceClosure {
+    /// The source node this closure was computed for.
+    pub fn source(&self) -> u64 {
+        self.s
     }
 }
 
@@ -328,6 +375,35 @@ mod tests {
         let out = compress(&g, &GRePairConfig::default());
         let rpq = RpqIndex::new(&out.grammar, nfa);
         assert!(!rpq.matches(3, 3));
+    }
+
+    #[test]
+    fn source_closure_reuse_matches_pairwise() {
+        let g = ab_path(8);
+        let nfa = Nfa::from_regex(&Regex::cat(vec![
+            Regex::star(Regex::label(0)),
+            Regex::label(1),
+        ]));
+        let out = compress(&g, &GRePairConfig::default());
+        let rpq = RpqIndex::new(&out.grammar, nfa);
+        let n = out.grammar.derive().num_nodes() as u64;
+        for s in 0..n {
+            let src = rpq.try_source(s).unwrap();
+            assert_eq!(src.source(), s);
+            for t in 0..n {
+                assert_eq!(
+                    rpq.try_matches_from(&src, t).unwrap(),
+                    rpq.matches(s, t),
+                    "({s},{t})"
+                );
+            }
+        }
+        // Out-of-range ids error on both halves instead of panicking.
+        assert!(rpq.try_source(n).is_err());
+        let src = rpq.try_source(0).unwrap();
+        assert!(rpq.try_matches_from(&src, n).is_err());
+        assert!(rpq.try_matches(0, n).is_err());
+        assert!(rpq.try_matches(n, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A sharded, read-mostly concurrent map — the store's cache substrate.
+//!
+//! The serving hot path is read-dominated: after a short warm-up almost
+//! every rule-expansion and RPQ-plan lookup is a hit. A single
+//! `Mutex<HashMap>` serializes those reads across every worker thread; this
+//! map instead splits the key space over [`SHARDS`] independent
+//! `RwLock<FxHashMap>` shards selected by key hash, so concurrent readers
+//! of *different* keys never contend and readers of the *same* key share a
+//! read lock. See `DESIGN.md §5` for the shard-count choice.
+//!
+//! Values are required to be cheap to clone — in practice `Arc<T>` or small
+//! `Result`s wrapping `Arc`s — so a hit hands the caller a shared handle
+//! without copying the cached data (the clone-free hit path).
+
+use std::hash::{BuildHasher, Hash};
+use std::sync::RwLock;
+
+use grepair_util::{FxBuildHasher, FxHashMap};
+
+/// Number of shards. A small power of two: enough that a handful of worker
+/// threads rarely collide (P(two of 8 threads hash to one of 16 shards) is
+/// modest, and collisions only contend on a read lock), small enough that
+/// iterating all shards for `len` stays trivial.
+pub(crate) const SHARDS: usize = 16;
+
+/// A concurrent map sharded by key hash, `RwLock` per shard.
+#[derive(Debug)]
+pub(crate) struct ShardedMap<K, V> {
+    shards: [RwLock<FxHashMap<K, V>>; SHARDS],
+    hasher: FxBuildHasher,
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            hasher: FxBuildHasher::default(),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    fn shard<Q: Hash + ?Sized>(&self, key: &Q) -> &RwLock<FxHashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        // High bits: FxHash mixes with a multiply, so the low bits of small
+        // integer keys are the least mixed.
+        &self.shards[(h >> (usize::BITS - 4)) & (SHARDS - 1)]
+    }
+
+    /// Clone of the cached value for `key`, if present (read lock only).
+    /// Accepts any borrowed form of the key (`&str` for `String` keys), same
+    /// as `HashMap::get`.
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shard(key).read().expect("cache shard poisoned").get(key).cloned()
+    }
+
+    /// Insert `value` unless `key` is already present; either way return the
+    /// value that ended up in the map. Losing a compute race is benign: both
+    /// threads computed equal values and everyone converges on the winner's.
+    pub(crate) fn insert_if_absent(&self, key: K, value: V) -> V {
+        self.shard(&key)
+            .write()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Total entries across all shards (test/diagnostic use).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let m: ShardedMap<u64, Arc<Vec<u64>>> = ShardedMap::default();
+        assert!(m.get(&7).is_none());
+        let v = m.insert_if_absent(7, Arc::new(vec![1, 2, 3]));
+        assert_eq!(*v, vec![1, 2, 3]);
+        let hit = m.get(&7).unwrap();
+        // A hit is the same allocation, not a copy.
+        assert!(Arc::ptr_eq(&hit, &v));
+    }
+
+    #[test]
+    fn first_insert_wins_races() {
+        let m: ShardedMap<u32, Arc<u32>> = ShardedMap::default();
+        let a = m.insert_if_absent(1, Arc::new(10));
+        let b = m.insert_if_absent(1, Arc::new(20));
+        assert_eq!((*a, *b), (10, 10), "second insert observes the first");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let m: ShardedMap<u64, u64> = ShardedMap::default();
+        for k in 0..4096u64 {
+            m.insert_if_absent(k, k);
+        }
+        assert_eq!(m.len(), 4096);
+        let occupied = m
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().is_empty())
+            .count();
+        assert_eq!(occupied, SHARDS, "sequential integer keys must not pile up");
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let m: Arc<ShardedMap<u64, Arc<u64>>> = Arc::new(ShardedMap::default());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let k = i % 64;
+                        let v = m.insert_if_absent(k, Arc::new(k * 2));
+                        assert_eq!(*v, k * 2, "thread {t}");
+                        assert_eq!(*m.get(&k).unwrap(), k * 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 64);
+    }
+}

@@ -13,9 +13,15 @@
 //!   never pays the O(|G|) setup.
 //! * **Batched serving** — [`GraphStore::query_batch`] amortizes work
 //!   across requests: duplicate queries collapse, `reach` queries sharing a
-//!   source reuse one forward closure, and neighbor expansion of repeated
-//!   rule labels is memoized store-wide (with hit/miss counters in
-//!   [`StoreStats`]).
+//!   source reuse one forward closure, `rpq` queries sharing a
+//!   (pattern, source) pair reuse one product closure, and neighbor
+//!   expansion of repeated rule labels is memoized store-wide (with
+//!   hit/miss counters in [`StoreStats`]).
+//! * **Concurrent serving** — the caches are sharded (`RwLock` per shard,
+//!   see `DESIGN.md §5`), answers are `Arc<QueryAnswer>` so every cache or
+//!   memo hit is a pointer clone instead of a deep copy, and
+//!   [`GraphStore::query_batch_parallel`] partitions one batch across
+//!   worker threads that share the per-batch closures.
 //!
 //! ```
 //! use grepair_store::{GraphStore, Query, QueryAnswer, write_container};
@@ -29,19 +35,24 @@
 //! let enc = grepair_codec::encode(&out.grammar);
 //! let store = GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).unwrap();
 //!
-//! let answers = store.query_batch(&[
+//! let queries = [
 //!     Query::OutNeighbors(0),
 //!     Query::Reach { s: 0, t: 8 },
 //!     Query::Components,
-//! ]);
+//! ];
+//! let answers = store.query_batch(&queries);
 //! assert!(answers.iter().all(|a| a.is_ok()));
-//! assert_eq!(answers[1], Ok(QueryAnswer::Bool(true)));
+//! assert_eq!(answers[1].as_deref(), Ok(&QueryAnswer::Bool(true)));
+//!
+//! // The same batch fanned out over worker threads: identical answers.
+//! assert_eq!(store.query_batch_parallel(&queries, 4), answers);
 //!
 //! // Hostile input errors instead of crashing the server.
 //! assert!(GraphStore::from_bytes(b"G2G1junk").is_err());
 //! assert!(store.query(&Query::OutNeighbors(1 << 40)).is_err());
 //! ```
 
+mod cache;
 mod error;
 pub mod query;
 mod store;

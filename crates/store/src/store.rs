@@ -1,15 +1,18 @@
 //! The long-lived query-serving store.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use grepair_grammar::Grammar;
 use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
 use grepair_queries::neighbors::Direction;
 use grepair_queries::reach::SourceClosure;
-use grepair_queries::{speedup, GrammarIndex, QueryError, ReachIndex, RpqIndex};
-use grepair_util::FxHashMap;
+use grepair_queries::{
+    speedup, GRepr, GrammarIndex, QueryError, ReachIndex, RpqIndex, RpqSourceClosure,
+};
+use grepair_util::{FxHashMap, FxHashSet};
 
+use crate::cache::ShardedMap;
 use crate::query::{compile_pattern, Query, QueryAnswer};
 use crate::GrepairError;
 
@@ -51,12 +54,18 @@ pub fn write_container(bytes: &[u8], bit_len: u64) -> Vec<u8> {
 type Expansion = Arc<Vec<(Vec<EdgeId>, NodeId)>>;
 /// Cache key: `(nonterminal, external position, direction)`.
 type ExpansionKey = (u32, u32, Direction);
+/// What every query entry point returns: a shared handle to the answer, so
+/// cache and memo hits are `Arc` clones, never `Vec` copies.
+type AnswerResult = Result<Arc<QueryAnswer>, GrepairError>;
 
-/// Monotonic serving counters (internal; snapshot via [`StoreStats`]).
+/// Monotonic serving counters. Every counter is an [`AtomicU64`] bumped with
+/// `Relaxed` ordering — correct under the concurrent batch paths (each
+/// increment lands exactly once) and free of any lock.
 #[derive(Debug, Default)]
 struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
+    parallel_batches: AtomicU64,
     errors: AtomicU64,
     expansion_hits: AtomicU64,
     expansion_misses: AtomicU64,
@@ -72,8 +81,11 @@ pub struct StoreStats {
     pub loads: u64,
     /// Queries answered (each element of a batch counts once).
     pub queries_served: u64,
-    /// `query_batch` invocations.
+    /// `query_batch` + `query_batch_parallel` invocations.
     pub batches: u64,
+    /// [`GraphStore::query_batch_parallel`] invocations that actually fanned
+    /// out to worker threads (also counted in `batches`).
+    pub parallel_batches: u64,
     /// Queries that returned an error.
     pub errors: u64,
     /// Memoized rule-expansion lookups that hit.
@@ -90,10 +102,11 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "loads={} queries={} batches={} errors={} expansion_cache={}/{} rpq_plans={}/{}",
+            "loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{}",
             self.loads,
             self.queries_served,
             self.batches,
+            self.parallel_batches,
             self.errors,
             self.expansion_cache_hits,
             self.expansion_cache_hits + self.expansion_cache_misses,
@@ -103,16 +116,128 @@ impl std::fmt::Display for StoreStats {
     }
 }
 
+/// What one pre-scan over the batch says is worth sharing. Amortization is
+/// only free when something repeats: memoizing a query nobody asks twice,
+/// or caching a source closure nobody reuses, is pure overhead (hash,
+/// clone, lock) on the hot path. The plan is built once per batch in O(n)
+/// and consulted read-only by every worker thread, lock-free.
+struct BatchPlan<'q> {
+    /// Queries occurring ≥ 2 times — the only ones the memo admits.
+    duplicates: FxHashSet<&'q Query>,
+    /// Sources of ≥ 2 (non-trivial) `reach` queries.
+    shared_reach: FxHashSet<u64>,
+    /// (pattern, source) pairs of ≥ 2 `rpq` queries.
+    shared_rpq: FxHashSet<(&'q str, u64)>,
+    /// Nodes named by ≥ 2 neighbor queries (`out`/`in`/`neighbors` mix).
+    shared_nodes: FxHashSet<u64>,
+}
+
+impl<'q> BatchPlan<'q> {
+    /// One hash set probe per query tells the hot path whether to bother —
+    /// empty sets short-circuit before hashing.
+    fn has_duplicates(&self) -> bool {
+        !self.duplicates.is_empty()
+    }
+
+    fn new(queries: &'q [Query]) -> Self {
+        let cap = queries.len();
+        let mut query_count: FxHashMap<&Query, u32> =
+            FxHashMap::with_capacity_and_hasher(cap, Default::default());
+        let mut reach_count: FxHashMap<u64, u32> =
+            FxHashMap::with_capacity_and_hasher(cap / 4, Default::default());
+        let mut rpq_count: FxHashMap<(&str, u64), u32> =
+            FxHashMap::with_capacity_and_hasher(cap / 4, Default::default());
+        let mut node_count: FxHashMap<u64, u32> =
+            FxHashMap::with_capacity_and_hasher(cap / 4, Default::default());
+        for q in queries {
+            *query_count.entry(q).or_default() += 1;
+            match q {
+                Query::Reach { s, t } if s != t => *reach_count.entry(*s).or_default() += 1,
+                Query::Rpq { s, pattern, .. } => {
+                    *rpq_count.entry((pattern.as_str(), *s)).or_default() += 1
+                }
+                Query::OutNeighbors(v) | Query::InNeighbors(v) | Query::Neighbors(v) => {
+                    *node_count.entry(*v).or_default() += 1
+                }
+                _ => {}
+            }
+        }
+        let repeated = |m: FxHashMap<u64, u32>| {
+            m.into_iter().filter(|&(_, c)| c >= 2).map(|(k, _)| k).collect()
+        };
+        Self {
+            duplicates: query_count
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                .map(|(q, _)| q)
+                .collect(),
+            shared_reach: repeated(reach_count),
+            shared_rpq: rpq_count
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                .map(|(k, _)| k)
+                .collect(),
+            shared_nodes: repeated(node_count),
+        }
+    }
+}
+
+/// Per-batch shared state: everything that lets one request's work pay for
+/// the next request's. Internally sharded ([`ShardedMap`]) and keyed by
+/// references into the batch slice (no `Query`/pattern clones), so the same
+/// context is shared *across worker threads* by
+/// [`GraphStore::query_batch_parallel`] without a global lock.
+struct BatchContext<'q> {
+    /// Which keys are worth admitting into the maps below.
+    plan: BatchPlan<'q>,
+    /// Duplicate queries collapse to one computation; hits are `Arc` clones.
+    memo: ShardedMap<&'q Query, AnswerResult>,
+    /// `reach` queries sharing a source reuse one forward closure.
+    reach_sources: ShardedMap<u64, Result<Arc<SourceClosure>, QueryError>>,
+    /// `rpq` queries sharing (pattern, source) reuse one product closure.
+    rpq_sources: ShardedMap<(&'q str, u64), Result<Arc<RpqSourceClosure>, QueryError>>,
+    /// Neighbor queries against the same node (`out v` / `in v` /
+    /// `neighbors v`) share one `locate` descent; distinct nodes under the
+    /// same rule subtree additionally share the store-wide expansions.
+    locates: ShardedMap<u64, Result<Arc<GRepr>, QueryError>>,
+}
+
+impl<'q> BatchContext<'q> {
+    fn new(queries: &'q [Query]) -> Self {
+        Self {
+            plan: BatchPlan::new(queries),
+            memo: ShardedMap::default(),
+            reach_sources: ShardedMap::default(),
+            rpq_sources: ShardedMap::default(),
+            locates: ShardedMap::default(),
+        }
+    }
+}
+
+/// Per-worker scratch buffers, reused across the queries one worker
+/// answers so the neighbor hot path does not reallocate its derivation-path
+/// buffer per query. Never shared between threads.
+#[derive(Default)]
+struct Scratch {
+    /// Absolute derivation path assembled while expanding nonterminal edges.
+    full: Vec<EdgeId>,
+}
+
 /// A loaded compressed graph, indexed once, serving forever.
 ///
 /// `GraphStore` is the serving-grade counterpart of the one-shot CLI path:
 /// it decodes a `.g2g` through a fully fallible pipeline (no panic on any
 /// byte sequence), eagerly builds the navigation and reachability indexes,
 /// and then answers any number of [`Query`]s — individually via
-/// [`GraphStore::query`] or amortized via [`GraphStore::query_batch`].
+/// [`GraphStore::query`], amortized via [`GraphStore::query_batch`], or
+/// across worker threads via [`GraphStore::query_batch_parallel`].
 ///
-/// All interior mutability is synchronized, so one store can be shared
-/// across threads (`&GraphStore: Send + Sync`).
+/// All interior mutability is synchronized (sharded `RwLock` caches, atomic
+/// counters), so one store can be shared across threads
+/// (`&GraphStore: Send + Sync`) and the read-mostly hot path scales with
+/// cores instead of serializing on a global lock. Answers come back as
+/// `Arc<QueryAnswer>`: a memoized hit is a pointer clone, never a deep copy
+/// of a neighbor list.
 #[derive(Debug)]
 pub struct GraphStore {
     grammar: Arc<Grammar>,
@@ -122,9 +247,9 @@ pub struct GraphStore {
     reach: ReachIndex<Arc<Grammar>>,
     /// Memoized rule expansions — hot on hub nodes, whose incident
     /// nonterminal edges repeat few distinct labels.
-    expansions: Mutex<FxHashMap<ExpansionKey, Expansion>>,
+    expansions: ShardedMap<ExpansionKey, Expansion>,
     /// Compiled RPQ plans per canonical pattern text.
-    plans: Mutex<FxHashMap<String, Arc<RpqIndex<Arc<Grammar>>>>>,
+    plans: ShardedMap<String, Arc<RpqIndex<Arc<Grammar>>>>,
     /// Whole-graph aggregates, computed at most once.
     components: OnceLock<u64>,
     degrees: OnceLock<Option<(u64, u64)>>,
@@ -145,8 +270,8 @@ impl GraphStore {
             index: GrammarIndex::new(grammar.clone()),
             reach: ReachIndex::new(grammar.clone()),
             grammar,
-            expansions: Mutex::new(FxHashMap::default()),
-            plans: Mutex::new(FxHashMap::default()),
+            expansions: ShardedMap::default(),
+            plans: ShardedMap::default(),
             components: OnceLock::new(),
             degrees: OnceLock::new(),
             counters: Counters::default(),
@@ -185,6 +310,7 @@ impl GraphStore {
             loads: self.loads,
             queries_served: c.queries.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
+            parallel_batches: c.parallel_batches.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
             expansion_cache_hits: c.expansion_hits.load(Ordering::Relaxed),
             expansion_cache_misses: c.expansion_misses.load(Ordering::Relaxed),
@@ -199,18 +325,23 @@ impl GraphStore {
 
     /// Out-neighbors of `v`, sorted ascending.
     pub fn out_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        Ok(self.collect_neighbors(v, Direction::Out)?)
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_neighbors(&repr, Direction::Out, &mut Scratch::default())?)
     }
 
     /// In-neighbors of `v`, sorted ascending.
     pub fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        Ok(self.collect_neighbors(v, Direction::In)?)
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_neighbors(&repr, Direction::In, &mut Scratch::default())?)
     }
 
-    /// Union of both directions, sorted and deduplicated.
+    /// Union of both directions, sorted and deduplicated (one `locate`
+    /// serves both passes).
     pub fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        let mut out = self.collect_neighbors(v, Direction::Out)?;
-        out.extend(self.collect_neighbors(v, Direction::In)?);
+        let repr = self.index.try_locate(v)?;
+        let mut scratch = Scratch::default();
+        let mut out = self.collect_neighbors(&repr, Direction::Out, &mut scratch)?;
+        out.extend(self.collect_neighbors(&repr, Direction::In, &mut scratch)?);
         out.sort_unstable();
         out.dedup();
         Ok(out)
@@ -242,9 +373,9 @@ impl GraphStore {
     }
 
     /// Answer one query, updating the serving counters.
-    pub fn query(&self, q: &Query) -> Result<QueryAnswer, GrepairError> {
+    pub fn query(&self, q: &Query) -> AnswerResult {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
-        let result = self.answer(q, &mut FxHashMap::default());
+        let result = self.answer(q, None, &mut Scratch::default());
         if result.is_err() {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -257,26 +388,87 @@ impl GraphStore {
 
     /// Answer many queries at once, amortizing shared work:
     ///
-    /// * duplicate queries are answered once and the answer cloned,
+    /// * duplicate queries are answered once; repeats share the `Arc`,
     /// * `reach` queries sharing a source reuse one forward closure
     ///   ([`ReachIndex::try_source`]) instead of recomputing it per target,
-    /// * rule expansions and RPQ plans hit the store-wide caches.
-    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<QueryAnswer, GrepairError>> {
+    /// * `rpq` queries sharing a (pattern, source) pair reuse one product
+    ///   closure ([`RpqIndex::try_source`]),
+    /// * neighbor queries against the same node share one `locate` descent,
+    /// * rule expansions and RPQ plans hit the store-wide sharded caches.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<AnswerResult> {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .queries
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
-        let mut sources: FxHashMap<u64, Result<SourceClosure, QueryError>> = FxHashMap::default();
-        let mut memo: FxHashMap<&Query, Result<QueryAnswer, GrepairError>> = FxHashMap::default();
+        let ctx = BatchContext::new(queries);
+        let mut scratch = Scratch::default();
+        self.answer_chunk(queries, &ctx, &mut scratch)
+    }
+
+    /// [`GraphStore::query_batch`], partitioned across `threads` worker
+    /// threads sharing one batch context (per-source closures, duplicate
+    /// memo, locate cache) through the sharded maps. Answers come back in
+    /// input order, errors included, exactly as the sequential path would
+    /// produce them.
+    ///
+    /// `threads` ≤ 1, a batch smaller than two queries, or a single-core
+    /// machine fall back to the sequential path; `threads` is capped at the
+    /// batch length. Worker threads are spawned per call (`std::thread` —
+    /// scoped, no pool): amortizing spawn cost across a 10k-query batch is
+    /// the intended usage, per-call overhead is ~tens of microseconds.
+    pub fn query_batch_parallel(&self, queries: &[Query], threads: usize) -> Vec<AnswerResult> {
+        let threads = threads.min(queries.len());
+        if threads <= 1 {
+            return self.query_batch(queries);
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.parallel_batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let ctx = BatchContext::new(queries);
+        let chunk_len = queries.len().div_ceil(threads);
+        let chunk_answers: Vec<Vec<AnswerResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::default();
+                        self.answer_chunk(chunk, ctx, &mut scratch)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+        chunk_answers.into_iter().flatten().collect()
+    }
+
+    /// Answer a contiguous run of batch queries through the shared context.
+    /// The memo only admits queries the batch plan saw twice — unique
+    /// queries (the common case in realistic traffic) skip the memo's hash,
+    /// clone, and lock entirely.
+    fn answer_chunk<'q>(
+        &self,
+        queries: &'q [Query],
+        ctx: &BatchContext<'q>,
+        scratch: &mut Scratch,
+    ) -> Vec<AnswerResult> {
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
-            let answer = match memo.get(q) {
-                Some(hit) => hit.clone(),
-                None => {
-                    let computed = self.answer(q, &mut sources);
-                    memo.insert(q, computed.clone());
-                    computed
+            let answer = if ctx.plan.has_duplicates() && ctx.plan.duplicates.contains(q) {
+                match ctx.memo.get(&q) {
+                    Some(hit) => hit,
+                    None => {
+                        let computed = self.answer(q, Some(ctx), scratch);
+                        ctx.memo.insert_if_absent(q, computed)
+                    }
                 }
+            } else {
+                self.answer(q, Some(ctx), scratch)
             };
             if answer.is_err() {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -286,35 +478,91 @@ impl GraphStore {
         out
     }
 
-    /// Shared worker for [`GraphStore::query`] / [`GraphStore::query_batch`]:
-    /// `sources` carries the per-batch forward-closure reuse (empty and
-    /// discarded for single queries).
-    fn answer(
+    /// Shared worker for every query entry point. `ctx` carries the
+    /// per-batch reuse (absent for single queries); `scratch` the per-worker
+    /// buffers. Each sharing lever engages only for keys the batch plan
+    /// marked as actually shared.
+    fn answer<'q>(
         &self,
-        q: &Query,
-        sources: &mut FxHashMap<u64, Result<SourceClosure, QueryError>>,
-    ) -> Result<QueryAnswer, GrepairError> {
-        Ok(match q {
-            Query::OutNeighbors(v) => QueryAnswer::Nodes(self.out_neighbors(*v)?),
-            Query::InNeighbors(v) => QueryAnswer::Nodes(self.in_neighbors(*v)?),
-            Query::Neighbors(v) => QueryAnswer::Nodes(self.neighbors(*v)?),
+        q: &'q Query,
+        ctx: Option<&BatchContext<'q>>,
+        scratch: &mut Scratch,
+    ) -> AnswerResult {
+        Ok(Arc::new(match q {
+            Query::OutNeighbors(v) => {
+                let repr = self.locate_for(*v, ctx)?;
+                QueryAnswer::Nodes(self.collect_neighbors(&repr, Direction::Out, scratch)?)
+            }
+            Query::InNeighbors(v) => {
+                let repr = self.locate_for(*v, ctx)?;
+                QueryAnswer::Nodes(self.collect_neighbors(&repr, Direction::In, scratch)?)
+            }
+            Query::Neighbors(v) => {
+                let repr = self.locate_for(*v, ctx)?;
+                let mut out = self.collect_neighbors(&repr, Direction::Out, scratch)?;
+                out.extend(self.collect_neighbors(&repr, Direction::In, scratch)?);
+                out.sort_unstable();
+                out.dedup();
+                QueryAnswer::Nodes(out)
+            }
             Query::Reach { s, t } if s == t => {
                 // Trivially true for valid ids — skip the forward closure.
                 QueryAnswer::Bool(self.reach.try_reachable(*s, *t)?)
             }
             Query::Reach { s, t } => {
-                let src = sources
-                    .entry(*s)
-                    .or_insert_with(|| self.reach.try_source(*s));
-                match src {
-                    Ok(closure) => QueryAnswer::Bool(self.reach.try_reachable_from(closure, *t)?),
-                    Err(e) => return Err(e.clone().into()),
-                }
+                let shared =
+                    ctx.filter(|c| !c.plan.shared_reach.is_empty() && c.plan.shared_reach.contains(s));
+                let Some(ctx) = shared else {
+                    return Ok(Arc::new(QueryAnswer::Bool(self.reach.try_reachable(*s, *t)?)));
+                };
+                let src = match ctx.reach_sources.get(s) {
+                    Some(hit) => hit,
+                    None => ctx.reach_sources.insert_if_absent(
+                        *s,
+                        self.reach.try_source(*s).map(Arc::new),
+                    ),
+                };
+                QueryAnswer::Bool(self.reach.try_reachable_from(&*src?, *t)?)
             }
-            Query::Rpq { s, t, pattern } => QueryAnswer::Bool(self.rpq(pattern, *s, *t)?),
+            Query::Rpq { s, t, pattern } => {
+                let plan = self.plan(pattern)?;
+                let key = (pattern.as_str(), *s);
+                let shared =
+                    ctx.filter(|c| !c.plan.shared_rpq.is_empty() && c.plan.shared_rpq.contains(&key));
+                let Some(ctx) = shared else {
+                    return Ok(Arc::new(QueryAnswer::Bool(plan.try_matches(*s, *t)?)));
+                };
+                let src = match ctx.rpq_sources.get(&key) {
+                    Some(hit) => hit,
+                    None => ctx
+                        .rpq_sources
+                        .insert_if_absent(key, plan.try_source(*s).map(Arc::new)),
+                };
+                QueryAnswer::Bool(plan.try_matches_from(&*src?, *t)?)
+            }
             Query::Components => QueryAnswer::Count(self.components()),
             Query::DegreeExtrema => QueryAnswer::Extrema(self.degree_extrema()),
-        })
+        }))
+    }
+
+    /// Resolve the G-representation of `k`, through the per-batch locate
+    /// cache when the plan says ≥ 2 neighbor queries name this node.
+    fn locate_for(
+        &self,
+        k: u64,
+        ctx: Option<&BatchContext<'_>>,
+    ) -> Result<Arc<GRepr>, QueryError> {
+        if let Some(ctx) =
+            ctx.filter(|c| !c.plan.shared_nodes.is_empty() && c.plan.shared_nodes.contains(&k))
+        {
+            return match ctx.locates.get(&k) {
+                Some(hit) => hit,
+                None => ctx
+                    .locates
+                    .insert_if_absent(k, self.index.try_locate(k).map(Arc::new)),
+            };
+        }
+        self.index.try_locate(k).map(Arc::new)
     }
 
     // ------------------------------------------------------------------
@@ -325,14 +573,28 @@ impl GraphStore {
     /// scan mirrors `GrammarIndex::neighbors`; the descent into each
     /// nonterminal edge is replaced by a cache of rule-relative expansions
     /// (see [`GrammarIndex::rule_expansion`] for the uncached reference).
-    fn collect_neighbors(&self, k: u64, dir: Direction) -> Result<Vec<u64>, QueryError> {
-        let repr = self.index.try_locate(k)?;
-        let ctx = self.index.context(&repr.path);
+    /// The caller resolves `repr` (possibly through the per-batch locate
+    /// cache — see [`GraphStore::locate_for`]); the derivation-path buffer
+    /// comes from `scratch`.
+    fn collect_neighbors(
+        &self,
+        repr: &GRepr,
+        dir: Direction,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<u64>, QueryError> {
+        let ctx_graph = self.index.context(&repr.path);
+        // Fast path: isolated (rank-0) nodes have no neighbors — return
+        // before touching the expansion machinery.
+        if ctx_graph.incident(repr.node).next().is_none() {
+            return Ok(Vec::new());
+        }
         let mut out = Vec::new();
-        let mut full: Vec<EdgeId> = repr.path.clone();
-        for e in ctx.incident(repr.node) {
-            let att = ctx.att(e);
-            match ctx.label(e) {
+        let full: &mut Vec<EdgeId> = &mut scratch.full;
+        full.clear();
+        full.extend_from_slice(&repr.path);
+        for e in ctx_graph.incident(repr.node) {
+            let att = ctx_graph.att(e);
+            match ctx_graph.label(e) {
                 EdgeLabel::Terminal(_) => {
                     if att.len() != 2 {
                         continue;
@@ -354,7 +616,7 @@ impl GraphStore {
                             full.truncate(repr.path.len());
                             full.push(e);
                             full.extend_from_slice(rel);
-                            out.push(self.index.global_id(&full, *node));
+                            out.push(self.index.global_id(full, *node));
                         }
                     }
                 }
@@ -365,22 +627,19 @@ impl GraphStore {
         Ok(out)
     }
 
-    /// Memoized rule-relative expansion for `(nt, ext position, dir)`.
+    /// Memoized rule-relative expansion for `(nt, ext position, dir)` — a
+    /// hit is an `Arc` clone out of the sharded cache (read lock, no copy).
     fn expansion(&self, nt: u32, pos: u32, dir: Direction) -> Expansion {
         let key: ExpansionKey = (nt, pos, dir);
-        {
-            let map = self.expansions.lock().expect("expansion cache poisoned");
-            if let Some(hit) = map.get(&key) {
-                self.counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
-            }
+        if let Some(hit) = self.expansions.get(&key) {
+            self.counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
-        // Compute outside the lock: the recursion below re-enters
+        // Compute outside any lock: the recursion below re-enters
         // `expansion` for nested nonterminals (sharing their entries too).
         self.counters.expansion_misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(self.compute_expansion(nt, pos, dir));
-        let mut map = self.expansions.lock().expect("expansion cache poisoned");
-        map.entry(key).or_insert(computed).clone()
+        self.expansions.insert_if_absent(key, computed)
     }
 
     /// Uncached expansion body; straight-line grammars make the recursion
@@ -422,20 +681,17 @@ impl GraphStore {
         out
     }
 
-    /// Compiled-plan lookup for an RPQ pattern.
+    /// Compiled-plan lookup for an RPQ pattern — a hit is an `Arc` clone out
+    /// of the sharded cache.
     fn plan(&self, pattern: &str) -> Result<Arc<RpqIndex<Arc<Grammar>>>, GrepairError> {
-        {
-            let map = self.plans.lock().expect("plan cache poisoned");
-            if let Some(hit) = map.get(pattern) {
-                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit.clone());
-            }
+        if let Some(hit) = self.plans.get(pattern) {
+            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
         let nfa = compile_pattern(pattern)?;
         let plan = Arc::new(RpqIndex::new(self.grammar.clone(), nfa));
-        let mut map = self.plans.lock().expect("plan cache poisoned");
-        Ok(map.entry(pattern.to_string()).or_insert(plan).clone())
+        Ok(self.plans.insert_if_absent(pattern.to_string(), plan))
     }
 }
 
@@ -454,6 +710,22 @@ mod tests {
         let encoded = grepair_codec::encode(&out.grammar);
         let file = write_container(&encoded.bytes, encoded.bit_len);
         (GraphStore::from_bytes(&file).unwrap(), g)
+    }
+
+    fn mixed_queries(n: u64, len: u64) -> Vec<Query> {
+        (0..len)
+            .map(|i| match i % 5 {
+                0 => Query::OutNeighbors(i % n),
+                1 => Query::InNeighbors((i * 7) % n),
+                2 => Query::Reach { s: (i * 3) % n, t: (i * 11) % n },
+                3 => Query::Rpq {
+                    s: (i * 5) % n,
+                    t: (i * 13) % n,
+                    pattern: if i % 2 == 0 { "0 1".into() } else { "0* 1*".into() },
+                },
+                _ => Query::Neighbors((i * 17) % n),
+            })
+            .collect()
     }
 
     #[test]
@@ -533,6 +805,77 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_matches_sequential() {
+        let (store, _) = store_for(24);
+        let n = store.total_nodes();
+        let mut queries = mixed_queries(n, 600);
+        // Sprinkle in errors: order and Err values must survive the fan-out.
+        for i in (0..queries.len()).step_by(37) {
+            queries[i] = Query::OutNeighbors(n + i as u64);
+        }
+        let sequential = store.query_batch(&queries);
+        for threads in [2, 3, 8] {
+            let parallel = store.query_batch_parallel(&queries, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                assert_eq!(p, s, "answer {i} with {threads} threads: {:?}", queries[i]);
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.parallel_batches, 3, "{stats}");
+        assert_eq!(stats.batches, 4, "{stats}");
+    }
+
+    #[test]
+    fn parallel_batch_degenerate_inputs() {
+        let (store, _) = store_for(4);
+        assert!(store.query_batch_parallel(&[], 8).is_empty());
+        let one = store.query_batch_parallel(&[Query::Components], 8);
+        assert_eq!(one.len(), 1);
+        // threads = 0 falls back to the sequential path.
+        let zero = store.query_batch_parallel(&[Query::Components], 0);
+        assert_eq!(zero, one);
+        assert_eq!(store.stats().parallel_batches, 0);
+    }
+
+    #[test]
+    fn memoized_hits_share_the_answer_allocation() {
+        // The clone-free hit path: duplicate queries in one batch return the
+        // same Arc, not a deep copy of the neighbor list.
+        let (store, _) = store_for(16);
+        let batch = [
+            Query::OutNeighbors(3),
+            Query::Neighbors(5),
+            Query::OutNeighbors(3),
+            Query::Neighbors(5),
+        ];
+        let answers = store.query_batch(&batch);
+        let a = answers[0].as_ref().unwrap();
+        let b = answers[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(a, b), "duplicate answers must share one allocation");
+        let c = answers[1].as_ref().unwrap();
+        let d = answers[3].as_ref().unwrap();
+        assert!(Arc::ptr_eq(c, d));
+        // Exactly the two batch slots hold the allocation (the per-batch
+        // memo is dropped when `query_batch` returns): the duplicate cost
+        // one Arc clone, zero Vec clones.
+        assert_eq!(Arc::strong_count(a), 2);
+    }
+
+    #[test]
+    fn expansion_hits_are_arc_clones() {
+        let (store, _) = store_for(16);
+        // Warm the cache, then check a hit shares the allocation.
+        let first = store.expansion(0, 0, Direction::Out);
+        let count_before = Arc::strong_count(&first);
+        let second = store.expansion(0, 0, Direction::Out);
+        assert!(Arc::ptr_eq(&first, &second), "hit must be the cached allocation");
+        assert_eq!(Arc::strong_count(&first), count_before + 1);
+        let s = store.stats();
+        assert!(s.expansion_cache_hits >= 1, "{s}");
+    }
+
+    #[test]
     fn batch_reuses_sources_and_plans() {
         let (store, _) = store_for(16);
         let n = store.total_nodes();
@@ -552,6 +895,37 @@ mod tests {
         assert_eq!(s.rpq_plan_hits, n - 1, "{s}");
         assert_eq!(s.batches, 1);
         assert_eq!(s.queries_served, 2 * n);
+    }
+
+    #[test]
+    fn concurrent_individual_queries_keep_counters_exact() {
+        let (store, _) = store_for(16);
+        let n = store.total_nodes();
+        let per_thread = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = match (t + i) % 3 {
+                            0 => Query::OutNeighbors(i % n),
+                            1 => Query::Reach { s: i % n, t: (i * 3) % n },
+                            // Every thread's last id is out of range.
+                            _ => Query::InNeighbors(n + i),
+                        };
+                        let _ = store.query(&q);
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.queries_served, 4 * per_thread);
+        // Each thread hits the out-of-range arm ⌈500/3⌉ or ⌊500/3⌋ times
+        // depending on its phase; the exact total is deterministic.
+        let expected_errors: u64 = (0..4u64)
+            .map(|t| (0..per_thread).filter(|i| (t + i) % 3 == 2).count() as u64)
+            .sum();
+        assert_eq!(stats.errors, expected_errors, "{stats}");
     }
 
     #[test]

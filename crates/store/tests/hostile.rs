@@ -119,4 +119,13 @@ fn ten_thousand_mixed_queries_from_one_store() {
     assert_eq!(stats.errors, 0);
     assert!(stats.expansion_cache_hits > 0);
     assert_eq!(stats.rpq_plan_misses, 2, "{stats}");
+    // The same 10k through the concurrent engine: identical answers, and
+    // the worker fan-out keeps the counters exact.
+    let parallel = store.query_batch_parallel(&queries, 8);
+    assert_eq!(parallel, answers);
+    let stats = store.stats();
+    assert_eq!(stats.queries_served, 21_000, "{stats}");
+    assert_eq!(stats.errors, 0, "{stats}");
+    assert_eq!(stats.parallel_batches, 1, "{stats}");
+    assert_eq!(stats.rpq_plan_misses, 2, "plans persist across batches: {stats}");
 }
