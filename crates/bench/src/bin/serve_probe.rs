@@ -1,0 +1,123 @@
+//! `serve-probe` — the wire-protocol client for a live `grepair-server`
+//! (or `grepair store serve`): CI's byte-identity check and a
+//! client-driven throughput probe.
+//!
+//! ```text
+//! serve-probe <addr> <queries.txt>     # stream a query file, print replies to stdout
+//! serve-probe <addr> --throughput N    # generate the bench's skewed mixed workload
+//! ```
+//!
+//! File mode writes exactly one reply line per request line to stdout, so
+//! `diff <(serve-probe ADDR q.txt) <(grepair store serve-file g.g2g q.txt)`
+//! is the protocol's equivalence oracle. Throughput mode asks the server
+//! `INFO` for its node count, generates `N` queries with
+//! [`grepair_bench::serving::mixed_batch`] (the same skewed-popularity
+//! workload `BENCH_store.json` measures in-process), and reports
+//! client-observed queries/second to stderr.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use grepair_bench::serving::{mixed_batch, probe_server, query_line};
+
+const USAGE: &str = "usage:
+  serve-probe <addr> <queries.txt>      stream a query file, replies to stdout
+  serve-probe <addr> --throughput <N>   drive N generated mixed queries, report q/s";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("missing server address")?;
+    match args.get(1).map(String::as_str) {
+        Some("--throughput") => {
+            let count: u64 = args
+                .get(2)
+                .ok_or("missing query count")?
+                .parse()
+                .map_err(|e| format!("bad query count: {e}"))?;
+            if let Some(extra) = args.get(3) {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            throughput(addr, count)
+        }
+        Some(path) => {
+            if let Some(extra) = args.get(2) {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            stream_file(addr, path)
+        }
+        None => Err("missing queries file or --throughput".into()),
+    }
+}
+
+/// File mode: replies go to stdout byte-for-byte, like serve-file's.
+fn stream_file(addr: &str, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let report = probe_server(addr, &lines).map_err(|e| format!("{addr}: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for answer in &report.answers {
+        writeln!(out, "{answer}").map_err(|e| format!("stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "probed {} queries ({} errors) against {addr}: {:.1} q/s",
+        report.sent,
+        report.errors,
+        report.throughput_qps()
+    );
+    if report.answers.len() != report.sent {
+        return Err(format!(
+            "server answered {} of {} requests — connection cut short?",
+            report.answers.len(),
+            report.sent
+        ));
+    }
+    Ok(())
+}
+
+/// Throughput mode: learn the node count from `INFO`, then push the
+/// bench's skewed mixed workload through the socket.
+fn throughput(addr: &str, count: u64) -> Result<(), String> {
+    let info = probe_server(addr, &["INFO".to_string()]).map_err(|e| format!("{addr}: {e}"))?;
+    let info_line = info.answers.first().ok_or("server sent no INFO reply")?;
+    let nodes: u64 = info_line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("nodes="))
+        .ok_or_else(|| format!("unparsable INFO reply {info_line:?}"))?
+        .parse()
+        .map_err(|e| format!("unparsable node count in {info_line:?}: {e}"))?;
+    if nodes == 0 {
+        return Err("server is serving an empty graph".into());
+    }
+    let lines: Vec<String> = mixed_batch(nodes, count).iter().map(query_line).collect();
+    let report = probe_server(addr, &lines).map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!("{info_line}");
+    eprintln!(
+        "throughput: {} queries in {:.1} ms -> {:.1} q/s ({} errors)",
+        report.sent,
+        report.elapsed_ns / 1e6,
+        report.throughput_qps(),
+        report.errors
+    );
+    if report.answers.len() != report.sent {
+        return Err(format!(
+            "server answered {} of {} requests — connection cut short?",
+            report.answers.len(),
+            report.sent
+        ));
+    }
+    Ok(())
+}

@@ -81,6 +81,21 @@ pub fn mixed_batch(n: u64, len: u64) -> Vec<Query> {
         .collect()
 }
 
+/// Render one query as a wire-protocol request line (DESIGN.md §6) — the
+/// inverse of `grepair_store::parse_query`, used to drive a live
+/// `grepair-server` with the same workloads the in-process benches use.
+pub fn query_line(q: &Query) -> String {
+    match q {
+        Query::OutNeighbors(v) => format!("out {v}"),
+        Query::InNeighbors(v) => format!("in {v}"),
+        Query::Neighbors(v) => format!("neighbors {v}"),
+        Query::Reach { s, t } => format!("reach {s} {t}"),
+        Query::Rpq { s, t, pattern } => format!("rpq {s} {t} {pattern}"),
+        Query::Components => "components".into(),
+        Query::DegreeExtrema => "degrees".into(),
+    }
+}
+
 fn time_ns(f: impl FnOnce()) -> f64 {
     let t = Instant::now();
     f();
@@ -181,6 +196,80 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
     }
 }
 
+/// What one socket probe against a live server measured.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// Request lines sent (blank/comment lines are not requests).
+    pub sent: usize,
+    /// Every reply line, in order — for file mode these bytes are asserted
+    /// identical to `store serve-file` on the same input.
+    pub answers: Vec<String>,
+    /// How many of the replies were `error:` lines.
+    pub errors: usize,
+    /// Wall time from first byte written to last reply read.
+    pub elapsed_ns: f64,
+}
+
+impl ProbeReport {
+    /// Requests per second over the whole probe.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        self.sent as f64 / (self.elapsed_ns / 1e9)
+    }
+}
+
+/// Stream `lines` to a live server at `addr` and collect one reply line
+/// per request line — the client half of the wire protocol, pipelined: a
+/// writer thread pushes the whole workload while this thread drains
+/// replies, so neither side deadlocks on a full socket buffer.
+pub fn probe_server(addr: &str, lines: &[String]) -> std::io::Result<ProbeReport> {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::{Shutdown, TcpStream};
+
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone()?);
+    let start = Instant::now();
+    let sent = lines
+        .iter()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .count();
+    let mut answers = Vec::with_capacity(sent);
+    let mut errors = 0usize;
+    // Scoped writer: borrows the workload (no copy of what may be millions
+    // of request lines) while this thread drains replies concurrently —
+    // the pipelined-client shape §6.1 requires to avoid self-deadlock on a
+    // full socket buffer.
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            let mut out = BufWriter::new(&stream);
+            for line in lines {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            // Half-close: the server answers everything, then closes,
+            // which ends the reader's drain below.
+            stream.shutdown(Shutdown::Write)
+        });
+        for line in reader.lines() {
+            let line = line?;
+            if line.starts_with("error: ") {
+                errors += 1;
+            }
+            answers.push(line);
+        }
+        writer.join().expect("probe writer thread")
+    })?;
+    let elapsed_ns = start.elapsed().as_nanos() as f64;
+    Ok(ProbeReport { sent, answers, errors, elapsed_ns })
+}
+
 /// A JSON number: finite, fixed precision (JSON has no NaN/Infinity).
 fn num(x: f64) -> String {
     assert!(x.is_finite(), "bench numbers must be finite, got {x}");
@@ -277,6 +366,18 @@ mod tests {
         let mut r = sample();
         r.batch_sequential_ns = f64::NAN;
         render_store_bench_json(&r);
+    }
+
+    #[test]
+    fn query_lines_round_trip_through_the_parser() {
+        for q in mixed_batch(97, 200) {
+            let line = query_line(&q);
+            let parsed = grepair_store::parse_query(&line)
+                .unwrap_or_else(|e| panic!("{line:?} must re-parse: {e}"));
+            assert_eq!(parsed, q, "{line:?}");
+        }
+        assert_eq!(query_line(&Query::Components), "components");
+        assert_eq!(query_line(&Query::DegreeExtrema), "degrees");
     }
 
     #[test]

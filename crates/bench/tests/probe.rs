@@ -1,0 +1,59 @@
+//! The probe client against a live loopback server: the bench workload
+//! generator, the wire rendering, and the pipelined client must agree with
+//! the in-process batch API answer for answer.
+
+use std::sync::Arc;
+
+use grepair_bench::serving::{mixed_batch, probe_server, query_line};
+use grepair_core::{compress, GRePairConfig};
+use grepair_hypergraph::Hypergraph;
+use grepair_server::{Server, ServerConfig};
+use grepair_store::{error_reply, write_container, GraphStore, StoreRegistry};
+
+fn fixture_bytes() -> Vec<u8> {
+    let reps = 24u32;
+    let (g, _) = Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+    );
+    let out = compress(&g, &GRePairConfig::default());
+    let enc = grepair_codec::encode(&out.grammar);
+    write_container(&enc.bytes, enc.bit_len)
+}
+
+#[test]
+fn probe_answers_match_the_in_process_batch() {
+    let bytes = fixture_bytes();
+    let registry = Arc::new(StoreRegistry::new(GraphStore::from_bytes(&bytes).unwrap()));
+    let server =
+        Server::bind(&ServerConfig::default(), Arc::clone(&registry), None).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+
+    let store = GraphStore::from_bytes(&bytes).unwrap();
+    let queries = mixed_batch(store.total_nodes(), 2_000);
+    let lines: Vec<String> = queries.iter().map(query_line).collect();
+    let report = probe_server(&addr.to_string(), &lines).unwrap();
+    assert_eq!(report.sent, queries.len());
+    assert_eq!(report.answers.len(), queries.len());
+    assert!(report.elapsed_ns > 0.0);
+    assert!(report.throughput_qps() > 0.0);
+
+    let expected = store.query_batch(&queries);
+    for (i, (got, want)) in report.answers.iter().zip(&expected).enumerate() {
+        let want = match want {
+            Ok(a) => a.to_string(),
+            Err(e) => error_reply(e),
+        };
+        assert_eq!(got, &want, "answer {i} ({:?})", queries[i]);
+    }
+    assert_eq!(
+        report.errors,
+        expected.iter().filter(|a| a.is_err()).count(),
+        "error count must match"
+    );
+
+    handle.stop();
+    thread.join().unwrap();
+}

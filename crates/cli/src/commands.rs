@@ -5,12 +5,12 @@
 //! guarantee: hostile bytes and out-of-range ids become error messages and a
 //! non-zero exit code.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 
 use crate::{compress_and_report, read_graph, read_graph_with_map, CompressOpts};
 use grepair_datasets as datasets;
 use grepair_hypergraph::{EdgeLabel, Hypergraph};
-use grepair_store::{parse_query, write_container, GraphStore, GrepairError, Query};
+use grepair_store::{write_container, GraphStore, GrepairError, StoreRegistry};
 
 /// `grepair stats <graph>`.
 pub fn stats(path: &str) -> Result<(), String> {
@@ -188,59 +188,50 @@ pub fn query(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Answer one batch of parsed lines and write the answers (or per-line
-/// errors) in input order. Returns how many lines errored.
-fn serve_chunk(
-    store: &GraphStore,
-    pending: &[Result<Query, String>],
-    threads: usize,
-    out: &mut impl Write,
-) -> Result<usize, String> {
-    let queries: Vec<Query> = pending.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
-    let answers = if threads > 1 {
-        store.query_batch_parallel(&queries, threads)
-    } else {
-        store.query_batch(&queries)
-    };
-    let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
-        out.write_fmt(text).map_err(|e| format!("stdout: {e}"))
-    };
-    let mut next = 0usize;
-    let mut errors = 0usize;
-    for p in pending {
-        match p {
-            Ok(_) => {
-                match &answers[next] {
-                    Ok(a) => emit(out, format_args!("{a}\n"))?,
-                    Err(e) => {
-                        errors += 1;
-                        emit(out, format_args!("error: {e}\n"))?;
-                    }
-                }
-                next += 1;
-            }
-            Err(e) => {
-                errors += 1;
-                emit(out, format_args!("error: {e}\n"))?;
-            }
+/// Count the request lines (non-blank, non-comment) left in a reader —
+/// what a mid-file `QUIT` would leave unanswered.
+fn count_request_lines(reader: &mut impl std::io::BufRead) -> std::io::Result<u64> {
+    let mut line = Vec::new();
+    let mut count = 0u64;
+    loop {
+        line.clear();
+        if reader.read_until(b'\n', &mut line)? == 0 {
+            return Ok(count);
+        }
+        let trimmed = line.trim_ascii();
+        if !trimmed.is_empty() && !trimmed.starts_with(b"#") {
+            count += 1;
         }
     }
-    Ok(errors)
 }
 
-/// `grepair store serve-file <in.g2g> <queries.txt> [--batch N]
-/// [--threads N]`: the traffic-shaped scenario — load once, answer a
-/// stream of queries.
+/// `grepair store serve-file ...` (offline) and `grepair store serve ...`
+/// (the TCP front end).
 ///
-/// One answer line per query line, in input order: the rendered answer, or
-/// `error: <reason>` for requests the store rejected (a bad request never
-/// stops the stream — a server must outlive its worst client). The query
-/// file is streamed line by line in `--batch`-sized chunks, so memory use
-/// is bounded by the batch size, never by the file; `--threads N` fans each
-/// chunk out across N worker threads (`0` = one per available core).
-/// Serving statistics go to stderr.
+/// `serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N]
+/// [--max-line N]` delegates to `grepair-server`: it binds, prints one
+/// `listening <addr> ...` line, and speaks the wire protocol of DESIGN.md
+/// §6 (the serve-file query plane plus `PING`/`INFO`/`STATS`/`RELOAD`/
+/// `QUIT` admin commands and SIGHUP hot reload) until killed.
+///
+/// `serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]` drives
+/// the **same session engine** from a file instead of a socket — the two
+/// front ends are byte-identical on the same input by construction, every
+/// failure mode included (unknown verbs, out-of-range ids, non-UTF-8
+/// bytes, oversized lines). One reply line per request line, in input
+/// order; a bad request never stops the stream. The file is streamed (at
+/// most `--batch` parsed lines in memory), `--threads N` sizes the worker
+/// pool batches fan out on (`0` = one per available core), and serving
+/// statistics go to stderr. A missing final newline is tolerated: file
+/// input is line-oriented, so the last line counts even unterminated
+/// (over a raw socket the same bytes would be a mid-line disconnect and
+/// be discarded — see DESIGN.md §6.1). The admin plane works offline too
+/// (a scripted `RELOAD` swaps generations mid-file); a `QUIT` ends the
+/// run like it ends a connection, with a stderr warning naming how many
+/// request lines it left unanswered.
 pub fn store_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
+        Some("serve") => grepair_server::run_cli(&args[1..]),
         Some("serve-file") => {
             let g2g = args.get(1).ok_or("missing g2g file")?;
             let queries_path = args.get(2).ok_or("missing queries file")?;
@@ -253,54 +244,41 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
                 return Err("--batch must be at least 1".into());
             }
             let threads: usize = match crate::flag_value(&args[3..], "--threads") {
-                Some(raw) => {
-                    let n: usize = raw.parse().map_err(|e| format!("bad --threads: {e}"))?;
-                    if n == 0 {
-                        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
-                    } else {
-                        n
-                    }
-                }
+                Some(raw) => raw.parse().map_err(|e| format!("bad --threads: {e}"))?,
                 None => 1,
             };
-            let store = open_store(g2g)?;
+            let registry = StoreRegistry::new(open_store(g2g)?);
+            let pool = grepair_server::WorkerPool::new(threads);
             let file = std::fs::File::open(queries_path)
                 .map_err(|e| format!("{queries_path}: {e}"))?;
-            let mut reader = BufReader::new(file);
+            // Chaining one extra newline terminates an unterminated final
+            // line; for well-formed files it is a trailing blank line,
+            // which the protocol skips without a reply.
+            let mut reader = BufReader::new(file.chain(&b"\n"[..]));
             let stdout = std::io::stdout();
             let mut out = BufWriter::new(stdout.lock());
-
-            // Stream: at most one batch of parsed lines is in memory at a
-            // time, so a query log larger than RAM still serves.
-            let mut pending: Vec<Result<Query, String>> = Vec::with_capacity(batch_size);
-            let mut line = String::new();
-            let mut served = 0usize;
-            let mut errors = 0usize;
-            loop {
-                line.clear();
-                let bytes = reader
-                    .read_line(&mut line)
+            let opts = grepair_server::SessionOpts {
+                batch: batch_size,
+                reload_path: Some(g2g.clone()),
+                ..Default::default()
+            };
+            let summary =
+                grepair_server::serve_session(&registry, &pool, &mut reader, &mut out, &opts)
                     .map_err(|e| format!("{queries_path}: {e}"))?;
-                if bytes > 0 {
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() || trimmed.starts_with('#') {
-                        continue;
-                    }
-                    pending.push(parse_query(trimmed).map_err(|e| e.to_string()));
-                }
-                if pending.len() >= batch_size || (bytes == 0 && !pending.is_empty()) {
-                    served += pending.len();
-                    errors += serve_chunk(&store, &pending, threads, &mut out)?;
-                    pending.clear();
-                }
-                if bytes == 0 {
-                    break;
-                }
-            }
             out.flush().map_err(|e| format!("stdout: {e}"))?;
+            // The admin plane works offline too, so a QUIT line ends the
+            // session like it ends a connection — but a replayed log that
+            // stops mid-file deserves a visible trace, not silence.
+            let skipped = count_request_lines(&mut reader)
+                .map_err(|e| format!("{queries_path}: {e}"))?;
+            if skipped > 0 {
+                eprintln!("warning: QUIT left {skipped} request lines unanswered");
+            }
             eprintln!(
-                "served {served} queries ({errors} errors) from {g2g}: {}",
-                store.stats()
+                "served {} queries ({} errors) from {g2g}: {}",
+                summary.served,
+                summary.errors,
+                registry.stats()
             );
             Ok(())
         }

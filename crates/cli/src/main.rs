@@ -10,6 +10,7 @@
 //! grepair query      components <in.g2g>
 //! grepair query      rpq <in.g2g> <s> <t> <atom>...
 //! grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
+//! grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
 //! grepair generate   <kind> [n] [seed] -o <graph.txt>
 //! ```
 //!
@@ -46,6 +47,7 @@ const USAGE: &str = "usage:
   grepair decompress <in.g2g> -o <graph.txt> [--map FILE]
   grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
   grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
+  grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
   grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -81,30 +83,9 @@ pub struct CompressOpts {
     pub config: GRePairConfig,
 }
 
-pub(crate) fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-/// Check that `args` is exactly a sequence of `known` value-taking flags,
-/// each followed by its value — a typoed or value-less flag is a usage
-/// error, not a silent no-op.
-pub(crate) fn validate_value_flags(args: &[String], known: &[&str]) -> Result<(), String> {
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if !known.contains(&a.as_str()) {
-            return Err(format!("unexpected argument {a:?}"));
-        }
-        if i + 1 >= args.len() {
-            return Err(format!("flag {a} needs a value"));
-        }
-        i += 2;
-    }
-    Ok(())
-}
+// One argv contract for every binary in the workspace (the server shares
+// these — see `grepair_util::args`).
+pub(crate) use grepair_util::args::{flag_value, validate_value_flags};
 
 fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
     let output = flag_value(args, "-o").ok_or("missing -o OUTPUT")?;

@@ -234,6 +234,156 @@ fn serve_file_streams_identically_across_batch_and_thread_settings() {
 }
 
 #[test]
+fn store_serve_speaks_the_same_bytes_as_serve_file() {
+    // The real binary end to end: `store serve` on an ephemeral loopback
+    // port must answer a mixed query file byte-identically to
+    // `store serve-file`, and the admin plane must hot-reload without
+    // dropping the connection (DESIGN.md §6).
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let g2g = compressed_fixture();
+    let queries = scratch("serve_socket_queries.txt");
+    let mut text = String::from("# all classes, with per-line errors\n\n");
+    for i in 0..120u64 {
+        match i % 6 {
+            0 => text.push_str(&format!("out {}\n", i % 41)),
+            1 => text.push_str(&format!("neighbors {}\n", (i * 3) % 41)),
+            2 => text.push_str(&format!("reach {} {}\n", i % 41, (i * 5) % 41)),
+            3 => text.push_str(&format!("rpq {} {} 0* 1*\n", i % 41, (i * 11) % 41)),
+            4 => text.push_str(&format!("in {}\n", 1000 + i)), // out of range
+            _ => text.push_str("bogus verb\n"),                // parse error
+        }
+    }
+    text.push_str("components\ndegrees\n");
+    std::fs::write(&queries, &text).unwrap();
+
+    let offline = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    assert!(offline.status.success());
+    let expected = String::from_utf8_lossy(&offline.stdout).to_string();
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_grepair"))
+        .args(["store", "serve", &g2g, "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+    // First stdout line announces the bound ephemeral port.
+    let mut banner = String::new();
+    BufReader::new(server.stdout.take().unwrap()).read_line(&mut banner).unwrap();
+    assert!(banner.starts_with("listening "), "{banner:?}");
+    assert!(banner.contains("proto=1") && banner.contains("generation=1"), "{banner:?}");
+    let addr = banner.split_whitespace().nth(1).expect("addr in banner").to_string();
+
+    let result = std::panic::catch_unwind(|| {
+        // Byte-identity: stream the file, half-close, drain.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(text.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut got = String::new();
+        stream.read_to_string(&mut got).unwrap();
+        assert_eq!(got, expected, "socket vs serve-file");
+
+        // Admin plane on a second, interactive connection.
+        let stream = TcpStream::connect(&addr).expect("connect admin");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut roundtrip = |line: &str| -> String {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert_eq!(roundtrip("PING"), "pong");
+        assert!(roundtrip("INFO").contains("generation=1"));
+        assert_eq!(roundtrip("out 0"), "1");
+        // Bare RELOAD re-reads the serving .g2g (the configured path).
+        assert!(roundtrip("RELOAD").starts_with("reloaded generation=2"));
+        assert!(roundtrip("STATS").starts_with("generation=2 "));
+        assert_eq!(roundtrip("out 0"), "1", "same connection, new generation");
+        assert_eq!(roundtrip("QUIT"), "bye");
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn serve_file_survives_hostile_bytes_and_missing_final_newline() {
+    // serve-file runs the same session engine as the socket server: a
+    // non-UTF-8 line and an oversized line become error replies (they used
+    // to abort the old read_line loop), and an unterminated final line
+    // still counts (file input is line-oriented — DESIGN.md §6.1).
+    let g2g = compressed_fixture();
+    let queries = scratch("hostile_serve_queries.txt");
+    let mut bytes: Vec<u8> = Vec::new();
+    bytes.extend_from_slice(b"out 0\n");
+    bytes.extend_from_slice(b"\xff\xfe not text\n");
+    bytes.extend_from_slice(&vec![b'a'; 100_000]);
+    bytes.extend_from_slice(b"\nreach 0 40"); // no trailing newline
+    std::fs::write(&queries, bytes).unwrap();
+    let out = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert_eq!(lines[0], "1");
+    assert!(lines[1].contains("not valid UTF-8"), "{stdout}");
+    assert!(lines[2].contains("exceeds"), "{stdout}");
+    assert_eq!(lines[3], "true", "unterminated final line still answered");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("served 4 queries (2 errors)"), "{stderr}");
+}
+
+#[test]
+fn serve_file_speaks_the_admin_plane_and_flags_a_mid_file_quit() {
+    let g2g = compressed_fixture();
+    let queries = scratch("admin_serve_queries.txt");
+    std::fs::write(&queries, "out 0\nSTATS\nQUIT\nout 1\nout 2\n# not a request\n").unwrap();
+    let out = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "QUIT ends the session:\n{stdout}");
+    assert_eq!(lines[0], "1");
+    assert!(lines[1].starts_with("generation=1 "), "{stdout}");
+    assert_eq!(lines[2], "bye");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: QUIT left 2 request lines unanswered"),
+        "truncation must be visible:\n{stderr}"
+    );
+}
+
+#[test]
+fn store_serve_rejects_broken_setup() {
+    assert_clean_failure(
+        &grepair(&["store", "serve", "/nonexistent/x.g2g"]),
+        "/nonexistent/x.g2g",
+        "missing store",
+    );
+    let g2g = compressed_fixture();
+    assert_clean_failure(
+        &grepair(&["store", "serve", &g2g, "--prot", "80"]),
+        "--prot",
+        "typoed flag",
+    );
+    assert_clean_failure(
+        &grepair(&["store", "serve", &g2g, "--batch", "0"]),
+        "--batch",
+        "zero batch",
+    );
+    assert_clean_failure(
+        &grepair(&["store", "serve", &g2g, "--addr", "999.999.999.999:1"]),
+        "bind",
+        "unbindable address",
+    );
+}
+
+#[test]
 fn serve_file_rejects_broken_setup() {
     let g2g = compressed_fixture();
     let queries = scratch("setup_queries.txt");

@@ -1,0 +1,59 @@
+//! gRePair as a network service: a TCP front end over
+//! [`grepair_store::GraphStore`].
+//!
+//! The paper's §V payoff — neighborhood, reachability, and path queries
+//! answered *on the compressed grammar* — only pays off operationally when
+//! clients can reach the index over a long-lived connection. This crate is
+//! that front end:
+//!
+//! * **Wire protocol** — the same newline-delimited text protocol
+//!   `grepair store serve-file` speaks (one query per line, one reply line
+//!   back, per-line errors keep the connection serving), extended with an
+//!   upper-case admin plane (`PING` / `INFO` / `STATS` / `RELOAD` /
+//!   `QUIT`). Versioned and fully specified in DESIGN.md §6; the CI smoke
+//!   step asserts the socket and file front ends answer byte-identically.
+//! * **Reusable worker pool** — [`WorkerPool`] keeps a fixed set of
+//!   resident threads fed through a channel and plugs into
+//!   [`GraphStore::query_batch_on`](grepair_store::GraphStore::query_batch_on)
+//!   as a [`grepair_store::BatchExecutor`], so a connection's request batch
+//!   fans out across reused threads instead of paying a per-batch
+//!   `thread::spawn` (the PR-3 spawn-cost note).
+//! * **Hot reload** — all sessions resolve the store through one
+//!   [`grepair_store::StoreRegistry`]; the `RELOAD` admin command (or
+//!   `SIGHUP`) swaps in a freshly loaded `.g2g` while in-flight batches
+//!   finish on the old `Arc`, bumping the monotonic generation echoed by
+//!   `STATS`/`INFO`.
+//!
+//! Serving topology: one [`Server`] owns the listener; each accepted
+//! connection gets a session thread running [`serve_session`]; every
+//! session shares the one registry and the one pool. The embedded,
+//! no-socket version of the same pattern is `examples/serving.rs` at the
+//! repository root.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use grepair_server::{Server, ServerConfig};
+//! use grepair_store::StoreRegistry;
+//!
+//! let registry = Arc::new(StoreRegistry::open("graph.g2g").unwrap());
+//! let server = Server::bind(
+//!     &ServerConfig::default(), // 127.0.0.1, ephemeral port, pooled cores
+//!     Arc::clone(&registry),
+//!     Some("graph.g2g".into()), // what a bare RELOAD / SIGHUP reloads
+//! )
+//! .unwrap();
+//! println!("serving on {}", server.local_addr().unwrap());
+//! server.run().unwrap();
+//! ```
+
+mod pool;
+mod server;
+mod session;
+mod signal;
+
+pub use pool::{WorkerPool, MAX_POOL_THREADS};
+pub use server::{run_cli, Server, ServerConfig, ServerHandle};
+pub use session::{
+    serve_session, LineSource, SessionOpts, SessionSummary, DEFAULT_BATCH, DEFAULT_MAX_LINE,
+    PROTO_VERSION,
+};

@@ -1,0 +1,301 @@
+//! The TCP front end: bind, accept, one session thread per connection, all
+//! sessions sharing one [`WorkerPool`] and one [`StoreRegistry`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use grepair_store::StoreRegistry;
+use grepair_util::args::{flag_value, validate_value_flags};
+
+use crate::pool::WorkerPool;
+use crate::session::{serve_session, SessionOpts, DEFAULT_BATCH, DEFAULT_MAX_LINE};
+use crate::signal;
+
+/// Everything `grepair-server` / `grepair store serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 asks the OS for an ephemeral port; the bound
+    /// address is printed on startup (and available via
+    /// [`Server::local_addr`]) so clients and CI can discover it.
+    pub addr: String,
+    /// Worker-pool size; 0 = one per available core.
+    pub threads: usize,
+    /// Per-session batch cap (lines buffered before a forced evaluation).
+    pub batch: usize,
+    /// Maximum accepted request-line length, bytes.
+    pub max_line: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            batch: DEFAULT_BATCH,
+            max_line: DEFAULT_MAX_LINE,
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<StoreRegistry>,
+    pool: Arc<WorkerPool>,
+    opts: SessionOpts,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+}
+
+/// Cheap handle for stopping a running server from another thread (tests,
+/// signal handlers).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit. Idempotent; in-flight sessions finish
+    /// on their own threads.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() the loop is parked in. A wildcard bind
+        // address is not connectable on every platform — substitute
+        // loopback on the same port. An error is fine either way — the
+        // loop may already be gone.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+impl Server {
+    /// Bind the listener and stand up the shared worker pool.
+    ///
+    /// `reload_path` is what a bare `RELOAD` (and `SIGHUP`) reloads —
+    /// normally the `.g2g` path the registry was opened from.
+    pub fn bind(
+        config: &ServerConfig,
+        registry: Arc<StoreRegistry>,
+        reload_path: Option<String>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            registry,
+            pool: Arc::new(WorkerPool::new(config.threads)),
+            opts: SessionOpts {
+                batch: config.batch.max(1),
+                max_line: config.max_line.max(1),
+                reload_path,
+            },
+            stop: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// A stop handle usable from other threads.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { addr: self.local_addr()?, stop: Arc::clone(&self.stop) })
+    }
+
+    /// Install the `SIGHUP` → reload path: handler + watcher thread. The
+    /// watcher reloads `reload_path` whenever a `SIGHUP` arrived since its
+    /// last look (at most one reload per 200 ms; coalesced, never queued).
+    /// Unix only; a no-op elsewhere. The socket `RELOAD` command is the
+    /// portable equivalent.
+    pub fn spawn_sighup_watcher(&self) {
+        let Some(path) = self.opts.reload_path.clone() else { return };
+        signal::install_hup_handler();
+        let registry = Arc::clone(&self.registry);
+        let stop = Arc::clone(&self.stop);
+        std::thread::Builder::new()
+            .name("grepair-sighup".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(200));
+                    if signal::take_hup() {
+                        match registry.reload_from(&path) {
+                            Ok(store) => eprintln!(
+                                "SIGHUP: reloaded {path} as generation {}",
+                                store.generation()
+                            ),
+                            Err(e) => eprintln!("SIGHUP: reload of {path} failed: {e}"),
+                        }
+                    }
+                }
+            })
+            .expect("spawn sighup watcher");
+    }
+
+    /// Accept connections until [`ServerHandle::stop`] is called. Each
+    /// connection gets its own session thread; batch evaluation runs on the
+    /// shared pool, so the number of *query-crunching* threads stays fixed
+    /// no matter how many clients connect.
+    pub fn run(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    // Transient accept failures (EMFILE, aborted handshake)
+                    // must not take the server down — but a *persistent*
+                    // one (fd exhaustion) would otherwise spin this loop
+                    // at 100% CPU, so back off briefly before retrying.
+                    eprintln!("accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            self.connections.fetch_add(1, Ordering::Relaxed);
+            let registry = Arc::clone(&self.registry);
+            let pool = Arc::clone(&self.pool);
+            let opts = self.opts.clone();
+            let spawned = std::thread::Builder::new()
+                .name("grepair-session".into())
+                .spawn(move || {
+                    if let Err(e) = serve_one(&registry, &pool, stream, &opts) {
+                        // The peer vanishing mid-write is normal churn, not
+                        // a server error; anything else is worth a line.
+                        if e.kind() != std::io::ErrorKind::BrokenPipe {
+                            eprintln!("session with {peer} ended: {e}");
+                        }
+                    }
+                });
+            if let Err(e) = spawned {
+                // Thread exhaustion (a connection flood) refuses this one
+                // connection — the stream moved into the failed closure and
+                // drops closed — but must not take the server down: same
+                // contract as the accept-error branch above.
+                eprintln!("refusing {peer}: cannot spawn session thread: {e}");
+            }
+        }
+    }
+}
+
+/// Wire one accepted TCP stream into the session engine.
+fn serve_one(
+    registry: &StoreRegistry,
+    pool: &WorkerPool,
+    stream: TcpStream,
+    opts: &SessionOpts,
+) -> std::io::Result<()> {
+    // The protocol is request/reply over one stream: latency matters more
+    // than segment coalescing, and the session already batches writes.
+    let _ = stream.set_nodelay(true);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    serve_session(registry, pool, &mut reader, &mut writer, opts)?;
+    writer.flush()
+}
+
+/// Shared argv front end for the `grepair-server` binary and
+/// `grepair store serve`:
+/// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]`.
+///
+/// Prints one `listening ...` line to stdout once bound (CI and scripts
+/// parse the ephemeral port out of it), then serves until killed.
+pub fn run_cli(args: &[String]) -> Result<(), String> {
+    let g2g = args.first().ok_or("missing g2g file")?;
+    let flags = &args[1..];
+    validate_value_flags(flags, &["--addr", "--threads", "--batch", "--max-line"])?;
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag_value(flags, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(raw) = flag_value(flags, "--threads") {
+        config.threads = raw.parse().map_err(|e| format!("bad --threads: {e}"))?;
+    }
+    if let Some(raw) = flag_value(flags, "--batch") {
+        config.batch = raw.parse().map_err(|e| format!("bad --batch: {e}"))?;
+        if config.batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+    }
+    if let Some(raw) = flag_value(flags, "--max-line") {
+        config.max_line = raw.parse().map_err(|e| format!("bad --max-line: {e}"))?;
+        if config.max_line == 0 {
+            return Err("--max-line must be at least 1".into());
+        }
+    }
+
+    let registry = Arc::new(StoreRegistry::open(g2g).map_err(|e| match e {
+        grepair_store::GrepairError::Io { .. } => e.to_string(),
+        other => format!("{g2g}: {other}"),
+    })?);
+    let server = Server::bind(&config, Arc::clone(&registry), Some(g2g.clone()))
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let store = registry.current();
+    println!(
+        "listening {addr} proto={} generation={} nodes={}",
+        crate::session::PROTO_VERSION,
+        store.generation(),
+        store.total_nodes()
+    );
+    // The line above is the machine-readable startup handshake — make sure
+    // it is visible before the first connection, even under pipes.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.spawn_sighup_watcher();
+    server.run().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_rejects_bad_flags() {
+        assert!(run_cli(&args(&[])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--frobnicate", "1"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--threads"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--threads", "many"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--batch", "0"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--max-line", "0"])).is_err());
+        // A good flag set still fails cleanly on a missing store file.
+        let err = run_cli(&args(&["/nonexistent/x.g2g", "--threads", "2"])).unwrap_err();
+        assert!(err.contains("/nonexistent/x.g2g"), "{err}");
+    }
+
+    #[test]
+    fn config_defaults_are_safe() {
+        let config = ServerConfig::default();
+        assert_eq!(config.addr, "127.0.0.1:0", "ephemeral loopback by default");
+        assert_eq!(config.batch, DEFAULT_BATCH);
+        assert_eq!(config.max_line, DEFAULT_MAX_LINE);
+    }
+}

@@ -1,0 +1,515 @@
+//! One connection's lifetime: the newline-delimited wire protocol engine
+//! (DESIGN.md §6).
+//!
+//! The query plane is exactly the `store serve-file` line protocol — one
+//! query per line, one reply line back, per-line errors never close the
+//! connection — so the two front ends are byte-identical on the same input
+//! (the CI smoke step diffs them). On top of it sits the admin plane:
+//! upper-case verbs (`PING`, `INFO`, `STATS`, `RELOAD`, `QUIT`) that a
+//! query file can never collide with, because query verbs are lower-case.
+//!
+//! Batching is adaptive: lines are parsed and buffered while more input is
+//! already waiting in the read buffer, and the pending batch is evaluated
+//! (through the shared [`WorkerPool`] for large batches) the moment the
+//! client pauses — so an interactive `nc` session gets an answer per line
+//! while a pipelined client gets amortized batches, without any flush
+//! command in the protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use grepair_store::{error_reply, parse_query, GrepairError, Query, StoreRegistry};
+
+use crate::pool::WorkerPool;
+
+/// Wire protocol version, echoed by `INFO`. Bumped only for *breaking*
+/// changes (a reply rendering change, a verb repurposed); new verbs and new
+/// `INFO`/`STATS` fields are additive and do not bump it.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Default cap on buffered-but-unanswered lines before a forced evaluation.
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Default cap on one request line, bytes. A line longer than this is
+/// answered with an error and discarded — DoS defense, not a format limit.
+pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
+
+/// Batches smaller than this are answered on the session thread itself:
+/// below it, the channel round-trip to the pool costs more than the
+/// queries.
+const INLINE_BATCH: usize = 16;
+
+/// Per-session tunables, shared by every connection of one server.
+#[derive(Debug, Clone)]
+pub struct SessionOpts {
+    /// Evaluate the pending batch at this many lines even if the client
+    /// keeps streaming.
+    pub batch: usize,
+    /// Maximum accepted line length in bytes.
+    pub max_line: usize,
+    /// What `RELOAD` without an argument reloads (the path the server was
+    /// started from); `None` makes a bare `RELOAD` an error.
+    pub reload_path: Option<String>,
+}
+
+impl Default for SessionOpts {
+    fn default() -> Self {
+        Self { batch: DEFAULT_BATCH, max_line: DEFAULT_MAX_LINE, reload_path: None }
+    }
+}
+
+/// What one finished session did (for the server's connection log).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Reply lines written (answers + error lines).
+    pub served: u64,
+    /// How many of those were error lines.
+    pub errors: u64,
+    /// Successful `RELOAD`s performed by this session.
+    pub reloads: u64,
+}
+
+/// A buffered byte source that can tell whether more input is *already*
+/// buffered — the signal the adaptive batcher uses to decide "evaluate now
+/// or keep reading" without ever blocking on a peek.
+pub trait LineSource: BufRead {
+    /// True when at least one byte can be read without blocking.
+    fn buffered(&self) -> bool;
+}
+
+impl<R: Read> LineSource for BufReader<R> {
+    fn buffered(&self) -> bool {
+        !self.buffer().is_empty()
+    }
+}
+
+/// In-memory sources are "fully buffered" until exhausted (tests and the
+/// offline path).
+impl LineSource for &[u8] {
+    fn buffered(&self) -> bool {
+        !self.is_empty()
+    }
+}
+
+/// One line-read outcome. Distinguishing the failure shapes matters: an
+/// oversized line gets an error *reply* and the session continues; a
+/// mid-line disconnect can't be replied to, so the session just ends
+/// cleanly.
+enum LineEvent {
+    /// Clean EOF at a line boundary.
+    Eof,
+    /// A complete line (without its terminator) is in the buffer.
+    Line,
+    /// The line exceeded `max_line`; its remainder was consumed and
+    /// discarded.
+    Oversized,
+    /// EOF in the middle of a line — the partial line is discarded.
+    MidLineEof,
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes into `buf`
+/// (cleared first). Never reads past the terminating newline.
+fn read_limited_line(
+    reader: &mut impl LineSource,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineEvent> {
+    buf.clear();
+    // `take(max + 1)`: the extra byte distinguishes "exactly max bytes then
+    // newline" (fine) from "longer than max" (oversized). Saturating: a
+    // `--max-line usize::MAX` must mean "unlimited", not wrap to take(0).
+    let read = reader.take((max as u64).saturating_add(1)).read_until(b'\n', buf)?;
+    if read == 0 {
+        return Ok(LineEvent::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop(); // tolerate CRLF clients (telnet, Windows nc)
+        }
+        return Ok(LineEvent::Line);
+    }
+    if read <= max {
+        return Ok(LineEvent::MidLineEof);
+    }
+    // Oversized: swallow the rest of the line so the *next* line parses.
+    let mut rest = Vec::new();
+    loop {
+        rest.clear();
+        let n = reader.take(8192).read_until(b'\n', &mut rest)?;
+        if n == 0 || rest.last() == Some(&b'\n') {
+            return Ok(LineEvent::Oversized);
+        }
+    }
+}
+
+/// The admin plane: upper-case verbs, handled out-of-band of the query
+/// batch (but only after the pending batch is answered, so replies stay in
+/// request order).
+enum Admin {
+    Ping,
+    Info,
+    Stats,
+    Reload(Option<String>),
+    Quit,
+}
+
+/// `Some` iff the line's first token is an admin verb. Malformed admin
+/// lines (trailing tokens) are still admin — they get an admin error reply,
+/// not a query parse error.
+fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
+    let mut it = line.split_whitespace();
+    let verb = it.next()?;
+    let no_args = |admin: Admin, mut rest: std::str::SplitWhitespace<'_>| match rest.next() {
+        None => Ok(admin),
+        Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+    };
+    Some(match verb {
+        "PING" => no_args(Admin::Ping, it),
+        "INFO" => no_args(Admin::Info, it),
+        "STATS" => no_args(Admin::Stats, it),
+        "QUIT" => no_args(Admin::Quit, it),
+        "RELOAD" => {
+            let path = it.next().map(str::to_string);
+            match it.next() {
+                None => Ok(Admin::Reload(path)),
+                Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Serve one connection (or any line stream) to completion.
+///
+/// `reader`/`writer` are the two halves of the connection; the function
+/// returns when the client disconnects or sends `QUIT`. Every failure mode
+/// below the transport — unparsable line, non-UTF-8 bytes, oversized line,
+/// out-of-range id, failed reload — becomes an `error:` reply line and the
+/// session keeps serving; only transport errors (the peer vanished) and
+/// EOF end it.
+pub fn serve_session(
+    registry: &StoreRegistry,
+    pool: &WorkerPool,
+    reader: &mut impl LineSource,
+    writer: &mut impl Write,
+    opts: &SessionOpts,
+) -> std::io::Result<SessionSummary> {
+    let mut summary = SessionSummary::default();
+    let mut pending: Vec<Result<Query, GrepairError>> = Vec::new();
+    let mut line = Vec::new();
+    loop {
+        let event = read_limited_line(reader, &mut line, opts.max_line)?;
+        match event {
+            LineEvent::Eof | LineEvent::MidLineEof => {
+                // A partial line cannot be answered (the client is gone and
+                // the request is incomplete); answer what was complete.
+                flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+                writer.flush()?;
+                return Ok(summary);
+            }
+            LineEvent::Oversized => {
+                pending.push(Err(GrepairError::BadRequest(format!(
+                    "line exceeds {} bytes",
+                    opts.max_line
+                ))));
+            }
+            LineEvent::Line => match std::str::from_utf8(&line) {
+                Err(_) => {
+                    pending.push(Err(GrepairError::BadRequest("line is not valid UTF-8".into())));
+                }
+                Ok(text) => {
+                    let text = text.trim();
+                    if text.is_empty() || text.starts_with('#') {
+                        // Skipped without a reply — exactly like serve-file,
+                        // which keeps the two outputs byte-identical.
+                    } else if let Some(admin) = parse_admin(text) {
+                        // Answer everything that came before the admin
+                        // command first: replies stay in request order, and
+                        // a RELOAD cannot retroactively change them.
+                        flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+                        let quit = matches!(admin, Ok(Admin::Quit));
+                        let reply = handle_admin(registry, admin, opts, &mut summary);
+                        summary.served += 1;
+                        if reply.starts_with("error: ") {
+                            summary.errors += 1;
+                        }
+                        writeln!(writer, "{reply}")?;
+                        writer.flush()?;
+                        if quit {
+                            return Ok(summary);
+                        }
+                    } else {
+                        pending.push(parse_query(text));
+                    }
+                }
+            },
+        }
+        // Adaptive batching: evaluate once the batch is full or the client
+        // has nothing more already buffered.
+        if pending.len() >= opts.batch || (!pending.is_empty() && !reader.buffered()) {
+            flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+            writer.flush()?;
+        }
+    }
+}
+
+/// Evaluate the pending lines against the *current* store generation and
+/// write one reply line each, in input order.
+fn flush_pending(
+    registry: &StoreRegistry,
+    pool: &WorkerPool,
+    pending: &mut Vec<Result<Query, GrepairError>>,
+    writer: &mut impl Write,
+    summary: &mut SessionSummary,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    // One snapshot per batch: a concurrent RELOAD swaps the registry but
+    // this batch finishes on the Arc it grabbed — in-flight answers are
+    // never torn across generations.
+    let store = registry.current();
+    let queries: Vec<Query> = pending.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
+    let answers = if queries.len() >= INLINE_BATCH {
+        store.query_batch_on(&queries, pool)
+    } else {
+        store.query_batch(&queries)
+    };
+    let mut next = 0usize;
+    for entry in pending.drain(..) {
+        summary.served += 1;
+        match entry {
+            Ok(_) => {
+                match &answers[next] {
+                    Ok(answer) => writeln!(writer, "{answer}")?,
+                    Err(e) => {
+                        summary.errors += 1;
+                        writeln!(writer, "{}", error_reply(e))?;
+                    }
+                }
+                next += 1;
+            }
+            Err(e) => {
+                summary.errors += 1;
+                writeln!(writer, "{}", error_reply(e))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute one admin command and render its single reply line.
+fn handle_admin(
+    registry: &StoreRegistry,
+    admin: Result<Admin, String>,
+    opts: &SessionOpts,
+    summary: &mut SessionSummary,
+) -> String {
+    match admin {
+        Err(reason) => error_reply(format_args!("bad request: {reason}")),
+        Ok(Admin::Ping) => "pong".into(),
+        Ok(Admin::Quit) => "bye".into(),
+        Ok(Admin::Info) => {
+            let store = registry.current();
+            format!(
+                "grepair proto={PROTO_VERSION} generation={} nodes={}",
+                store.generation(),
+                store.total_nodes()
+            )
+        }
+        Ok(Admin::Stats) => registry.stats().to_string(),
+        Ok(Admin::Reload(path)) => {
+            let path = path.or_else(|| opts.reload_path.clone());
+            let Some(path) = path else {
+                return error_reply("bad request: RELOAD needs a path (no default configured)");
+            };
+            match registry.reload_from(&path) {
+                // Report from the swapped-in snapshot, not current(): a
+                // concurrent reload must not pair this generation number
+                // with another generation's node count.
+                Ok(store) => {
+                    summary.reloads += 1;
+                    format!(
+                        "reloaded generation={} nodes={}",
+                        store.generation(),
+                        store.total_nodes()
+                    )
+                }
+                Err(e) => error_reply(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::Hypergraph;
+    use grepair_store::{write_container, GraphStore};
+
+    fn g2g(reps: u32) -> Vec<u8> {
+        let (g, _) = Hypergraph::from_simple_edges(
+            (2 * reps + 1) as usize,
+            (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+        );
+        let out = compress(&g, &GRePairConfig::default());
+        let enc = grepair_codec::encode(&out.grammar);
+        write_container(&enc.bytes, enc.bit_len)
+    }
+
+    fn registry(reps: u32) -> StoreRegistry {
+        StoreRegistry::new(GraphStore::from_bytes(&g2g(reps)).unwrap())
+    }
+
+    /// Run `input` through a session against a fresh 17-node store and
+    /// return the reply bytes as text.
+    fn run(input: &str) -> (String, SessionSummary) {
+        let registry = registry(8);
+        let pool = WorkerPool::new(2);
+        let mut reader: &[u8] = input.as_bytes();
+        let mut out = Vec::new();
+        let summary =
+            serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default())
+                .unwrap();
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn answers_and_errors_in_request_order() {
+        let (out, summary) = run("out 0\nbogus 1\nreach 0 16\n\n# comment\ndegrees\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert_eq!(lines[0], "1");
+        assert!(lines[1].starts_with("error: bad request"), "{out}");
+        assert_eq!(lines[2], "true");
+        assert!(lines[3].starts_with("min="), "{out}");
+        assert_eq!(summary.served, 4);
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn admin_plane_replies() {
+        let (out, summary) = run("PING\nINFO\nSTATS\nQUIT\nout 0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "pong");
+        assert_eq!(lines[1], "grepair proto=1 generation=1 nodes=17");
+        assert!(lines[2].starts_with("generation=1 loads=1 "), "{out}");
+        assert_eq!(lines[3], "bye");
+        // QUIT ends the session: the query after it is never answered.
+        assert_eq!(lines.len(), 4, "{out}");
+        assert_eq!(summary.served, 4);
+        assert_eq!(summary.reloads, 0);
+    }
+
+    #[test]
+    fn admin_lines_with_trailing_tokens_error_but_serve_on() {
+        let (out, _) = run("PING extra\nout 0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("error: bad request"), "{out}");
+        assert_eq!(lines[1], "1");
+    }
+
+    #[test]
+    fn oversized_lines_error_and_the_next_line_still_parses() {
+        let long = "a".repeat(DEFAULT_MAX_LINE * 3);
+        let (out, summary) = run(&format!("out 0\n{long}\nout 0\n"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "1");
+        assert!(lines[1].contains("exceeds"), "{out}");
+        assert_eq!(lines[2], "1");
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn exactly_max_line_is_not_oversized() {
+        // A comment line of exactly max_line bytes: skipped, not an error.
+        let comment = format!("#{}", " ".repeat(DEFAULT_MAX_LINE - 1));
+        let (out, summary) = run(&format!("{comment}\nout 0\n"));
+        assert_eq!(out, "1\n");
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn non_utf8_lines_error_and_serve_on() {
+        let registry = registry(8);
+        let pool = WorkerPool::new(1);
+        let mut input = Vec::new();
+        input.extend_from_slice(b"\xff\xfe garbage\n");
+        input.extend_from_slice(b"out 0\n");
+        let mut reader: &[u8] = &input;
+        let mut out = Vec::new();
+        serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("not valid UTF-8"), "{text}");
+        assert_eq!(lines[1], "1");
+    }
+
+    #[test]
+    fn mid_line_eof_discards_the_partial_line() {
+        // "out 1" with no newline: complete lines are answered, the
+        // partial one is not (it was never a request).
+        let (out, summary) = run("out 0\nout 1");
+        assert_eq!(out, "1\n");
+        assert_eq!(summary.served, 1);
+    }
+
+    #[test]
+    fn reload_swaps_generation_mid_session() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("grepair_session_{}.g2g", std::process::id()));
+        std::fs::write(&path, g2g(16)).unwrap();
+        let registry = registry(8);
+        let pool = WorkerPool::new(2);
+        let input = format!(
+            "in 32\nRELOAD {0}\nin 32\nRELOAD /nonexistent.g2g\nSTATS\n",
+            path.display()
+        );
+        let mut reader: &[u8] = input.as_bytes();
+        let mut out = Vec::new();
+        let summary =
+            serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default())
+                .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Node 32 is out of range in generation 1 (17 nodes)...
+        assert!(lines[0].starts_with("error:"), "{text}");
+        assert_eq!(lines[1], "reloaded generation=2 nodes=33");
+        // ...and valid after the reload. The expected ids come from the
+        // store itself (the compressor renumbers nodes, so the answer is
+        // in derived ids, not input-file ids).
+        let reloaded = GraphStore::from_bytes(&g2g(16)).unwrap();
+        let expected = reloaded.query(&grepair_store::Query::InNeighbors(32)).unwrap();
+        assert_eq!(lines[2], expected.to_string(), "{text}");
+        // A failed reload keeps generation 2 serving.
+        assert!(lines[3].starts_with("error:"), "{text}");
+        assert!(lines[4].starts_with("generation=2 "), "{text}");
+        assert_eq!(summary.reloads, 1);
+        assert_eq!(registry.generation(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn large_batches_route_through_the_pool() {
+        // 3 × batch-size lines all buffered up front: the session must
+        // evaluate in batch-sized chunks through the pool, in order.
+        let n = 17u64;
+        let opts = SessionOpts { batch: 64, ..SessionOpts::default() };
+        let mut input = String::new();
+        let mut expected = String::new();
+        for i in 0..192u64 {
+            input.push_str(&format!("reach 0 {}\n", i % n));
+            expected.push_str("true\n");
+        }
+        let registry = registry(8);
+        let pool = WorkerPool::new(4);
+        let mut reader: &[u8] = input.as_bytes();
+        let mut out = Vec::new();
+        let summary = serve_session(&registry, &pool, &mut reader, &mut out, &opts).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+        assert_eq!(summary.served, 192);
+        let stats = registry.stats();
+        assert!(stats.parallel_batches >= 1, "{stats}");
+    }
+}

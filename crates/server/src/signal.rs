@@ -1,0 +1,79 @@
+//! `SIGHUP` → hot reload, with no libc crate in the offline build.
+//!
+//! The vendored dependency set has no `libc`/`signal-hook`, but every Linux
+//! binary already links the platform C library, so the two symbols this
+//! needs (`signal`, `raise`) are declared directly. The handler does the
+//! only async-signal-safe thing possible — set an atomic flag — and a
+//! watcher thread (see [`crate::Server::spawn_sighup_watcher`]) turns the
+//! flag into a [`grepair_store::StoreRegistry::reload_from`] call at its
+//! leisure. On non-Unix targets the module compiles to a no-op: `RELOAD`
+//! over the socket is the portable path, `SIGHUP` is a Unix convenience.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler, drained by [`take_hup`].
+    static HUP: AtomicBool = AtomicBool::new(false);
+
+    /// `SIGHUP` is 1 on every platform this builds for (POSIX).
+    const SIGHUP: i32 = 1;
+
+    extern "C" {
+        /// ISO C `signal(2)`; the previous handler return value is opaque
+        /// to us, hence `usize`.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        /// ISO C `raise(3)` — used by the unit test to deliver a real
+        /// signal to this process.
+        #[cfg_attr(not(test), allow(dead_code))]
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_hup(_signum: i32) {
+        // An atomic store is on the async-signal-safe list; nothing else
+        // here is allowed to allocate, lock, or panic.
+        HUP.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install_hup_handler() {
+        unsafe {
+            signal(SIGHUP, on_hup);
+        }
+    }
+
+    pub fn take_hup() -> bool {
+        HUP.swap(false, Ordering::Relaxed)
+    }
+
+    #[cfg(test)]
+    pub fn raise_hup_for_test() {
+        unsafe {
+            raise(SIGHUP);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_hup_handler() {}
+
+    pub fn take_hup() -> bool {
+        false
+    }
+}
+
+pub use imp::{install_hup_handler, take_hup};
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sighup_sets_the_flag_once() {
+        install_hup_handler();
+        assert!(!take_hup(), "flag starts clear");
+        imp::raise_hup_for_test();
+        assert!(take_hup(), "a delivered SIGHUP must set the flag");
+        assert!(!take_hup(), "take drains it");
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared loopback-test scaffolding: a real server on an ephemeral port,
+//! plus blunt little TCP clients.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use grepair_core::{compress, GRePairConfig};
+use grepair_hypergraph::Hypergraph;
+use grepair_server::{Server, ServerConfig, ServerHandle};
+use grepair_store::{write_container, GraphStore, StoreRegistry};
+
+/// A compressed two-label path graph with `2 * reps + 1` nodes.
+pub fn g2g(reps: u32) -> Vec<u8> {
+    let (g, _) = Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+    );
+    let out = compress(&g, &GRePairConfig::default());
+    let enc = grepair_codec::encode(&out.grammar);
+    write_container(&enc.bytes, enc.bit_len)
+}
+
+pub fn store(reps: u32) -> GraphStore {
+    GraphStore::from_bytes(&g2g(reps)).unwrap()
+}
+
+/// A serving loopback server that stops and joins on drop.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    pub registry: Arc<StoreRegistry>,
+    handle: ServerHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    pub fn start(reps: u32, reload_path: Option<String>) -> Self {
+        let registry = Arc::new(StoreRegistry::new(store(reps)));
+        let server = Server::bind(&ServerConfig::default(), Arc::clone(&registry), reload_path)
+            .expect("bind ephemeral loopback port");
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let thread = std::thread::spawn(move || {
+            server.run().expect("accept loop must exit cleanly");
+        });
+        Self { addr, registry, handle, thread: Some(thread) }
+    }
+
+    pub fn connect(&self) -> TcpStream {
+        TcpStream::connect(self.addr).expect("connect to test server")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Fire-and-drain client: send everything, half-close, read every reply
+/// byte until the server is done. This is the shape a pipelined batch
+/// client has.
+pub fn send_and_drain(addr: SocketAddr, input: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(input).expect("send");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("drain replies");
+    out
+}
+
+/// Interactive client: one line out, one reply line back — the `nc` shape.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    pub fn new(stream: TcpStream) -> Self {
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self { reader, writer: stream }
+    }
+
+    pub fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send line");
+        self.writer.write_all(b"\n").expect("send newline");
+    }
+
+    pub fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        assert!(line.ends_with('\n'), "truncated reply {line:?}");
+        line.pop();
+        line
+    }
+
+    pub fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}

@@ -1,0 +1,148 @@
+//! The zero-panic guarantee at the socket boundary: garbage bytes,
+//! oversized lines, mid-line disconnects, and hostile ids must each become
+//! an `error:` reply (or a clean close), never a panic, and never stop the
+//! server from serving the next line or the next connection.
+
+mod common;
+
+use std::io::Write;
+use std::net::Shutdown;
+
+use common::{send_and_drain, LineClient, TestServer};
+
+#[test]
+fn garbage_lines_get_error_replies_and_serving_continues() {
+    let server = TestServer::start(8, None);
+    let mut client = LineClient::new(server.connect());
+    for garbage in [
+        "frobnicate 1",
+        "out",
+        "out x",
+        "out 1 2",
+        "reach 1",
+        "rpq 1 2",
+        "rpq 1 2 banana",
+        "components now",
+        "OUT 1", // admin plane is upper-case, but OUT is not an admin verb
+        "!!!!",
+        "\u{1F980} unicode crab",
+    ] {
+        let reply = client.roundtrip(garbage);
+        assert!(reply.starts_with("error: "), "{garbage:?} -> {reply:?}");
+    }
+    // Still serving.
+    assert_eq!(client.roundtrip("out 0"), "1");
+    assert_eq!(client.roundtrip("PING"), "pong");
+}
+
+#[test]
+fn hostile_ids_over_the_socket_error_cleanly() {
+    let server = TestServer::start(8, None);
+    let n = server.registry.current().total_nodes();
+    let mut client = LineClient::new(server.connect());
+    // The tests/hostile.rs id corpus, shipped as protocol lines.
+    for id in [n, n + 1, u64::MAX, 1 << 40] {
+        for line in [
+            format!("out {id}"),
+            format!("in {id}"),
+            format!("neighbors {id}"),
+            format!("reach {id} 0"),
+            format!("reach 0 {id}"),
+            format!("rpq {id} 0 0 1"),
+        ] {
+            let reply = client.roundtrip(&line);
+            assert!(reply.starts_with("error: "), "{line:?} -> {reply:?}");
+            assert!(reply.contains("out of range"), "{line:?} -> {reply:?}");
+        }
+    }
+    // Ids that do not even parse as u64.
+    let reply = client.roundtrip("out 99999999999999999999999999");
+    assert!(reply.starts_with("error: "), "{reply}");
+    assert_eq!(client.roundtrip(&format!("reach 0 {}", n - 1)), "true");
+}
+
+#[test]
+fn non_utf8_bytes_error_and_the_connection_keeps_serving() {
+    let server = TestServer::start(8, None);
+    let mut input: Vec<u8> = Vec::new();
+    input.extend_from_slice(b"\xff\xfe\xfd\n");
+    input.extend_from_slice(&[0u8, 1, 2, 255, b'\n']);
+    input.extend_from_slice(b"out 0\n");
+    let out = send_and_drain(server.addr, &input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "{out}");
+    assert!(lines[0].contains("not valid UTF-8"), "{out}");
+    assert!(lines[1].contains("not valid UTF-8"), "{out}");
+    assert_eq!(lines[2], "1");
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_reading_them_whole() {
+    let server = TestServer::start(8, None);
+    // 4 MiB of 'a' — 64× the line cap. The server must reply with one
+    // error and resynchronize on the newline.
+    let mut input = vec![b'a'; 4 << 20];
+    input.push(b'\n');
+    input.extend_from_slice(b"reach 0 1\n");
+    let out = send_and_drain(server.addr, &input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(lines[0].contains("exceeds 65536 bytes"), "{out}");
+    assert_eq!(lines[1], "true");
+}
+
+#[test]
+fn mid_line_disconnect_is_a_clean_close_and_the_server_lives_on() {
+    let server = TestServer::start(8, None);
+    for partial in ["out 1", "RELOAD /some/pa", "rpq 0 1 0* 1", "#half a comm"] {
+        let mut stream = server.connect();
+        stream.write_all(b"out 0\n").unwrap();
+        stream.write_all(partial.as_bytes()).unwrap(); // no newline, then gone
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut out = String::new();
+        std::io::Read::read_to_string(&mut stream, &mut out).unwrap();
+        assert_eq!(out, "1\n", "complete lines answered, partial discarded ({partial:?})");
+    }
+    // The server survived every torn connection.
+    let mut client = LineClient::new(server.connect());
+    assert_eq!(client.roundtrip("PING"), "pong");
+}
+
+#[test]
+fn abrupt_disconnects_and_empty_connections_do_not_hurt() {
+    let server = TestServer::start(8, None);
+    for _ in 0..20 {
+        // Connect and vanish without sending a byte.
+        drop(server.connect());
+    }
+    // Send then slam the whole socket shut (both directions).
+    let mut stream = server.connect();
+    stream.write_all(b"out 0\nout 1\n").unwrap();
+    stream.shutdown(Shutdown::Both).unwrap();
+    drop(stream);
+    // Still serving.
+    let mut client = LineClient::new(server.connect());
+    assert_eq!(client.roundtrip("out 0"), "1");
+}
+
+#[test]
+fn hostile_reload_arguments_never_kill_the_store() {
+    let dir = std::env::temp_dir();
+    let junk = dir.join(format!("grepair_hostile_{}.g2g", std::process::id()));
+    std::fs::write(&junk, b"not a g2g file at all, just some text").unwrap();
+    let server = TestServer::start(8, None);
+    let mut client = LineClient::new(server.connect());
+    for line in [
+        "RELOAD /nonexistent/nowhere.g2g".to_string(),
+        format!("RELOAD {}", junk.display()),
+        "RELOAD a b".to_string(),
+    ] {
+        let reply = client.roundtrip(&line);
+        assert!(reply.starts_with("error: "), "{line:?} -> {reply:?}");
+    }
+    // Generation unchanged, still serving the original store.
+    assert!(client.roundtrip("STATS").starts_with("generation=1 "));
+    assert_eq!(server.registry.generation(), 1);
+    assert_eq!(client.roundtrip("out 0"), "1");
+    let _ = std::fs::remove_file(&junk);
+}

@@ -1,0 +1,169 @@
+//! Loopback integration: a real `grepair-server` on an ephemeral port must
+//! answer byte-identically to `store serve-file` on the same query file,
+//! and a `RELOAD` mid-stream must bump the generation without dropping the
+//! connection or any in-flight answer.
+
+mod common;
+
+use common::{g2g, send_and_drain, store, LineClient, TestServer};
+use grepair_store::{error_reply, parse_query, GraphStore, Query};
+
+/// A query file exercising every query class, every error shape, comments,
+/// and blank lines — the serve-file acceptance input.
+fn mixed_query_file(n: u64) -> String {
+    let mut text = String::from("# every query class, plus per-line errors\n\n");
+    for i in 0..n {
+        text.push_str(&format!("out {i}\nin {i}\nneighbors {i}\n"));
+        text.push_str(&format!("reach 0 {i}\nreach {i} {}\n", n - 1));
+        text.push_str(&format!("rpq 0 {i} 0 1\nrpq {i} 0 0* 1*\n"));
+    }
+    text.push_str("components\ndegrees\n");
+    // The error lines: out-of-range ids (the hostile corpus shapes),
+    // unparsable verbs, malformed patterns, trailing junk.
+    text.push_str(&format!("out {n}\nin {}\nneighbors {}\n", n + 100, u64::MAX));
+    text.push_str(&format!("reach {n} 0\nreach 0 1099511627776\n"));
+    text.push_str("rpq 0 1 banana\nrpq 2 3\nfrobnicate 7\nout\nout x\ncomponents now\n");
+    text.push_str("\n# trailing comment\n");
+    text
+}
+
+/// What `store serve-file` prints for `file`: the reference rendering,
+/// produced through the same parse / query / `Display` / [`error_reply`]
+/// code the CLI uses (the CI smoke step additionally diffs the two real
+/// binaries end to end).
+fn serve_file_reference(store: &GraphStore, file: &str) -> String {
+    let mut out = String::new();
+    for raw in file.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_query(line) {
+            Err(e) => out.push_str(&format!("{}\n", error_reply(e.to_string()))),
+            Ok(q) => match store.query(&q) {
+                Ok(a) => out.push_str(&format!("{a}\n")),
+                Err(e) => out.push_str(&format!("{}\n", error_reply(e))),
+            },
+        }
+    }
+    out
+}
+
+#[test]
+fn socket_answers_are_byte_identical_to_serve_file() {
+    let server = TestServer::start(16, None);
+    let n = server.registry.current().total_nodes();
+    let file = mixed_query_file(n);
+    let expected = serve_file_reference(&store(16), &file);
+    let got = send_and_drain(server.addr, file.as_bytes());
+    assert!(!expected.is_empty());
+    assert_eq!(got, expected, "socket and serve-file outputs must be byte-identical");
+    // Sanity: the file really exercised the error paths.
+    assert!(got.lines().any(|l| l.starts_with("error: ")));
+}
+
+#[test]
+fn reload_mid_stream_bumps_generation_without_dropping_anything() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("grepair_server_it_{}.g2g", std::process::id()));
+    std::fs::write(&path, g2g(32)).unwrap(); // 65-node replacement store
+    let server = TestServer::start(16, None); // 33-node initial store
+    let mut client = LineClient::new(server.connect());
+
+    // Generation 1 serving normally.
+    assert_eq!(client.roundtrip("INFO"), "grepair proto=1 generation=1 nodes=33");
+    assert_eq!(client.roundtrip("reach 0 32"), "true");
+    let err = client.roundtrip("out 64"); // not a node yet
+    assert!(err.starts_with("error:"), "{err}");
+
+    // Pipeline queries *around* a RELOAD in one write: the pre-RELOAD
+    // query must be answered by the old store, the post-RELOAD one by the
+    // new — all on the same connection, in order.
+    client.send("out 64"); // old store: error
+    client.send(&format!("RELOAD {}", path.display()));
+    client.send("out 64"); // new store: a real answer
+    let before = client.recv();
+    assert!(before.starts_with("error:"), "in-flight answer served by generation 1: {before}");
+    assert_eq!(client.recv(), "reloaded generation=2 nodes=65");
+    let after = client.recv();
+    let expected_after = store(32).query(&Query::OutNeighbors(64)).unwrap().to_string();
+    assert_eq!(after, expected_after, "post-reload query runs on generation 2");
+
+    // The same connection is still alive, and STATS echoes the bump.
+    let stats = client.roundtrip("STATS");
+    assert!(stats.starts_with("generation=2 "), "{stats}");
+    assert_eq!(server.registry.generation(), 2);
+    assert_eq!(client.roundtrip("PING"), "pong");
+    assert_eq!(client.roundtrip("QUIT"), "bye");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn old_generation_arc_survives_a_swap_under_load() {
+    // A client holding a long pipelined stream while another session
+    // reloads: every answer of the in-flight stream must still be correct
+    // (they were computed on whichever generation each batch snapshotted —
+    // both generations here serve identical graphs, so answers are
+    // identical; what's being tested is that nothing tears or drops).
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("grepair_server_swap_{}.g2g", std::process::id()));
+    std::fs::write(&path, g2g(16)).unwrap(); // same graph, new generation
+    let server = TestServer::start(16, None);
+    let n = server.registry.current().total_nodes();
+
+    let mut input = String::new();
+    let mut expected = String::new();
+    for i in 0..2000u64 {
+        input.push_str(&format!("reach 0 {}\n", i % n));
+        expected.push_str("true\n");
+    }
+    let addr = server.addr;
+    let streamer = std::thread::spawn(move || send_and_drain(addr, input.as_bytes()));
+    // Concurrently, another connection swaps generations a few times.
+    let mut admin = LineClient::new(server.connect());
+    for round in 0..5 {
+        let reply = admin.roundtrip(&format!("RELOAD {}", path.display()));
+        assert_eq!(reply, format!("reloaded generation={} nodes={n}", round + 2));
+    }
+    assert_eq!(streamer.join().unwrap(), expected);
+    assert_eq!(server.registry.generation(), 6);
+}
+
+#[test]
+fn many_concurrent_connections_share_one_pool() {
+    let server = TestServer::start(16, None);
+    let n = server.registry.current().total_nodes();
+    let file = mixed_query_file(n);
+    let expected = serve_file_reference(&store(16), &file);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let expected = &expected;
+            let file = &file;
+            let addr = server.addr;
+            scope.spawn(move || {
+                assert_eq!(&send_and_drain(addr, file.as_bytes()), expected);
+            });
+        }
+    });
+}
+
+#[test]
+fn bare_reload_uses_the_configured_path_and_errors_without_one() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("grepair_server_bare_{}.g2g", std::process::id()));
+    std::fs::write(&path, g2g(8)).unwrap();
+
+    // No default path configured: bare RELOAD is a clean error.
+    let server = TestServer::start(8, None);
+    let mut client = LineClient::new(server.connect());
+    let reply = client.roundtrip("RELOAD");
+    assert!(reply.contains("no default configured"), "{reply}");
+    drop(client);
+    drop(server);
+
+    // With one configured (the normal binary path), bare RELOAD works.
+    let server = TestServer::start(8, Some(path.display().to_string()));
+    let mut client = LineClient::new(server.connect());
+    assert_eq!(client.roundtrip("RELOAD"), "reloaded generation=2 nodes=17");
+    let _ = std::fs::remove_file(&path);
+}

@@ -21,7 +21,16 @@
 //!   see `DESIGN.md §5`), answers are `Arc<QueryAnswer>` so every cache or
 //!   memo hit is a pointer clone instead of a deep copy, and
 //!   [`GraphStore::query_batch_parallel`] partitions one batch across
-//!   worker threads that share the per-batch closures.
+//!   worker threads that share the per-batch closures. Long-lived servers
+//!   plug their own reusable worker pool into the same machinery through
+//!   [`GraphStore::query_batch_on`] / [`BatchExecutor`].
+//! * **Hot reload** — a [`StoreRegistry`] holds the currently serving
+//!   store behind `RwLock<Arc<GraphStore>>` with a monotonic generation
+//!   counter: a freshly loaded `.g2g` swaps in while in-flight queries
+//!   finish on the old `Arc` (the wire protocol's `RELOAD` command,
+//!   DESIGN.md §6). The end-to-end embedded pattern — registry + batches,
+//!   no sockets — is `examples/serving.rs` at the repository root; the
+//!   socket front end is the `grepair-server` crate.
 //!
 //! ```
 //! use grepair_store::{GraphStore, Query, QueryAnswer, write_container};
@@ -55,8 +64,12 @@
 mod cache;
 mod error;
 pub mod query;
+mod registry;
 mod store;
 
 pub use error::GrepairError;
-pub use query::{compile_pattern, parse_pattern, parse_query, Query, QueryAnswer};
-pub use store::{parse_container, write_container, GraphStore, StoreStats, HEADER_LEN, MAGIC};
+pub use query::{compile_pattern, error_reply, parse_pattern, parse_query, Query, QueryAnswer};
+pub use registry::StoreRegistry;
+pub use store::{
+    parse_container, write_container, BatchExecutor, GraphStore, StoreStats, HEADER_LEN, MAGIC,
+};

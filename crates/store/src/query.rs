@@ -85,6 +85,14 @@ impl std::fmt::Display for QueryAnswer {
     }
 }
 
+/// Render one wire-protocol error reply line (without the trailing
+/// newline). Every server front end — `store serve-file`, the
+/// `grepair-server` socket — must produce error lines through this one
+/// function so their outputs stay byte-identical (DESIGN.md §6).
+pub fn error_reply(reason: impl std::fmt::Display) -> String {
+    format!("error: {reason}")
+}
+
 fn bad(what: impl Into<String>) -> GrepairError {
     GrepairError::BadRequest(what.into())
 }
@@ -205,6 +213,13 @@ mod tests {
         assert_eq!(QueryAnswer::Count(9).to_string(), "9");
         assert_eq!(QueryAnswer::Extrema(None).to_string(), "-");
         assert_eq!(QueryAnswer::Extrema(Some((1, 4))).to_string(), "min=1 max=4");
+    }
+
+    #[test]
+    fn error_reply_matches_the_wire_format() {
+        assert_eq!(error_reply("empty query"), "error: empty query");
+        let err = parse_query("frobnicate").unwrap_err();
+        assert!(error_reply(&err).starts_with("error: bad request:"));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Hot store reload: a registry that swaps a freshly loaded [`GraphStore`]
+//! in under live traffic.
+//!
+//! The serving topology (DESIGN.md §6) keeps exactly one mutable cell per
+//! process: `RwLock<Arc<GraphStore>>`. Every request path grabs the current
+//! `Arc` (a read lock held for one pointer clone — the `ArcSwap` pattern
+//! with `std` parts), answers against that snapshot, and drops it when
+//! done. A reload builds the *new* store entirely outside the lock, then
+//! takes the write lock for one pointer swap, so:
+//!
+//! * in-flight queries finish on the old store's `Arc` — nothing is
+//!   dropped or torn mid-answer; the old store is freed when its last
+//!   in-flight holder finishes,
+//! * a failed reload (missing file, hostile bytes) leaves the registry
+//!   untouched — the old generation keeps serving,
+//! * the generation counter is monotonic, and each store is stamped with
+//!   its generation ([`StoreStats::generation`]) so `STATS`/`INFO` admin
+//!   replies let clients observe the swap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::{GraphStore, GrepairError, StoreStats};
+
+/// A shared, hot-reloadable slot holding the currently serving
+/// [`GraphStore`].
+///
+/// ```
+/// use grepair_store::{GraphStore, StoreRegistry};
+/// # use grepair_core::{compress, GRePairConfig};
+/// # use grepair_store::write_container;
+/// # fn store() -> GraphStore {
+/// #     let (g, _) = grepair_hypergraph::Hypergraph::from_simple_edges(
+/// #         5, (0..4u32).map(|i| (i, 0u32, i + 1)));
+/// #     let out = compress(&g, &GRePairConfig::default());
+/// #     let enc = grepair_codec::encode(&out.grammar);
+/// #     GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).unwrap()
+/// # }
+/// let registry = StoreRegistry::new(store());
+/// let before = registry.current();          // a long-lived query holds this
+/// assert_eq!(registry.generation(), 1);
+///
+/// registry.swap(store());                   // hot reload
+/// assert_eq!(registry.generation(), 2);
+/// assert_eq!(before.generation(), 1);       // the old snapshot still answers
+/// assert!(before.reachable(0, 4).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct StoreRegistry {
+    current: RwLock<Arc<GraphStore>>,
+    /// Generation of the store in `current`. Monotonic; only `swap` bumps
+    /// it, under the write lock, so it never disagrees with the slot.
+    generation: AtomicU64,
+}
+
+impl StoreRegistry {
+    /// Register the first store as generation 1.
+    pub fn new(store: GraphStore) -> Self {
+        store.set_generation(1);
+        Self {
+            current: RwLock::new(Arc::new(store)),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// Load the first store from a `.g2g` file.
+    pub fn open(path: &str) -> Result<Self, GrepairError> {
+        Ok(Self::new(GraphStore::open(path)?))
+    }
+
+    /// The currently serving store. Callers keep the returned `Arc` for the
+    /// duration of one request/batch: a concurrent [`StoreRegistry::swap`]
+    /// never invalidates it, it only stops *new* calls from seeing it.
+    pub fn current(&self) -> Arc<GraphStore> {
+        self.current.read().expect("store registry poisoned").clone()
+    }
+
+    /// Generation of the currently serving store (starts at 1, bumped by
+    /// every successful swap/reload).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Statistics of the currently serving store (includes its generation).
+    pub fn stats(&self) -> StoreStats {
+        self.current().stats()
+    }
+
+    /// Swap `store` in as the new serving store and return its generation.
+    /// The old store keeps serving whoever already holds its `Arc`.
+    pub fn swap(&self, store: GraphStore) -> u64 {
+        self.swap_arc(store).generation()
+    }
+
+    /// [`StoreRegistry::swap`], handing back the swapped-in `Arc` — callers
+    /// reporting on the reload must read generation *and* node count from
+    /// this snapshot, not from [`StoreRegistry::current`], or a concurrent
+    /// swap can pair one generation with another generation's data.
+    fn swap_arc(&self, store: GraphStore) -> Arc<GraphStore> {
+        let mut slot = self.current.write().expect("store registry poisoned");
+        // Bump under the write lock: concurrent swaps serialize here, so
+        // each store gets a distinct, strictly increasing generation.
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        store.set_generation(generation);
+        let store = Arc::new(store);
+        *slot = Arc::clone(&store);
+        self.generation.store(generation, Ordering::Relaxed);
+        store
+    }
+
+    /// Load a fresh `.g2g` and swap it in: the `RELOAD` admin command and
+    /// the `SIGHUP` path. The decode and index build run *before* the write
+    /// lock is taken, so serving never stalls on a reload, and any error
+    /// (missing file, hostile bytes) leaves the current store untouched.
+    /// Returns the swapped-in store (its [`GraphStore::generation`] is the
+    /// new registry generation).
+    pub fn reload_from(&self, path: &str) -> Result<Arc<GraphStore>, GrepairError> {
+        let store = GraphStore::open(path)?;
+        Ok(self.swap_arc(store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{write_container, Query};
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::Hypergraph;
+
+    fn g2g(reps: u32) -> Vec<u8> {
+        let (g, _) = Hypergraph::from_simple_edges(
+            (2 * reps + 1) as usize,
+            (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+        );
+        let out = compress(&g, &GRePairConfig::default());
+        let enc = grepair_codec::encode(&out.grammar);
+        write_container(&enc.bytes, enc.bit_len)
+    }
+
+    fn store(reps: u32) -> GraphStore {
+        GraphStore::from_bytes(&g2g(reps)).unwrap()
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_keeps_old_snapshots_alive() {
+        let registry = StoreRegistry::new(store(8));
+        assert_eq!(registry.generation(), 1);
+        assert_eq!(registry.stats().generation, 1);
+        let old = registry.current();
+        assert_eq!(old.total_nodes(), 17);
+
+        assert_eq!(registry.swap(store(16)), 2);
+        assert_eq!(registry.generation(), 2);
+        let new = registry.current();
+        assert_eq!(new.total_nodes(), 33);
+        assert_eq!(new.generation(), 2);
+
+        // The pre-swap snapshot is unaffected: still generation 1, still
+        // answering, with its own counters.
+        assert_eq!(old.generation(), 1);
+        assert!(old.query(&Query::OutNeighbors(0)).is_ok());
+        assert_eq!(old.stats().generation, 1);
+    }
+
+    #[test]
+    fn failed_reload_leaves_the_current_store_serving() {
+        let registry = StoreRegistry::new(store(4));
+        let before = registry.generation();
+        assert!(registry.reload_from("/nonexistent/grepair.g2g").is_err());
+        assert_eq!(registry.generation(), before);
+        assert!(registry.current().reachable(0, 8).unwrap());
+    }
+
+    #[test]
+    fn reload_from_a_real_file_swaps() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("grepair_registry_{}.g2g", std::process::id()));
+        std::fs::write(&path, g2g(12)).unwrap();
+        let registry = StoreRegistry::new(store(4));
+        let reloaded = registry.reload_from(path.to_str().unwrap()).unwrap();
+        assert_eq!(reloaded.generation(), 2);
+        assert_eq!(reloaded.total_nodes(), 25);
+        assert!(Arc::ptr_eq(&reloaded, &registry.current()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_swaps() {
+        let registry = StoreRegistry::new(store(8));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let snapshot = registry.current();
+                        // Node 0 exists in every generation served here.
+                        let answer = snapshot.query(&Query::OutNeighbors(i % 17));
+                        assert!(answer.is_ok(), "{answer:?}");
+                    }
+                });
+            }
+            let registry = &registry;
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    registry.swap(store(8));
+                }
+            });
+        });
+        assert_eq!(registry.generation(), 21);
+        assert_eq!(registry.current().generation(), 21);
+    }
+}

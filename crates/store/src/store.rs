@@ -58,6 +58,53 @@ type ExpansionKey = (u32, u32, Direction);
 /// cache and memo hits are `Arc` clones, never `Vec` copies.
 type AnswerResult = Result<Arc<QueryAnswer>, GrepairError>;
 
+/// Something that can run a set of borrowed jobs to completion — the seam
+/// between the store's batch partitioning and whoever owns the threads.
+///
+/// [`GraphStore::query_batch_parallel`] plugs in a spawn-per-batch
+/// implementation (scoped `std::thread`s); a long-lived server plugs in a
+/// reusable worker pool (`grepair-server`'s `WorkerPool`), so small batches
+/// stop paying the per-batch spawn cost.
+///
+/// # Contract
+///
+/// `scope` must run (or at worst drop) every job before returning — the
+/// jobs borrow the caller's stack. Safe implementations can only uphold
+/// this (a borrowed job cannot be smuggled past `scope`'s return without
+/// `unsafe`); implementations using `unsafe` to ship jobs to long-lived
+/// threads must block until all jobs are done.
+pub trait BatchExecutor {
+    /// How many jobs one batch should be split into at most (usually the
+    /// number of worker threads).
+    fn max_workers(&self) -> usize;
+
+    /// Run every job to completion before returning.
+    fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>);
+}
+
+/// The executor behind [`GraphStore::query_batch_parallel`]: fresh scoped
+/// threads per batch. Spawn cost is amortized over large batches (the
+/// intended usage — ~tens of microseconds per call); serving stacks that
+/// answer many small batches should pass a pooled [`BatchExecutor`] to
+/// [`GraphStore::query_batch_on`] instead.
+struct ScopedSpawner(usize);
+
+impl BatchExecutor for ScopedSpawner {
+    fn max_workers(&self) -> usize {
+        self.0
+    }
+
+    fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        // `thread::scope` joins every worker before returning and propagates
+        // any panic, which satisfies the run-to-completion contract.
+        std::thread::scope(|scope| {
+            for job in jobs {
+                scope.spawn(job);
+            }
+        });
+    }
+}
+
 /// Monotonic serving counters. Every counter is an [`AtomicU64`] bumped with
 /// `Relaxed` ordering — correct under the concurrent batch paths (each
 /// increment lands exactly once) and free of any lock.
@@ -76,8 +123,15 @@ struct Counters {
 /// A point-in-time snapshot of a store's serving statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Decode + index-build operations performed for this store (1 unless a
-    /// future reload API grows it).
+    /// Which generation of a [`crate::StoreRegistry`] this store is: `1`
+    /// for a store that was never registered or registered first, and a
+    /// strictly larger number for every store a reload swapped in (the
+    /// registry's monotonic counter). Echoed by the wire protocol's
+    /// `STATS`/`INFO` admin replies (DESIGN.md §6) so clients can observe
+    /// a hot reload taking effect.
+    pub generation: u64,
+    /// Decode + index-build operations performed for this store (always 1:
+    /// a reload builds a *new* store — see [`crate::StoreRegistry`]).
     pub loads: u64,
     /// Queries answered (each element of a batch counts once).
     pub queries_served: u64,
@@ -102,7 +156,8 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{}",
+            "generation={} loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{}",
+            self.generation,
             self.loads,
             self.queries_served,
             self.batches,
@@ -255,6 +310,10 @@ pub struct GraphStore {
     degrees: OnceLock<Option<(u64, u64)>>,
     counters: Counters,
     loads: u64,
+    /// Registry generation (see [`StoreStats::generation`]); `1` until a
+    /// [`crate::StoreRegistry`] swap assigns a later one. Atomic because it
+    /// is stamped through `&self` after the store is shared.
+    generation: AtomicU64,
 }
 
 impl GraphStore {
@@ -276,6 +335,7 @@ impl GraphStore {
             degrees: OnceLock::new(),
             counters: Counters::default(),
             loads: 1,
+            generation: AtomicU64::new(1),
         })
     }
 
@@ -303,10 +363,23 @@ impl GraphStore {
         self.index.total_nodes
     }
 
+    /// Which registry generation this store is (see
+    /// [`StoreStats::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Stamp the registry generation onto this store
+    /// ([`crate::StoreRegistry::swap`] is the only caller).
+    pub(crate) fn set_generation(&self, generation: u64) {
+        self.generation.store(generation, Ordering::Relaxed);
+    }
+
     /// Snapshot the serving statistics.
     pub fn stats(&self) -> StoreStats {
         let c = &self.counters;
         StoreStats {
+            generation: self.generation(),
             loads: self.loads,
             queries_served: c.queries.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
@@ -411,13 +484,30 @@ impl GraphStore {
     /// input order, errors included, exactly as the sequential path would
     /// produce them.
     ///
-    /// `threads` ≤ 1, a batch smaller than two queries, or a single-core
-    /// machine fall back to the sequential path; `threads` is capped at the
-    /// batch length. Worker threads are spawned per call (`std::thread` —
-    /// scoped, no pool): amortizing spawn cost across a 10k-query batch is
-    /// the intended usage, per-call overhead is ~tens of microseconds.
+    /// `threads` ≤ 1 or a batch smaller than two queries fall back to the
+    /// sequential path; `threads` is capped at the batch length. Worker
+    /// threads are spawned per call (scoped `std::thread`, no pool):
+    /// amortizing spawn cost across a 10k-query batch is the intended
+    /// usage, per-call overhead is ~tens of microseconds. Serving stacks
+    /// that answer many *small* batches should reuse threads through
+    /// [`GraphStore::query_batch_on`] with a pooled [`BatchExecutor`]
+    /// instead.
     pub fn query_batch_parallel(&self, queries: &[Query], threads: usize) -> Vec<AnswerResult> {
-        let threads = threads.min(queries.len());
+        self.query_batch_on(queries, &ScopedSpawner(threads))
+    }
+
+    /// [`GraphStore::query_batch_parallel`] with caller-owned threads: the
+    /// batch is partitioned into one job per executor worker, all jobs
+    /// share one batch context (per-source closures, duplicate memo,
+    /// locate cache) through the sharded maps, and `executor` runs them.
+    /// Answers come back in input order, errors included, exactly as the
+    /// sequential path would produce them.
+    pub fn query_batch_on(
+        &self,
+        queries: &[Query],
+        executor: &impl BatchExecutor,
+    ) -> Vec<AnswerResult> {
+        let threads = executor.max_workers().min(queries.len());
         if threads <= 1 {
             return self.query_batch(queries);
         }
@@ -428,23 +518,31 @@ impl GraphStore {
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         let ctx = BatchContext::new(queries);
         let chunk_len = queries.len().div_ceil(threads);
-        let chunk_answers: Vec<Vec<AnswerResult>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
+        // One pre-sized slot per query: each job fills a disjoint chunk, so
+        // answers land in input order without a post-hoc reorder.
+        let mut slots: Vec<Option<AnswerResult>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        {
+            let ctx = &ctx;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = queries
                 .chunks(chunk_len)
-                .map(|chunk| {
-                    let ctx = &ctx;
-                    scope.spawn(move || {
+                .zip(slots.chunks_mut(chunk_len))
+                .map(|(chunk, out)| {
+                    Box::new(move || {
                         let mut scratch = Scratch::default();
-                        self.answer_chunk(chunk, ctx, &mut scratch)
-                    })
+                        let answers = self.answer_chunk(chunk, ctx, &mut scratch);
+                        for (slot, answer) in out.iter_mut().zip(answers) {
+                            *slot = Some(answer);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query worker panicked"))
-                .collect()
-        });
-        chunk_answers.into_iter().flatten().collect()
+            executor.scope(jobs);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("executor must run every job to completion"))
+            .collect()
     }
 
     /// Answer a contiguous run of batch queries through the shared context.
@@ -836,6 +934,46 @@ mod tests {
         let zero = store.query_batch_parallel(&[Query::Components], 0);
         assert_eq!(zero, one);
         assert_eq!(store.stats().parallel_batches, 0);
+    }
+
+    #[test]
+    fn custom_executor_gets_input_ordered_answers() {
+        // A deliberately perverse executor: runs jobs one at a time, in
+        // reverse submission order. Answers must still come back in input
+        // order — the slots, not the execution order, define it.
+        struct Reversed(usize);
+        impl BatchExecutor for Reversed {
+            fn max_workers(&self) -> usize {
+                self.0
+            }
+            fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+                for job in jobs.into_iter().rev() {
+                    job();
+                }
+            }
+        }
+        let (store, _) = store_for(16);
+        let n = store.total_nodes();
+        let mut queries = mixed_queries(n, 200);
+        queries[7] = Query::OutNeighbors(n + 7); // an error must survive too
+        let expected = store.query_batch(&queries);
+        for workers in [2, 3, 7] {
+            assert_eq!(store.query_batch_on(&queries, &Reversed(workers)), expected);
+        }
+        // workers ≤ 1 falls back to the sequential path (not counted as a
+        // parallel batch).
+        assert_eq!(store.query_batch_on(&queries, &Reversed(1)), expected);
+        let stats = store.stats();
+        assert_eq!(stats.parallel_batches, 3, "{stats}");
+    }
+
+    #[test]
+    fn fresh_stores_are_generation_one() {
+        let (store, _) = store_for(4);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.stats().generation, 1);
+        let rendered = store.stats().to_string();
+        assert!(rendered.starts_with("generation=1 "), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Shared argv helpers for the workspace's binaries (`grepair`,
+//! `grepair-server`), so every front end parses and rejects flags with the
+//! same contract and the same error wording.
+
+/// The value following `flag` in `args`, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Check that `args` is exactly a sequence of `known` value-taking flags,
+/// each followed by its value — a typoed or value-less flag is a usage
+/// error, not a silent no-op.
+pub fn validate_value_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !known.contains(&a.as_str()) {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+        if i + 1 >= args.len() {
+            return Err(format!("flag {a} needs a value"));
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_values_are_positional_pairs() {
+        let a = args(&["--map", "m", "-o", "x"]);
+        assert_eq!(flag_value(&a, "-o").as_deref(), Some("x"));
+        assert_eq!(flag_value(&a, "--map").as_deref(), Some("m"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert_eq!(flag_value(&args(&["-o"]), "-o"), None, "value-less flag");
+    }
+
+    #[test]
+    fn unknown_and_value_less_flags_are_rejected() {
+        let known = ["-o", "--map"];
+        assert!(validate_value_flags(&args(&[]), &known).is_ok());
+        assert!(validate_value_flags(&args(&["--map", "m", "-o", "x"]), &known).is_ok());
+        assert!(validate_value_flags(&args(&["--mpa", "m"]), &known).is_err());
+        assert!(validate_value_flags(&args(&["-o"]), &known).is_err());
+        assert!(validate_value_flags(&args(&["stray", "-o", "x"]), &known).is_err());
+    }
+}

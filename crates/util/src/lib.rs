@@ -6,6 +6,7 @@
 //! crate set does not include `rustc-hash`, so we provide the same
 //! multiplicative hash here.
 
+pub mod args;
 pub mod fmt;
 pub mod fxhash;
 

@@ -42,7 +42,8 @@
 //! | [`grepair_core`] | the gRePair compressor (§III): digrams, occurrence counting, bucket queue, virtual edges, pruning |
 //! | [`grepair_codec`] | the binary format (§III-C2): k²-tree start graph + δ-coded rules |
 //! | [`grepair_queries`] | neighborhood (Prop. 4), reachability (Thm. 6), speed-up queries (§V) |
-//! | [`grepair_store`] | serving-grade [`GraphStore`](grepair_store::GraphStore): fallible load → eager index → batched queries |
+//! | [`grepair_store`] | serving-grade [`GraphStore`](grepair_store::GraphStore): fallible load → eager index → batched queries, hot-reload [`StoreRegistry`](grepair_store::StoreRegistry) |
+//! | [`grepair_server`] | `grepair-server` TCP front end: wire protocol (DESIGN.md §6), reusable [`WorkerPool`](grepair_server::WorkerPool), `RELOAD`/SIGHUP hot reload |
 //! | [`grepair_baselines`] | k²-tree, LM, HN, string-RePair baselines (§IV) |
 //! | [`grepair_datasets`] | seeded generators standing in for the paper's datasets |
 //! | [`grepair_k2tree`], [`grepair_bits`], [`grepair_lz`], [`grepair_util`] | substrates |
@@ -57,6 +58,7 @@ pub use grepair_hypergraph as hypergraph;
 pub use grepair_k2tree as k2tree;
 pub use grepair_lz as lz;
 pub use grepair_queries as queries;
+pub use grepair_server as server;
 pub use grepair_store as store;
 pub use grepair_util as util;
 
