@@ -137,34 +137,111 @@ pub fn rewire(g: &Hypergraph, params: &HnParams) -> Rewired {
 }
 
 /// Expand virtual nodes back into direct edges (the decompression side).
+///
+/// Infallible wrapper over [`try_expand`] for trusted [`rewire`] output
+/// (no memo budget).
 pub fn expand(rewired: &Rewired) -> Vec<Vec<NodeId>> {
+    try_expand(rewired, usize::MAX).expect("unbounded expansion cannot exceed its budget")
+}
+
+/// Memo-size budget serving paths pass to [`try_expand`]: hostile chained
+/// virtual references can make the intermediate resolution state
+/// quadratically larger than both the container and the final output, so
+/// decoding untrusted bytes must bound it.
+pub const EXPAND_BUDGET: usize = 1 << 26;
+
+/// Expand virtual nodes back into direct edges, erroring if the memoized
+/// resolution state exceeds `max_entries` total node entries.
+///
+/// Virtual nodes reference each other in both directions — backward to the
+/// common sets they were built from, forward when a later mining pass
+/// recruits an existing virtual node as a member — so resolution is a
+/// memoized depth-first pass. It runs on an explicit stack (no recursion to
+/// overflow on deep virtual chains), and a reference cycle — impossible in
+/// [`rewire`] output but representable in hostile [`decode`] input — is
+/// broken deterministically by treating the back-reference as empty.
+pub fn try_expand(
+    rewired: &Rewired,
+    max_entries: usize,
+) -> Result<Vec<Vec<NodeId>>, crate::BaselineError> {
     let n = rewired.original_nodes;
-    // Resolve virtual targets transitively (virtual nodes may point at
-    // later-created virtual nodes).
-    let mut resolved: Vec<Option<Vec<NodeId>>> = vec![None; rewired.adj.len()];
-    fn resolve(
-        id: usize,
-        n: usize,
-        adj: &[Vec<NodeId>],
-        resolved: &mut Vec<Option<Vec<NodeId>>>,
-    ) -> Vec<NodeId> {
-        if let Some(r) = &resolved[id] {
-            return r.clone();
-        }
-        let mut out = Vec::new();
-        for &x in &adj[id] {
-            if (x as usize) < n {
-                out.push(x);
+    let total = rewired.adj.len();
+    // Resolution state per virtual node: None = untouched, Some(None) = in
+    // progress (on the stack), Some(Some(list)) = resolved.
+    let mut resolved: Vec<Option<Option<Vec<NodeId>>>> = vec![None; total - n];
+    // Total node entries held across memo + output, charged against
+    // `max_entries` *before* each list is materialized.
+    let mut entries = 0usize;
+    let expand_one = |id: usize,
+                      resolved: &[Option<Option<Vec<NodeId>>>],
+                      entries: &mut usize|
+     -> Result<Vec<NodeId>, crate::BaselineError> {
+        // Pre-charge the worst-case (pre-dedup) length so a hostile fan-in
+        // cannot materialize a huge transient list either.
+        let mut len = 0usize;
+        for &x in &rewired.adj[id] {
+            let xi = x as usize;
+            len = len.saturating_add(if xi < n {
+                1
             } else {
-                out.extend(resolve(x as usize, n, adj, resolved));
+                match &resolved[xi - n] {
+                    Some(Some(sub)) => sub.len(),
+                    _ => 0,
+                }
+            });
+        }
+        *entries = entries.saturating_add(len);
+        if *entries > max_entries {
+            return Err(crate::BaselineError::Format(format!(
+                "virtual-node expansion exceeds the {max_entries}-entry budget"
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for &x in &rewired.adj[id] {
+            let xi = x as usize;
+            if xi < n {
+                out.push(x);
+            } else if let Some(Some(sub)) = &resolved[xi - n] {
+                out.extend_from_slice(sub);
             }
         }
         out.sort_unstable();
         out.dedup();
-        resolved[id] = Some(out.clone());
-        out
+        *entries -= len - out.len(); // refund what dedup dropped
+        Ok(out)
+    };
+    let mut stack: Vec<usize> = Vec::new();
+    for root in n..total {
+        if resolved[root - n].is_some() {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&id) = stack.last() {
+            if matches!(resolved[id - n], Some(Some(_))) {
+                stack.pop();
+                continue;
+            }
+            resolved[id - n] = Some(None); // mark in progress
+            let mut ready = true;
+            for &x in &rewired.adj[id] {
+                let xi = x as usize;
+                // Untouched virtual dependency: resolve it first. In-progress
+                // means a cycle; leave it marked and it contributes nothing.
+                if xi >= n && resolved[xi - n].is_none() {
+                    stack.push(xi);
+                    ready = false;
+                }
+            }
+            if ready {
+                let out = expand_one(id, &resolved, &mut entries)?;
+                resolved[id - n] = Some(Some(out));
+                stack.pop();
+            }
+        }
     }
-    (0..n).map(|v| resolve(v, n, &rewired.adj, &mut resolved)).collect()
+    (0..n)
+        .map(|v| expand_one(v, &resolved, &mut entries))
+        .collect()
 }
 
 /// Encoded output: the rewired graph as a k²-tree plus the virtual-node
@@ -207,6 +284,45 @@ pub fn encode(g: &Hypergraph, params: &HnParams) -> HnEncoded {
     tree.encode(&mut w);
     let (bytes, bit_len) = w.finish();
     HnEncoded { bytes, bit_len, virtual_nodes: total as usize - rewired.original_nodes }
+}
+
+/// Decode an [`encode`] stream back to the rewired adjacency — the shape
+/// the serving layer's HN query engine expands and keeps resident.
+///
+/// Validates everything the format implies: the tree's dimensions must
+/// match the claimed node counts and the total is capped (matching
+/// [`crate::k2::MAX_DECODE_NODES`]). Reference cycles among virtual nodes
+/// — representable in hostile bytes, never emitted by [`rewire`] — are
+/// tolerated downstream: [`expand`] breaks them deterministically.
+pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Rewired, crate::BaselineError> {
+    use grepair_bits::codes::read_delta;
+    use grepair_bits::BitReader;
+    use grepair_k2tree::K2Tree;
+
+    let bad = crate::BaselineError::format;
+    let mut r = BitReader::new(bytes, bit_len);
+    let original = read_delta(&mut r)? - 1;
+    let virtual_nodes = read_delta(&mut r)? - 1;
+    let total = original.saturating_add(virtual_nodes);
+    if total > crate::k2::MAX_DECODE_NODES {
+        return Err(bad(format!(
+            "node count {total} exceeds the decoder cap ({})",
+            crate::k2::MAX_DECODE_NODES
+        )));
+    }
+    let tree = K2Tree::decode(&mut r)?;
+    if tree.rows() as u64 != total || tree.cols() as u64 != total {
+        return Err(bad(format!(
+            "rewired matrix is {}x{}, expected {total}x{total}",
+            tree.rows(),
+            tree.cols()
+        )));
+    }
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); total as usize];
+    for (row, col) in tree.iter_ones() {
+        adj[row as usize].push(col);
+    }
+    Ok(Rewired { adj, original_nodes: original as usize })
 }
 
 #[cfg(test)]
@@ -289,5 +405,82 @@ mod tests {
         let enc = encode(&g, &HnParams::default());
         assert_eq!(enc.virtual_nodes, 0);
         assert!(enc.bit_len > 0);
+    }
+
+    #[test]
+    fn encode_decode_expand_round_trips() {
+        for g in [biclique(), Hypergraph::with_nodes(4)] {
+            let enc = encode(&g, &HnParams::default());
+            let rewired = decode(&enc.bytes, enc.bit_len).unwrap();
+            assert_eq!(rewired.original_nodes, g.node_bound());
+            assert_eq!(expand(&rewired), original_adj(&g));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_geometry() {
+        let g = biclique();
+        let enc = encode(&g, &HnParams::default());
+        // Truncations must error, never panic.
+        for bits in [0u64, 1, 5, enc.bit_len / 2] {
+            let bytes = &enc.bytes[..(bits as usize).div_ceil(8).min(enc.bytes.len())];
+            assert!(decode(bytes, bits).is_err(), "truncated to {bits} bits");
+        }
+    }
+
+    #[test]
+    fn expand_breaks_hostile_cycles() {
+        // Two virtual nodes referencing each other — never produced by
+        // rewire, but representable in decoded bytes. Expansion must
+        // terminate and stay deterministic.
+        let rewired = Rewired {
+            adj: vec![vec![2], vec![3], vec![0, 3], vec![1, 2]],
+            original_nodes: 2,
+        };
+        let out = expand(&rewired);
+        assert_eq!(out.len(), 2);
+        // Virtual 2 -> {0} ∪ expand(3); virtual 3 -> {1} ∪ expand(2); the
+        // cycle contributes nothing at the point it is re-entered.
+        assert!(out[0].contains(&0) || out[0].contains(&1));
+    }
+
+    #[test]
+    fn try_expand_budget_rejects_hostile_blowup() {
+        // A forward chain where each virtual node adds one fresh original:
+        // resolved sizes grow linearly, so total memo entries grow
+        // quadratically in the number of virtual nodes — far beyond the
+        // container or output size. The budget must catch it.
+        let n = 64usize;
+        let virtuals = 64usize;
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        adj[0] = vec![n as NodeId]; // one original referencing the chain
+        for i in 0..virtuals {
+            let mut row = vec![(i % n) as NodeId];
+            if i + 1 < virtuals {
+                row.push((n + i + 1) as NodeId);
+            }
+            adj.push(row);
+        }
+        let rewired = Rewired { adj, original_nodes: n };
+        let err = try_expand(&rewired, 100).unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+        // A generous budget succeeds and matches the unbounded path.
+        assert_eq!(try_expand(&rewired, 1 << 20).unwrap(), expand(&rewired));
+    }
+
+    #[test]
+    fn deep_virtual_chains_do_not_overflow_the_stack() {
+        // A 60k-deep chain of virtual nodes: the old recursive expansion
+        // would blow the stack here.
+        let n = 1usize;
+        let depth = 60_000usize;
+        let mut adj = vec![vec![1 as NodeId]]; // original 0 -> first virtual
+        for i in 0..depth {
+            let next = if i + 1 == depth { 0 } else { (i + 2) as NodeId };
+            adj.push(vec![next]);
+        }
+        let rewired = Rewired { adj, original_nodes: n };
+        let out = expand(&rewired);
+        assert_eq!(out, vec![vec![0]]);
     }
 }

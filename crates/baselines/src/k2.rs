@@ -55,15 +55,63 @@ pub fn encode(g: &Hypergraph) -> K2Encoded {
     K2Encoded { bytes, bit_len }
 }
 
-/// Decode back to a graph (node count = matrix dimension; labels restored).
-pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Hypergraph, grepair_bits::BitError> {
+/// Largest node count the decoder will materialize structures for —
+/// protects the serving path from self-consistent but absurd headers.
+pub const MAX_DECODE_NODES: u64 = 1 << 24;
+
+/// Decode the per-label trees without materializing the graph — the shape
+/// the serving layer's k² query engine keeps resident.
+///
+/// Returns the node count and the `(label, tree)` pairs in stream order.
+/// Every structural claim is validated: tree dimensions must match the
+/// header's node count, and the node count is capped by
+/// [`MAX_DECODE_NODES`].
+pub fn decode_trees(
+    bytes: &[u8],
+    bit_len: u64,
+) -> Result<(u32, Vec<(u32, K2Tree)>), crate::BaselineError> {
+    let bad = crate::BaselineError::format;
     let mut r = BitReader::new(bytes, bit_len);
-    let n = (read_delta(&mut r)? - 1) as usize;
+    let n = read_delta(&mut r)? - 1;
+    if n > MAX_DECODE_NODES {
+        return Err(bad(format!("node count {n} exceeds the decoder cap ({MAX_DECODE_NODES})")));
+    }
+    let n = n as u32;
     let labels = read_delta(&mut r)? - 1;
-    let mut g = Hypergraph::with_nodes(n);
+    let mut trees: Vec<(u32, K2Tree)> = Vec::new();
     for _ in 0..labels {
-        let label = (read_delta(&mut r)? - 1) as u32;
+        let label = read_delta(&mut r)? - 1;
+        if label > u32::MAX as u64 {
+            return Err(bad(format!("edge label {label} out of range")));
+        }
+        // The encoder emits labels strictly ascending; accepting anything
+        // else would let one label own two trees, and per-label lookups
+        // downstream would silently see only the first.
+        if let Some(&(prev, _)) = trees.last() {
+            if label as u32 <= prev {
+                return Err(bad(format!(
+                    "edge labels not strictly ascending ({prev} then {label})"
+                )));
+            }
+        }
         let tree = K2Tree::decode(&mut r)?;
+        if tree.rows() != n || tree.cols() != n {
+            return Err(bad(format!(
+                "tree for label {label} is {}x{}, expected {n}x{n}",
+                tree.rows(),
+                tree.cols()
+            )));
+        }
+        trees.push((label as u32, tree));
+    }
+    Ok((n, trees))
+}
+
+/// Decode back to a graph (node count = matrix dimension; labels restored).
+pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Hypergraph, crate::BaselineError> {
+    let (n, trees) = decode_trees(bytes, bit_len)?;
+    let mut g = Hypergraph::with_nodes(n as usize);
+    for (label, tree) in trees {
         for (row, col) in tree.iter_ones() {
             g.add_edge(EdgeLabel::Terminal(label), &[row, col]);
         }
@@ -97,6 +145,25 @@ mod tests {
         let enc = encode(&g);
         let back = decode(&enc.bytes, enc.bit_len).unwrap();
         assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_label_trees_are_rejected() {
+        // The encoder emits strictly ascending labels; a crafted stream
+        // repeating a label must not load (per-label lookups would only
+        // ever see the first tree).
+        use grepair_bits::codes::write_delta;
+        use grepair_bits::BitWriter;
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 3 + 1); // n = 3
+        write_delta(&mut w, 2 + 1); // two trees...
+        for _ in 0..2 {
+            write_delta(&mut w, 1); // ...both labeled 0 (label + 1)
+            K2Tree::build(2, 3, 3, vec![(0, 1)]).encode(&mut w);
+        }
+        let (bytes, bit_len) = w.finish();
+        let err = decode_trees(&bytes, bit_len).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
     }
 
     #[test]

@@ -16,9 +16,63 @@
 //!   plain RePair.
 //!
 //! Every baseline reports its exact output size in bits and (except the
-//! size-only estimators) decodes back for round-trip testing.
+//! size-only estimators) decodes back for round-trip testing. Decoders are
+//! fully fallible — hostile bytes surface as a [`BaselineError`], never a
+//! panic — because the serving layer (`grepair-store`) now loads baseline
+//! containers as live query backends, not just as size counters.
 
 pub mod hn;
 pub mod k2;
 pub mod lm;
 pub mod repair_strings;
+
+use grepair_bits::BitError;
+use grepair_lz::LzError;
+
+/// Any failure decoding a baseline's byte stream.
+///
+/// The structured counterpart of the `Result<_, String>` the early decoders
+/// returned: the serving layer converts this into its workspace-wide error
+/// type without stringifying, so a corrupted [`lm`] container reports the
+/// same way a corrupted grammar container does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The general-purpose compressor rejected the stream ([`lm`]).
+    Lz(LzError),
+    /// A bit-level decode failed (k²-tree payloads).
+    Bits(BitError),
+    /// The stream decoded but violates the format's own invariants
+    /// (out-of-range neighbor, truncated bitmask, inconsistent geometry).
+    Format(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Lz(e) => write!(f, "{e}"),
+            BaselineError::Bits(e) => write!(f, "{e}"),
+            BaselineError::Format(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<LzError> for BaselineError {
+    fn from(e: LzError) -> Self {
+        BaselineError::Lz(e)
+    }
+}
+
+impl From<BitError> for BaselineError {
+    fn from(e: BitError) -> Self {
+        BaselineError::Bits(e)
+    }
+}
+
+impl BaselineError {
+    /// Shorthand for a format-invariant violation.
+    pub fn format(what: impl Into<String>) -> Self {
+        BaselineError::Format(what.into())
+    }
+}

@@ -124,26 +124,47 @@ pub fn encode_with_chunk(g: &Hypergraph, chunk: usize) -> LmEncoded {
 }
 
 /// Decode back to an adjacency structure: `out[v]` = sorted out-neighbors.
-pub fn decode(encoded: &LmEncoded) -> Result<Vec<Vec<NodeId>>, String> {
-    let raw = grepair_lz::decompress(&encoded.bytes).map_err(|e| e.to_string())?;
+pub fn decode(encoded: &LmEncoded) -> Result<Vec<Vec<NodeId>>, crate::BaselineError> {
+    let bad = crate::BaselineError::format;
+    let raw = grepair_lz::decompress(&encoded.bytes)?;
     let mut pos = 0usize;
-    let n = read_varint(&raw, &mut pos).ok_or("missing node count")? as usize;
-    let chunk = read_varint(&raw, &mut pos).ok_or("missing chunk size")? as usize;
+    let n = read_varint(&raw, &mut pos).ok_or_else(|| bad("missing node count"))? as usize;
+    let chunk = read_varint(&raw, &mut pos).ok_or_else(|| bad("missing chunk size"))? as usize;
     if chunk == 0 {
-        return Err("zero chunk size".into());
+        return Err(bad("zero chunk size"));
+    }
+    // The decompressed stream bounds the node count: every chunk of nodes
+    // costs at least its one-byte merged-length varint, so a header
+    // claiming more chunks than the stream has bytes is corrupt — reject
+    // it before allocating `n` adjacency lists. A hard ceiling guards the
+    // allocation itself against absurd (but self-consistent) claims.
+    const MAX_NODES: usize = 1 << 24;
+    if n > MAX_NODES {
+        return Err(crate::BaselineError::Format(format!(
+            "node count {n} exceeds the decoder cap ({MAX_NODES})"
+        )));
+    }
+    if n.div_ceil(chunk) > raw.len() {
+        return Err(crate::BaselineError::Format(format!(
+            "node count {n} exceeds what the stream can hold"
+        )));
     }
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut block_start = 0usize;
     while block_start < n {
         let block_end = (block_start + chunk).min(n);
-        let merged_len = read_varint(&raw, &mut pos).ok_or("missing merged length")? as usize;
+        let merged_len =
+            read_varint(&raw, &mut pos).ok_or_else(|| bad("missing merged length"))? as usize;
+        if merged_len > raw.len() {
+            return Err(bad("merged list longer than the stream"));
+        }
         let mut merged = Vec::with_capacity(merged_len);
         let mut acc = 0u64;
         for i in 0..merged_len {
-            let gap = read_varint(&raw, &mut pos).ok_or("missing gap")?;
-            acc = if i == 0 { gap } else { acc + gap };
+            let gap = read_varint(&raw, &mut pos).ok_or_else(|| bad("missing gap"))?;
+            acc = if i == 0 { gap } else { acc.saturating_add(gap) };
             if acc >= n as u64 {
-                return Err("neighbor out of range".into());
+                return Err(bad("neighbor out of range"));
             }
             merged.push(acc as NodeId);
         }
@@ -151,7 +172,7 @@ pub fn decode(encoded: &LmEncoded) -> Result<Vec<Vec<NodeId>>, String> {
         #[allow(clippy::needless_range_loop)] // v is a node id
         for v in block_start..block_end {
             if pos + mask_bytes > raw.len() {
-                return Err("truncated bitmask".into());
+                return Err(bad("truncated bitmask"));
             }
             let mask = &raw[pos..pos + mask_bytes];
             pos += mask_bytes;

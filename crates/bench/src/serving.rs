@@ -18,6 +18,24 @@ use crate::Scale;
 /// Thread counts the scaling sweep measures.
 pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// One compression backend's size and serving-latency measurement — the
+/// paper's Table-style comparison (space *and* query cost per
+/// representation), live against the real serving stack.
+#[derive(Debug, Clone)]
+pub struct BackendBenchRow {
+    /// Registered backend name (`grepair`, `k2`, `lm`, `hn`).
+    pub name: &'static str,
+    /// Whole container file size in bytes (header included — what a
+    /// deployment ships).
+    pub container_bytes: usize,
+    /// Container bits per edge of the measured graph.
+    pub bits_per_edge: f64,
+    /// Mean ns per one-shot `neighbors` query through the loaded store.
+    pub neighbors_ns: f64,
+    /// Mean ns per one-shot `reach` query.
+    pub reach_ns: f64,
+}
+
 /// Everything `BENCH_store.json` records, in measurement units of
 /// nanoseconds (floats: per-query numbers are means).
 #[derive(Debug, Clone)]
@@ -35,6 +53,8 @@ pub struct StoreBenchReport {
     pub batch_individual_ns: f64,
     /// `(threads, whole-batch ns)` through `query_batch_parallel`.
     pub thread_scaling: Vec<(usize, f64)>,
+    /// Per-backend size + query latency over one shared unlabeled graph.
+    pub backends: Vec<BackendBenchRow>,
 }
 
 impl StoreBenchReport {
@@ -109,6 +129,60 @@ fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
     (0..n.max(1))
         .map(|_| time_ns(&mut f))
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Measure every registered backend on one shared unlabeled graph: encode
+/// size, then neighbors/reach latency through a loaded [`GraphStore`] —
+/// the same serving stack the TCP server runs, so the rows are what a
+/// deployment choosing a backend would actually see.
+pub fn measure_backends(scale: Scale) -> Vec<BackendBenchRow> {
+    // An unlabeled path (the lm/hn backends encode unlabeled graphs only):
+    // the paper's log-compressibility showcase for the grammar, linear for
+    // the baselines — the Fig. 13 story as serving containers.
+    let reps = match scale {
+        Scale::Full => 16_384u32,
+        Scale::Quick => 2_048,
+    };
+    let (g, _) = Hypergraph::from_simple_edges(
+        (reps + 1) as usize,
+        (0..reps).map(|i| (i, 0u32, i + 1)),
+    );
+    let edges = g.num_edges() as u64;
+    grepair_store::codecs()
+        .iter()
+        .map(|codec| {
+            let file = codec.encode(&g).expect("path graph encodes in every backend");
+            let store = GraphStore::from_bytes(&file).expect("own container loads");
+            let n = store.total_nodes();
+            let per_class = 1_000u64;
+            let neighbor_queries: Vec<u64> = (0..per_class).map(|i| (i * 17) % n).collect();
+            for &v in neighbor_queries.iter().take(50) {
+                let _ = store.neighbors(v); // warm caches
+            }
+            let neighbors_ns = time_ns(|| {
+                for &v in &neighbor_queries {
+                    assert!(store.neighbors(v).is_ok());
+                }
+            }) / per_class as f64;
+            // Reach is BFS-shaped on the baseline backends (O(n) worst
+            // case), so the sample is smaller; the grammar answers from
+            // its skeleton index.
+            let reach_pairs: Vec<(u64, u64)> =
+                (0..100u64).map(|i| ((i * 7919) % n, (i * 104_729 + 13) % n)).collect();
+            let reach_ns = time_ns(|| {
+                for &(s, t) in &reach_pairs {
+                    assert!(store.reachable(s, t).is_ok());
+                }
+            }) / reach_pairs.len() as f64;
+            BackendBenchRow {
+                name: codec.name(),
+                container_bytes: file.len(),
+                bits_per_edge: grepair_util::fmt::bits_per_edge(file.len() as u64 * 8, edges),
+                neighbors_ns,
+                reach_ns,
+            }
+        })
+        .collect()
 }
 
 /// Run the serving workload and collect every number the JSON records.
@@ -193,6 +267,7 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
         batch_sequential_ns,
         batch_individual_ns,
         thread_scaling,
+        backends: measure_backends(scale),
     }
 }
 
@@ -282,7 +357,8 @@ fn num(x: f64) -> String {
 pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": 1,\n");
+    // Schema 2 added the per-backend comparison rows (PR 5).
+    s.push_str("  \"schema\": 2,\n");
     s.push_str("  \"bench\": \"store\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
     s.push_str(&format!("  \"threads_available\": {},\n", r.threads_available));
@@ -307,7 +383,21 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
         ));
     }
     s.push_str("  ],\n");
-    s.push_str(&format!("  \"scaling_factor\": {}\n", num(r.scaling_factor())));
+    s.push_str(&format!("  \"scaling_factor\": {},\n", num(r.scaling_factor())));
+    s.push_str("  \"backends\": [\n");
+    for (i, b) in r.backends.iter().enumerate() {
+        let comma = if i + 1 < r.backends.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"container_bytes\": {}, \"bits_per_edge\": {}, \
+             \"neighbors_ns\": {}, \"reach_ns\": {} }}{comma}\n",
+            b.name,
+            b.container_bytes,
+            num(b.bits_per_edge),
+            num(b.neighbors_ns),
+            num(b.reach_ns)
+        ));
+    }
+    s.push_str("  ]\n");
     s.push_str("}\n");
     s
 }
@@ -324,6 +414,22 @@ mod tests {
             batch_sequential_ns: 4_000_000.0,
             batch_individual_ns: 12_000_000.0,
             thread_scaling: vec![(1, 4_100_000.0), (8, 1_000_000.0)],
+            backends: vec![
+                BackendBenchRow {
+                    name: "grepair",
+                    container_bytes: 812,
+                    bits_per_edge: 3.2,
+                    neighbors_ns: 410.0,
+                    reach_ns: 950.0,
+                },
+                BackendBenchRow {
+                    name: "k2",
+                    container_bytes: 2_048,
+                    bits_per_edge: 8.0,
+                    neighbors_ns: 300.0,
+                    reach_ns: 40_000.0,
+                },
+            ],
         }
     }
 
@@ -341,7 +447,7 @@ mod tests {
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         for key in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"bench\": \"store\"",
             "\"scale\": \"quick\"",
             "\"threads_available\": 8",
@@ -352,6 +458,11 @@ mod tests {
             "\"speedup\": 3.0",
             "\"thread_scaling\"",
             "\"scaling_factor\": 4.0",
+            "\"backends\"",
+            "\"name\": \"grepair\"",
+            "\"container_bytes\": 812",
+            "\"name\": \"k2\"",
+            "\"reach_ns\": 40000.0",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -388,8 +499,24 @@ mod tests {
         assert!(r.class_ns.iter().all(|&(_, ns)| ns > 0.0));
         assert!(r.batch_sequential_ns > 0.0);
         assert_eq!(r.thread_scaling.len(), SCALING_THREADS.len());
+        // One row per registered backend, each fully measured.
+        let names: Vec<&str> = r.backends.iter().map(|b| b.name).collect();
+        assert_eq!(names, grepair_store::backend_names());
+        for b in &r.backends {
+            assert!(b.container_bytes > 0, "{}", b.name);
+            assert!(b.bits_per_edge > 0.0, "{}", b.name);
+            assert!(b.neighbors_ns > 0.0 && b.reach_ns > 0.0, "{}", b.name);
+        }
+        // The grammar path's Fig. 13 story holds in serving form: the
+        // container is far smaller than the baselines' on this graph.
+        let by_name = |n: &str| r.backends.iter().find(|b| b.name == n).unwrap();
+        assert!(
+            by_name("grepair").container_bytes < by_name("k2").container_bytes,
+            "grammar must beat k2 on the repetitive path"
+        );
         // The rendered form of a real measurement is also well-formed.
         let text = render_store_bench_json(&r);
-        assert!(text.contains("\"schema\": 1"));
+        assert!(text.contains("\"schema\": 2"));
+        assert!(text.contains("\"name\": \"hn\""));
     }
 }

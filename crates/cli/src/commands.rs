@@ -10,6 +10,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use crate::{compress_and_report, read_graph, read_graph_with_map, CompressOpts};
 use grepair_datasets as datasets;
 use grepair_hypergraph::{EdgeLabel, Hypergraph};
+use grepair_store::backend::{resolve_codec, split_any_container, GREPAIR};
 use grepair_store::{write_container, GraphStore, GrepairError, StoreRegistry};
 
 /// `grepair stats <graph>`.
@@ -23,26 +24,45 @@ pub fn stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `grepair compress <graph> -o <out>`.
+/// `grepair compress <graph> -o <out> [--backend NAME]`.
+///
+/// The gRePair backend keeps its config-driven path (and its byte-exact
+/// legacy `.g2g` output); every other backend routes through its
+/// registered [`grepair_store::GraphCodec`], producing a tagged container
+/// the same `query`/`store` commands load transparently.
 pub fn compress_file(input: &str, opts: &CompressOpts) -> Result<(), String> {
     let (g, originals) = read_graph_with_map(input)?;
-    let out = compress_and_report(&g, &opts.config);
-    let encoded = grepair_codec::encode(&out.grammar);
-    let file = write_container(&encoded.bytes, encoded.bit_len);
+    // derived id -> dense parser id, built only when a `--map` sidecar was
+    // asked for. The grammar backend renumbers nodes (its map is moved out
+    // of the compression result, never copied); every other backend
+    // preserves the parser's dense ids, so its map is the identity.
+    let node_map: Option<Vec<u32>>;
+    let file = if opts.backend == GREPAIR {
+        let out = compress_and_report(&g, &opts.config);
+        let encoded = grepair_codec::encode(&out.grammar);
+        node_map = opts.map.is_some().then_some(out.node_map);
+        write_container(&encoded.bytes, encoded.bit_len)
+    } else {
+        let codec = resolve_codec(opts.backend).map_err(|e| e.to_string())?;
+        node_map = opts.map.is_some().then(|| (0..g.node_bound() as u32).collect());
+        codec.encode(&g).map_err(|e| format!("{input}: {e}"))?
+    };
     std::fs::write(&opts.output, &file).map_err(|e| format!("{}: {e}", opts.output))?;
     println!(
-        "wrote {} ({} bytes, {:.3} bits/edge)",
+        "wrote {} (backend {}, {} bytes, {:.3} bits/edge)",
         opts.output,
+        opts.backend,
         file.len(),
-        encoded.bits_per_edge(g.num_edges())
+        grepair_util::fmt::bits_per_edge(file.len() as u64 * 8, g.num_edges() as u64)
     );
     if let Some(map_path) = &opts.map {
         // Compose the compressor's derived→dense map with the parser's
         // dense→original renumbering, so each line reads
         // `<derived id> <label the input file used>` and `decompress --map`
         // can relabel without any second sidecar.
+        let node_map = node_map.expect("built above whenever --map is set");
         let mut text = String::new();
-        for (derived, dense) in out.node_map.iter().enumerate() {
+        for (derived, dense) in node_map.iter().enumerate() {
             let original = originals
                 .get(*dense as usize)
                 .copied()
@@ -101,10 +121,22 @@ fn read_node_map(path: &str, nodes: usize) -> Result<Vec<u64>, String> {
         .collect()
 }
 
-/// `grepair decompress <in> -o <out> [--map FILE]`.
+/// Decode any container file (legacy `.g2g` or tagged) back into a graph
+/// through its registered codec, prefixing errors with the path.
+fn open_graph(input: &str) -> Result<(Hypergraph, &'static str), String> {
+    let file = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (tag, bit_len, payload) =
+        split_any_container(&file).map_err(|e| format!("{input}: {e}"))?;
+    let codec = resolve_codec(tag).map_err(|e| format!("{input}: {e}"))?;
+    let g = codec.decode(payload, bit_len).map_err(|e| format!("{input}: {e}"))?;
+    Ok((g, codec.name()))
+}
+
+/// `grepair decompress <in> -o <out> [--map FILE]`. Dispatches on the
+/// container's backend tag: a grammar container derives `val(G)`, the
+/// baseline containers decode their own representations.
 pub fn decompress_file(input: &str, output: &str, map: Option<&str>) -> Result<(), String> {
-    let store = open_store(input)?;
-    let derived = store.grammar().derive();
+    let (derived, backend) = open_graph(input)?;
     let relabel: Option<Vec<u64>> = map
         .map(|path| read_node_map(path, derived.num_nodes()))
         .transpose()?;
@@ -133,9 +165,10 @@ pub fn decompress_file(input: &str, output: &str, map: Option<&str>) -> Result<(
     }
     std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))?;
     println!(
-        "decompressed {} -> {} ({} nodes, {} edges)",
+        "decompressed {} -> {} (backend {}, {} nodes, {} edges)",
         input,
         output,
+        backend,
         derived.num_nodes(),
         derived.num_edges()
     );

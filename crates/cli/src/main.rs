@@ -32,43 +32,76 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Fail(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+        // Usage errors (unknown backend, mirroring `repro`'s unknown-flag
+        // contract) exit 2 so scripts can tell "you called it wrong" from
+        // "it ran and failed".
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// A CLI failure, split by exit code: `Usage` is a malformed invocation
+/// (exit 2, like `repro`'s unknown-flag handling); `Fail` is a run-time
+/// failure (exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is wrong (exit 2).
+    Usage(String),
+    /// The command ran and failed (exit 1).
+    Fail(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Fail(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Fail(message.into())
     }
 }
 
 const USAGE: &str = "usage:
   grepair stats      <graph.txt>
-  grepair compress   <graph.txt> -o <out.g2g> [--max-rank N] [--order ORDER] [--no-prune] [--no-virtual] [--map FILE]
+  grepair compress   <graph.txt> -o <out.g2g> [--backend NAME] [--max-rank N] [--order ORDER] [--no-prune] [--no-virtual] [--map FILE]
   grepair decompress <in.g2g> -o <graph.txt> [--map FILE]
   grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
   grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
-  grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
-  grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)";
+  grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N] [--read-timeout SECS] [--max-connections N]
+  grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)
+backends: grepair (default), k2, lm, hn — every one loads and serves through `query` / `store`";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
-        Some("stats") => commands::stats(args.get(1).ok_or("missing input file")?),
+        Some("stats") => Ok(commands::stats(args.get(1).ok_or("missing input file")?)?),
         Some("compress") => {
             let input = args.get(1).ok_or("missing input file")?;
             let opts = parse_compress_opts(&args[2..])?;
-            commands::compress_file(input, &opts)
+            Ok(commands::compress_file(input, &opts)?)
         }
         Some("decompress") => {
             let input = args.get(1).ok_or("missing input file")?;
             validate_value_flags(&args[2..], &["-o", "--map"])?;
             let output = flag_value(&args[2..], "-o").ok_or("missing -o OUTPUT")?;
             let map = flag_value(&args[2..], "--map");
-            commands::decompress_file(input, &output, map.as_deref())
+            Ok(commands::decompress_file(input, &output, map.as_deref())?)
         }
-        Some("query") => commands::query(&args[1..]),
-        Some("store") => commands::store_cmd(&args[1..]),
-        Some("generate") => commands::generate(&args[1..]),
-        Some(other) => Err(format!("unknown command {other:?}")),
+        Some("query") => Ok(commands::query(&args[1..])?),
+        Some("store") => Ok(commands::store_cmd(&args[1..])?),
+        Some("generate") => Ok(commands::generate(&args[1..])?),
+        Some(other) => Err(format!("unknown command {other:?}").into()),
         None => Err("no command given".into()),
     }
 }
@@ -79,7 +112,9 @@ pub struct CompressOpts {
     pub output: String,
     /// Optional node-map sidecar path.
     pub map: Option<String>,
-    /// Compressor configuration.
+    /// Which registered backend encodes the graph (default `grepair`).
+    pub backend: &'static str,
+    /// Compressor configuration (gRePair backend only).
     pub config: GRePairConfig,
 }
 
@@ -87,9 +122,51 @@ pub struct CompressOpts {
 // these — see `grepair_util::args`).
 pub(crate) use grepair_util::args::{flag_value, validate_value_flags};
 
-fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
+fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, CliError> {
+    // Unknown or value-less flags are usage errors, not silent no-ops — a
+    // typoed `--backed k2` or `--backend=k2` must never quietly fall back
+    // to the default grammar backend.
+    let value_flags = ["-o", "--map", "--backend", "--max-rank", "--order"];
+    let bool_flags = ["--no-prune", "--no-virtual"];
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if bool_flags.contains(&a.as_str()) {
+            i += 1;
+        } else if value_flags.contains(&a.as_str()) {
+            if i + 1 >= args.len() {
+                return Err(CliError::Usage(format!("flag {a} needs a value")));
+            }
+            i += 2;
+        } else {
+            return Err(CliError::Usage(format!("unexpected argument {a:?}")));
+        }
+    }
     let output = flag_value(args, "-o").ok_or("missing -o OUTPUT")?;
     let map = flag_value(args, "--map");
+    let backend = match flag_value(args, "--backend") {
+        None => grepair_store::backend::GREPAIR,
+        Some(name) => match grepair_store::codec_for(&name) {
+            Some(codec) => codec.name(),
+            // A typoed backend is a usage error (exit 2) that teaches the
+            // registry — the message is the registry's own
+            // (`unknown_backend_error`), shared with container dispatch,
+            // mirroring `repro`'s unknown-flag handling.
+            None => {
+                return Err(CliError::Usage(
+                    grepair_store::backend::unknown_backend_error(&name),
+                ))
+            }
+        },
+    };
+    let grammar_only = ["--max-rank", "--order", "--no-prune", "--no-virtual"];
+    if backend != grepair_store::backend::GREPAIR {
+        if let Some(flag) = args.iter().find(|a| grammar_only.contains(&a.as_str())) {
+            return Err(CliError::Usage(format!(
+                "{flag} applies to the grepair backend only (got --backend {backend})"
+            )));
+        }
+    }
     let mut config = GRePairConfig::default();
     if let Some(raw) = flag_value(args, "--max-rank") {
         config.max_rank = raw.parse().map_err(|e| format!("bad --max-rank: {e}"))?;
@@ -101,7 +178,7 @@ fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
             "bfs" => NodeOrder::Bfs,
             "natural" => NodeOrder::Natural,
             "random" => NodeOrder::Random(0),
-            other => return Err(format!("unknown order {other:?}")),
+            other => return Err(format!("unknown order {other:?}").into()),
         };
     }
     if args.iter().any(|a| a == "--no-prune") {
@@ -110,7 +187,7 @@ fn parse_compress_opts(args: &[String]) -> Result<CompressOpts, String> {
     if args.iter().any(|a| a == "--no-virtual") {
         config.connect_components = false;
     }
-    Ok(CompressOpts { output, map, config })
+    Ok(CompressOpts { output, map, backend, config })
 }
 
 /// Read a graph from a text file, autodetecting pairs vs triples.
@@ -163,9 +240,45 @@ mod tests {
         let opts = parse_compress_opts(&args(&["-o", "out.g2g"])).unwrap();
         assert_eq!(opts.output, "out.g2g");
         assert!(opts.map.is_none());
+        assert_eq!(opts.backend, "grepair");
         assert_eq!(opts.config.max_rank, 4);
         assert!(opts.config.prune);
         assert!(opts.config.connect_components);
+    }
+
+    #[test]
+    fn compress_opts_backend_selection() {
+        for name in ["grepair", "k2", "lm", "hn"] {
+            let opts = parse_compress_opts(&args(&["-o", "x", "--backend", name])).unwrap();
+            assert_eq!(opts.backend, name);
+        }
+        // Unknown backends and grammar-only flags on other backends are
+        // Usage errors (exit 2), not plain failures.
+        assert!(matches!(
+            parse_compress_opts(&args(&["-o", "x", "--backend", "zpaq"])),
+            Err(CliError::Usage(m)) if m.contains("grepair, k2, lm, hn")
+        ));
+        assert!(matches!(
+            parse_compress_opts(&args(&["-o", "x", "--backend", "lm", "--no-prune"])),
+            Err(CliError::Usage(m)) if m.contains("--no-prune")
+        ));
+        // ...but they stay valid for the default grammar backend.
+        assert!(parse_compress_opts(&args(&["-o", "x", "--no-prune"])).is_ok());
+        // Malformed flag shapes must not silently fall back to the
+        // default backend: `=`-style values, typos, and value-less flags
+        // are all usage errors.
+        assert!(matches!(
+            parse_compress_opts(&args(&["-o", "x", "--backend=k2"])),
+            Err(CliError::Usage(m)) if m.contains("--backend=k2")
+        ));
+        assert!(matches!(
+            parse_compress_opts(&args(&["-o", "x", "--backed", "k2"])),
+            Err(CliError::Usage(m)) if m.contains("--backed")
+        ));
+        assert!(matches!(
+            parse_compress_opts(&args(&["-o", "x", "--backend"])),
+            Err(CliError::Usage(m)) if m.contains("needs a value")
+        ));
     }
 
     #[test]

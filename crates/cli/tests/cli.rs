@@ -430,6 +430,117 @@ fn serve_file_rejects_broken_setup() {
 }
 
 #[test]
+fn unknown_backend_is_a_usage_error_naming_the_registry() {
+    let input = scratch("backend_usage.txt");
+    std::fs::write(&input, "0 1\n1 2\n").unwrap();
+    let out = grepair(&[
+        "compress",
+        input.to_str().unwrap(),
+        "-o",
+        scratch("backend_usage.g2g").to_str().unwrap(),
+        "--backend",
+        "zpaq",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Exit 2 (usage), not 1 (run failure) — mirroring repro's unknown-flag
+    // contract — and the error must teach the registered names.
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("zpaq"), "{stderr}");
+    assert!(stderr.contains("grepair, k2, lm, hn"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // Grammar-only flags on another backend are usage errors too.
+    let out = grepair(&[
+        "compress",
+        input.to_str().unwrap(),
+        "-o",
+        scratch("backend_usage2.g2g").to_str().unwrap(),
+        "--backend",
+        "k2",
+        "--max-rank",
+        "6",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--max-rank"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An `=`-style flag must not silently select the default backend.
+    let out = grepair(&[
+        "compress",
+        input.to_str().unwrap(),
+        "-o",
+        scratch("backend_usage3.g2g").to_str().unwrap(),
+        "--backend=k2",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--backend=k2"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn every_backend_compresses_decompresses_and_serves() {
+    // One unlabeled path graph through all four backends: compress writes
+    // a loadable container, decompress restores the edge set, and
+    // serve-file answers the same queries (modulo the grammar backend's
+    // node renumbering, which is why the workload below is id-symmetric:
+    // path endpoints are detected structurally on the decompressed side).
+    let input = scratch("multi_backend.txt");
+    let mut text = String::new();
+    for i in 0..30u32 {
+        text.push_str(&format!("{} {}\n", i, i + 1));
+    }
+    std::fs::write(&input, &text).unwrap();
+
+    for backend in ["grepair", "k2", "lm", "hn"] {
+        let g2g = scratch(&format!("multi_{backend}.c"));
+        let out = grepair(&[
+            "compress",
+            input.to_str().unwrap(),
+            "-o",
+            g2g.to_str().unwrap(),
+            "--backend",
+            backend,
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{backend} compress: {stderr}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(&format!("backend {backend}")),
+            "{backend}"
+        );
+
+        // Decompress restores the 30-edge path (ids may differ for grepair).
+        let restored = scratch(&format!("multi_{backend}_restored.txt"));
+        let out = grepair(&[
+            "decompress",
+            g2g.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{backend} decompress");
+        let lines = std::fs::read_to_string(&restored).unwrap().lines().count();
+        assert_eq!(lines, 30, "{backend} edge count");
+
+        // serve-file: neighbors end to end, plus a mid-stream error.
+        let queries = scratch(&format!("multi_{backend}_queries.txt"));
+        std::fs::write(&queries, "components\ndegrees\nout 99999\nreach 0 0\n").unwrap();
+        let out = grepair(&["store", "serve-file", g2g.to_str().unwrap(), queries.to_str().unwrap()]);
+        assert!(out.status.success(), "{backend} serve-file");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines[0], "1", "{backend}: one component");
+        assert_eq!(lines[1], "min=1 max=2", "{backend}: path degrees");
+        assert!(lines[2].contains("out of range"), "{backend}: {stdout}");
+        assert_eq!(lines[3], "true", "{backend}: reflexive reach");
+    }
+}
+
+#[test]
 fn decompress_rejects_bad_flags_and_map_files() {
     let g2g = compressed_fixture();
     let out_path = scratch("rejects_out.txt");

@@ -123,6 +123,19 @@ pub fn decode_label(
     label: EdgeLabel,
     dict: &PermDict,
 ) -> Result<(), CodecError> {
+    // Every node id decoded below comes from an untrusted k²-tree whose
+    // dimensions a corrupt stream controls; anything outside the start
+    // graph's node range must be rejected here, before `add_edge` indexes
+    // with it (the §2 zero-panic policy).
+    let bound = start.node_bound() as u32;
+    let in_range = |v: u32| -> Result<u32, CodecError> {
+        if v >= bound {
+            return Err(CodecError::Malformed(format!(
+                "edge attachment {v} outside the start graph's {bound} nodes"
+            )));
+        }
+        Ok(v)
+    };
     let incidence = r.read_bit()?;
     if !incidence {
         let tree = K2Tree::decode(r)?;
@@ -130,14 +143,36 @@ pub fn decode_label(
             if row == col {
                 return Err(CodecError::Malformed("self-loop in adjacency matrix".into()));
             }
-            start.add_edge(label, &[row, col]);
+            start.add_edge(label, &[in_range(row)?, in_range(col)?]);
         }
     } else {
         let edge_count = (read_delta(r)? - 1) as usize;
         let tree = K2Tree::decode(r)?;
+        // The edge count is untrusted: it must match the incidence
+        // matrix's own geometry (the encoder sets cols = edges.max(1)),
+        // and it must be describable by the stream — every edge either
+        // attaches somewhere (≥ 1 one-cell) or still costs permutation
+        // bits. Without these bounds a ~70-bit payload could claim 2^60
+        // edges and drive the allocation and the column loop below.
+        if tree.cols() as usize != edge_count.max(1) {
+            return Err(CodecError::Malformed(format!(
+                "incidence matrix has {} columns for {} edges",
+                tree.cols(),
+                edge_count
+            )));
+        }
+        if edge_count as u64 > tree.count_ones() as u64 + r.remaining() + 1 {
+            return Err(CodecError::Malformed(format!(
+                "edge count {edge_count} exceeds what the stream can describe"
+            )));
+        }
         let mut atts: Vec<Vec<NodeId>> = Vec::with_capacity(edge_count);
         for col in 0..edge_count as u32 {
-            atts.push(tree.col(col));
+            let att = tree.col(col);
+            for &v in &att {
+                in_range(v)?;
+            }
+            atts.push(att);
         }
         for sorted_att in atts {
             let idx = dict.decode_index(r)?;

@@ -52,7 +52,9 @@ mod session;
 mod signal;
 
 pub use pool::{WorkerPool, MAX_POOL_THREADS};
-pub use server::{run_cli, Server, ServerConfig, ServerHandle};
+pub use server::{
+    run_cli, Server, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS, DEFAULT_READ_TIMEOUT,
+};
 pub use session::{
     serve_session, LineSource, SessionOpts, SessionSummary, DEFAULT_BATCH, DEFAULT_MAX_LINE,
     PROTO_VERSION,

@@ -14,6 +14,14 @@ use crate::pool::WorkerPool;
 use crate::session::{serve_session, SessionOpts, DEFAULT_BATCH, DEFAULT_MAX_LINE};
 use crate::signal;
 
+/// Default per-connection read timeout: generous enough for interactive
+/// clients, finite so a slow-loris peer cannot park a session thread
+/// forever.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Default cap on concurrently served connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
 /// Everything `grepair-server` / `grepair store serve` can tune.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -27,6 +35,16 @@ pub struct ServerConfig {
     pub batch: usize,
     /// Maximum accepted request-line length, bytes.
     pub max_line: usize,
+    /// Per-connection socket read timeout; a session blocked in a read for
+    /// longer is closed (its answered work is already flushed — the
+    /// adaptive batcher never parks with pending replies). `None` disables
+    /// the timeout (the pre-hygiene behavior; `--read-timeout 0`).
+    pub read_timeout: Option<Duration>,
+    /// Cap on concurrently served connections. A connection over the cap
+    /// is answered with one `error:` line and closed, so an open-socket
+    /// flood degrades into fast refusals instead of unbounded session
+    /// threads.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +54,8 @@ impl Default for ServerConfig {
             threads: 0,
             batch: DEFAULT_BATCH,
             max_line: DEFAULT_MAX_LINE,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
@@ -47,8 +67,22 @@ pub struct Server {
     registry: Arc<StoreRegistry>,
     pool: Arc<WorkerPool>,
     opts: SessionOpts,
+    read_timeout: Option<Duration>,
+    max_connections: usize,
     stop: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
+    active: Arc<AtomicU64>,
+}
+
+/// Decrements the active-connection count when a session ends, however it
+/// ends — clean EOF, transport error, refused spawn (the closure holding
+/// the guard is dropped), or panic unwind.
+struct ActiveGuard(Arc<AtomicU64>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Cheap handle for stopping a running server from another thread (tests,
@@ -104,8 +138,11 @@ impl Server {
                 max_line: config.max_line.max(1),
                 reload_path,
             },
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections.max(1),
             stop: Arc::new(AtomicBool::new(false)),
             connections: Arc::new(AtomicU64::new(0)),
+            active: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -117,6 +154,11 @@ impl Server {
     /// Connections accepted so far.
     pub fn connections_accepted(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn connections_active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
     }
 
     /// A stop handle usable from other threads.
@@ -178,13 +220,31 @@ impl Server {
                 return Ok(());
             }
             self.connections.fetch_add(1, Ordering::Relaxed);
+            // Connection cap: over it, answer one error line and close —
+            // a flood degrades into fast refusals, not unbounded session
+            // threads. (The accept loop is the only incrementer, so the
+            // fetch_add is exact; sessions decrement via their guard.)
+            if self.active.fetch_add(1, Ordering::Relaxed) as usize >= self.max_connections {
+                let _guard = ActiveGuard(Arc::clone(&self.active));
+                let mut stream = stream;
+                let _ = writeln!(
+                    stream,
+                    "error: connection limit reached ({} active)",
+                    self.max_connections
+                );
+                eprintln!("refusing {peer}: connection limit reached");
+                continue;
+            }
+            let guard = ActiveGuard(Arc::clone(&self.active));
             let registry = Arc::clone(&self.registry);
             let pool = Arc::clone(&self.pool);
             let opts = self.opts.clone();
+            let read_timeout = self.read_timeout;
             let spawned = std::thread::Builder::new()
                 .name("grepair-session".into())
                 .spawn(move || {
-                    if let Err(e) = serve_one(&registry, &pool, stream, &opts) {
+                    let _guard = guard;
+                    if let Err(e) = serve_one(&registry, &pool, stream, &opts, read_timeout) {
                         // The peer vanishing mid-write is normal churn, not
                         // a server error; anything else is worth a line.
                         if e.kind() != std::io::ErrorKind::BrokenPipe {
@@ -209,26 +269,46 @@ fn serve_one(
     pool: &WorkerPool,
     stream: TcpStream,
     opts: &SessionOpts,
+    read_timeout: Option<Duration>,
 ) -> std::io::Result<()> {
     // The protocol is request/reply over one stream: latency matters more
     // than segment coalescing, and the session already batches writes.
     let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(read_timeout)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
-    serve_session(registry, pool, &mut reader, &mut writer, opts)?;
+    match serve_session(registry, pool, &mut reader, &mut writer, opts) {
+        Ok(_) => {}
+        // The read timeout fired while the session was parked waiting for
+        // the client (`WouldBlock` on Unix `SO_RCVTIMEO`, `TimedOut`
+        // elsewhere). Everything answerable was already answered — the
+        // adaptive batcher flushes before blocking — so this is a clean
+        // idle cutoff, not a transport error worth logging.
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) => {}
+        Err(e) => return Err(e),
+    }
     writer.flush()
 }
 
 /// Shared argv front end for the `grepair-server` binary and
 /// `grepair store serve`:
-/// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]`.
+/// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
+/// [--read-timeout SECS] [--max-connections N]`.
 ///
-/// Prints one `listening ...` line to stdout once bound (CI and scripts
-/// parse the ephemeral port out of it), then serves until killed.
+/// `--read-timeout 0` disables the idle cutoff. Prints one `listening ...`
+/// line to stdout once bound (CI and scripts parse the ephemeral port out
+/// of it), then serves until killed.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let g2g = args.first().ok_or("missing g2g file")?;
     let flags = &args[1..];
-    validate_value_flags(flags, &["--addr", "--threads", "--batch", "--max-line"])?;
+    validate_value_flags(
+        flags,
+        &["--addr", "--threads", "--batch", "--max-line", "--read-timeout", "--max-connections"],
+    )?;
     let mut config = ServerConfig::default();
     if let Some(addr) = flag_value(flags, "--addr") {
         config.addr = addr;
@@ -248,6 +328,17 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             return Err("--max-line must be at least 1".into());
         }
     }
+    if let Some(raw) = flag_value(flags, "--read-timeout") {
+        let secs: u64 = raw.parse().map_err(|e| format!("bad --read-timeout: {e}"))?;
+        config.read_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    if let Some(raw) = flag_value(flags, "--max-connections") {
+        config.max_connections =
+            raw.parse().map_err(|e| format!("bad --max-connections: {e}"))?;
+        if config.max_connections == 0 {
+            return Err("--max-connections must be at least 1".into());
+        }
+    }
 
     let registry = Arc::new(StoreRegistry::open(g2g).map_err(|e| match e {
         grepair_store::GrepairError::Io { .. } => e.to_string(),
@@ -258,10 +349,11 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let store = registry.current();
     println!(
-        "listening {addr} proto={} generation={} nodes={}",
+        "listening {addr} proto={} generation={} nodes={} backend={}",
         crate::session::PROTO_VERSION,
         store.generation(),
-        store.total_nodes()
+        store.total_nodes(),
+        store.backend()
     );
     // The line above is the machine-readable startup handshake — make sure
     // it is visible before the first connection, even under pipes.
@@ -286,6 +378,9 @@ mod tests {
         assert!(run_cli(&args(&["x.g2g", "--threads", "many"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--batch", "0"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--max-line", "0"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--read-timeout", "soon"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--max-connections", "0"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--max-connections", "lots"])).is_err());
         // A good flag set still fails cleanly on a missing store file.
         let err = run_cli(&args(&["/nonexistent/x.g2g", "--threads", "2"])).unwrap_err();
         assert!(err.contains("/nonexistent/x.g2g"), "{err}");
@@ -297,5 +392,9 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0", "ephemeral loopback by default");
         assert_eq!(config.batch, DEFAULT_BATCH);
         assert_eq!(config.max_line, DEFAULT_MAX_LINE);
+        // Connection hygiene is on by default: finite idle timeout, finite
+        // concurrent-connection cap.
+        assert_eq!(config.read_timeout, Some(DEFAULT_READ_TIMEOUT));
+        assert_eq!(config.max_connections, DEFAULT_MAX_CONNECTIONS);
     }
 }

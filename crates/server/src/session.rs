@@ -312,9 +312,10 @@ fn handle_admin(
         Ok(Admin::Info) => {
             let store = registry.current();
             format!(
-                "grepair proto={PROTO_VERSION} generation={} nodes={}",
+                "grepair proto={PROTO_VERSION} generation={} nodes={} backend={}",
                 store.generation(),
-                store.total_nodes()
+                store.total_nodes(),
+                store.backend()
             )
         }
         Ok(Admin::Stats) => registry.stats().to_string(),
@@ -393,7 +394,7 @@ mod tests {
         let (out, summary) = run("PING\nINFO\nSTATS\nQUIT\nout 0\n");
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "pong");
-        assert_eq!(lines[1], "grepair proto=1 generation=1 nodes=17");
+        assert_eq!(lines[1], "grepair proto=1 generation=1 nodes=17 backend=grepair");
         assert!(lines[2].starts_with("generation=1 loads=1 "), "{out}");
         assert_eq!(lines[3], "bye");
         // QUIT ends the session: the query after it is never answered.

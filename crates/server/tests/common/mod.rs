@@ -36,8 +36,12 @@ pub struct TestServer {
 
 impl TestServer {
     pub fn start(reps: u32, reload_path: Option<String>) -> Self {
+        Self::start_with(reps, reload_path, ServerConfig::default())
+    }
+
+    pub fn start_with(reps: u32, reload_path: Option<String>, config: ServerConfig) -> Self {
         let registry = Arc::new(StoreRegistry::new(store(reps)));
-        let server = Server::bind(&ServerConfig::default(), Arc::clone(&registry), reload_path)
+        let server = Server::bind(&config, Arc::clone(&registry), reload_path)
             .expect("bind ephemeral loopback port");
         let addr = server.local_addr().unwrap();
         let handle = server.handle().unwrap();

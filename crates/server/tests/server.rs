@@ -71,7 +71,10 @@ fn reload_mid_stream_bumps_generation_without_dropping_anything() {
     let mut client = LineClient::new(server.connect());
 
     // Generation 1 serving normally.
-    assert_eq!(client.roundtrip("INFO"), "grepair proto=1 generation=1 nodes=33");
+    assert_eq!(
+        client.roundtrip("INFO"),
+        "grepair proto=1 generation=1 nodes=33 backend=grepair"
+    );
     assert_eq!(client.roundtrip("reach 0 32"), "true");
     let err = client.roundtrip("out 64"); // not a node yet
     assert!(err.starts_with("error:"), "{err}");
@@ -145,6 +148,118 @@ fn many_concurrent_connections_share_one_pool() {
             });
         }
     });
+}
+
+#[test]
+fn idle_sessions_are_cut_by_the_read_timeout() {
+    use grepair_server::ServerConfig;
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start_with(8, None, config);
+    // A connection that never sends anything — the slow-loris shape. The
+    // server must close it instead of parking its session thread forever.
+    // (No request/reply roundtrips happen on this short-timeout server:
+    // a >100ms scheduling stall between writes would otherwise make the
+    // test flaky under CI load; normal serving is covered elsewhere.)
+    let mut stream = server.connect();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let start = Instant::now();
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).expect("server closes, not the test timeout");
+    let elapsed = start.elapsed();
+    assert_eq!(n, 0, "an idle session gets no bytes, just EOF: {buf:?}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cutoff must come from the 100ms read timeout, took {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(80),
+        "cutoff must wait out the read timeout, not fire instantly: {elapsed:?}"
+    );
+}
+
+#[test]
+fn connections_over_the_cap_are_refused_with_an_error_line() {
+    use grepair_server::ServerConfig;
+    use std::io::Read;
+    use std::time::Duration;
+
+    let config = ServerConfig { max_connections: 1, ..ServerConfig::default() };
+    let server = TestServer::start_with(8, None, config);
+    let mut first = LineClient::new(server.connect());
+    assert_eq!(first.roundtrip("PING"), "pong");
+
+    // The second concurrent connection is answered and closed.
+    let mut second = server.connect();
+    second.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reply = String::new();
+    second.read_to_string(&mut reply).expect("refusal then EOF");
+    assert_eq!(reply, "error: connection limit reached (1 active)\n");
+
+    // The refused connection did not consume the slot: the first session
+    // still serves, and once it ends a new connection is admitted.
+    assert_eq!(first.roundtrip("out 0"), "1");
+    assert_eq!(first.roundtrip("QUIT"), "bye");
+    drop(first);
+    for attempt in 0.. {
+        let mut retry = LineClient::new(server.connect());
+        let reply = retry.roundtrip("PING");
+        if reply == "pong" {
+            break;
+        }
+        assert!(reply.starts_with("error:"), "{reply}");
+        assert!(attempt < 50, "slot never freed: {reply:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn reload_swaps_in_a_different_backend_mid_session() {
+    use grepair_hypergraph::Hypergraph;
+
+    // A 9-node unlabeled path, k²-encoded: ids are preserved (no grammar
+    // renumbering), so the answers are predictable.
+    let g = Hypergraph::from_simple_edges(9, (0..8u32).map(|i| (i, 0u32, i + 1))).0;
+    let file = grepair_store::codec_for("k2").unwrap().encode(&g).unwrap();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("grepair_server_k2_{}.g2g", std::process::id()));
+    std::fs::write(&path, file).unwrap();
+
+    let server = TestServer::start(16, None); // grammar-backed, 33 nodes
+    let mut client = LineClient::new(server.connect());
+    assert_eq!(
+        client.roundtrip("INFO"),
+        "grepair proto=1 generation=1 nodes=33 backend=grepair"
+    );
+    assert_eq!(
+        client.roundtrip(&format!("RELOAD {}", path.display())),
+        "reloaded generation=2 nodes=9"
+    );
+    // Same connection, new backend: the whole query plane answers.
+    assert_eq!(
+        client.roundtrip("INFO"),
+        "grepair proto=1 generation=2 nodes=9 backend=k2"
+    );
+    assert_eq!(client.roundtrip("out 0"), "1");
+    assert_eq!(client.roundtrip("in 8"), "7");
+    assert_eq!(client.roundtrip("reach 0 8"), "true");
+    assert_eq!(client.roundtrip("reach 8 0"), "false");
+    assert_eq!(client.roundtrip("rpq 0 2 0 0"), "true");
+    assert_eq!(client.roundtrip("components"), "1");
+    assert_eq!(client.roundtrip("degrees"), "min=1 max=2");
+    let err = client.roundtrip("out 33"); // old id space is gone
+    assert!(err.starts_with("error:") && err.contains("0..9"), "{err}");
+    let stats = client.roundtrip("STATS");
+    assert!(stats.ends_with("backend=k2"), "{stats}");
+    assert_eq!(client.roundtrip("QUIT"), "bye");
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

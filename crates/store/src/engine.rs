@@ -1,0 +1,263 @@
+//! The gRePair backend's query engine: grammar navigation with memoized
+//! rule expansions and compiled RPQ plans.
+//!
+//! This is the machinery `GraphStore` originally owned directly; it now
+//! lives behind the [`QueryEngine`] trait so the store can serve other
+//! compressed representations (k²-tree, list-merging, virtual-node) through
+//! the same surface. The grammar engine stays special in one way: the
+//! store's batch amortization (shared reach closures, shared RPQ product
+//! closures, the per-batch locate cache — DESIGN.md §5) reaches into its
+//! fields directly, because those levers are grammar-shaped and have no
+//! analog in the adjacency-backed engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use grepair_grammar::Grammar;
+use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
+use grepair_queries::neighbors::Direction;
+use grepair_queries::{speedup, GRepr, GrammarIndex, QueryError, ReachIndex, RpqIndex};
+
+use crate::backend::QueryEngine;
+use crate::cache::ShardedMap;
+use crate::query::compile_pattern;
+use crate::GrepairError;
+
+/// One memoized rule expansion: the neighbors one `(nt, ext position,
+/// direction)` combination contributes, as rule-relative `(path, node)`
+/// pairs (see [`GrammarIndex::rule_expansion`]).
+pub(crate) type Expansion = Arc<Vec<(Vec<EdgeId>, NodeId)>>;
+/// Cache key: `(nonterminal, external position, direction)`.
+type ExpansionKey = (u32, u32, Direction);
+
+/// Per-worker scratch buffers, reused across the queries one worker
+/// answers so the neighbor hot path does not reallocate its derivation-path
+/// buffer per query. Never shared between threads.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Absolute derivation path assembled while expanding nonterminal edges.
+    pub(crate) full: Vec<EdgeId>,
+}
+
+/// Hit/miss counters for the engine's two store-wide caches. Relaxed
+/// atomics: exact totals, no lock (see `StoreStats`).
+#[derive(Debug, Default)]
+pub(crate) struct CacheCounters {
+    pub(crate) expansion_hits: AtomicU64,
+    pub(crate) expansion_misses: AtomicU64,
+    pub(crate) plan_hits: AtomicU64,
+    pub(crate) plan_misses: AtomicU64,
+}
+
+/// The grammar-backed [`QueryEngine`]: G-representation navigation
+/// (Prop. 4), skeleton reachability (Thm. 6), grammar-side RPQ plans, and
+/// the memoized rule-expansion cache that makes hub-node neighborhoods
+/// cheap.
+#[derive(Debug)]
+pub struct GrammarEngine {
+    pub(crate) grammar: Arc<Grammar>,
+    /// G-representation navigation (Prop. 4), built eagerly.
+    pub(crate) index: GrammarIndex<Arc<Grammar>>,
+    /// Skeleton-based reachability (Thm. 6), built eagerly.
+    pub(crate) reach: ReachIndex<Arc<Grammar>>,
+    /// Memoized rule expansions — hot on hub nodes, whose incident
+    /// nonterminal edges repeat few distinct labels.
+    expansions: ShardedMap<ExpansionKey, Expansion>,
+    /// Compiled RPQ plans per canonical pattern text.
+    plans: ShardedMap<String, Arc<RpqIndex<Arc<Grammar>>>>,
+    pub(crate) cache_counters: CacheCounters,
+}
+
+impl GrammarEngine {
+    /// Build the engine from an already-validated grammar (the caller —
+    /// [`crate::GraphStore::from_grammar`] — revalidates first).
+    pub(crate) fn new(grammar: Arc<Grammar>) -> Self {
+        Self {
+            index: GrammarIndex::new(grammar.clone()),
+            reach: ReachIndex::new(grammar.clone()),
+            grammar,
+            expansions: ShardedMap::default(),
+            plans: ShardedMap::default(),
+            cache_counters: CacheCounters::default(),
+        }
+    }
+
+    /// The grammar being served.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Neighbor collection with memoized nonterminal descent. The context
+    /// scan mirrors `GrammarIndex::neighbors`; the descent into each
+    /// nonterminal edge is replaced by a cache of rule-relative expansions
+    /// (see [`GrammarIndex::rule_expansion`] for the uncached reference).
+    /// The caller resolves `repr` (possibly through the per-batch locate
+    /// cache); the derivation-path buffer comes from `scratch`.
+    pub(crate) fn collect_neighbors(
+        &self,
+        repr: &GRepr,
+        dir: Direction,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<u64>, QueryError> {
+        let ctx_graph = self.index.context(&repr.path);
+        // Fast path: isolated (rank-0) nodes have no neighbors — return
+        // before touching the expansion machinery.
+        if ctx_graph.incident(repr.node).next().is_none() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let full: &mut Vec<EdgeId> = &mut scratch.full;
+        full.clear();
+        full.extend_from_slice(&repr.path);
+        for e in ctx_graph.incident(repr.node) {
+            let att = ctx_graph.att(e);
+            match ctx_graph.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == repr.node => att[1],
+                        Direction::In if att[1] == repr.node => att[0],
+                        _ => continue,
+                    };
+                    out.push(self.index.global_id(&repr.path, neighbor));
+                }
+                EdgeLabel::Nonterminal(nt) => {
+                    for (pos, &x) in att.iter().enumerate() {
+                        if x != repr.node {
+                            continue;
+                        }
+                        let exp = self.expansion(nt, pos as u32, dir);
+                        for (rel, node) in exp.iter() {
+                            full.truncate(repr.path.len());
+                            full.push(e);
+                            full.extend_from_slice(rel);
+                            out.push(self.index.global_id(full, *node));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Memoized rule-relative expansion for `(nt, ext position, dir)` — a
+    /// hit is an `Arc` clone out of the sharded cache (read lock, no copy).
+    pub(crate) fn expansion(&self, nt: u32, pos: u32, dir: Direction) -> Expansion {
+        let key: ExpansionKey = (nt, pos, dir);
+        if let Some(hit) = self.expansions.get(&key) {
+            self.cache_counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Compute outside any lock: the recursion below re-enters
+        // `expansion` for nested nonterminals (sharing their entries too).
+        self.cache_counters.expansion_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(self.compute_expansion(nt, pos, dir));
+        self.expansions.insert_if_absent(key, computed)
+    }
+
+    /// Uncached expansion body; straight-line grammars make the recursion
+    /// (over strictly smaller nonterminals) finite.
+    fn compute_expansion(&self, nt: u32, pos: u32, dir: Direction) -> Vec<(Vec<EdgeId>, NodeId)> {
+        let rhs = self.grammar.rule(nt);
+        let Some(&v) = rhs.ext().get(pos as usize) else { return Vec::new() };
+        let mut out = Vec::new();
+        for e in rhs.incident(v) {
+            let att = rhs.att(e);
+            match rhs.label(e) {
+                EdgeLabel::Terminal(_) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        Direction::Out if att[0] == v => att[1],
+                        Direction::In if att[1] == v => att[0],
+                        _ => continue,
+                    };
+                    out.push((Vec::new(), neighbor));
+                }
+                EdgeLabel::Nonterminal(sub) => {
+                    for (p2, &x) in att.iter().enumerate() {
+                        if x != v {
+                            continue;
+                        }
+                        let nested = self.expansion(sub, p2 as u32, dir);
+                        for (rel, node) in nested.iter() {
+                            let mut path = Vec::with_capacity(rel.len() + 1);
+                            path.push(e);
+                            path.extend_from_slice(rel);
+                            out.push((path, *node));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compiled-plan lookup for an RPQ pattern — a hit is an `Arc` clone out
+    /// of the sharded cache.
+    pub(crate) fn plan(
+        &self,
+        pattern: &str,
+    ) -> Result<Arc<RpqIndex<Arc<Grammar>>>, GrepairError> {
+        if let Some(hit) = self.plans.get(pattern) {
+            self.cache_counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.cache_counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let nfa = compile_pattern(pattern)?;
+        let plan = Arc::new(RpqIndex::new(self.grammar.clone(), nfa));
+        Ok(self.plans.insert_if_absent(pattern.to_string(), plan))
+    }
+}
+
+impl QueryEngine for GrammarEngine {
+    fn backend(&self) -> &'static str {
+        crate::backend::GREPAIR
+    }
+
+    fn total_nodes(&self) -> u64 {
+        self.index.total_nodes
+    }
+
+    fn out_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_neighbors(&repr, Direction::Out, &mut Scratch::default())?)
+    }
+
+    fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_neighbors(&repr, Direction::In, &mut Scratch::default())?)
+    }
+
+    fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
+        let repr = self.index.try_locate(v)?;
+        let mut scratch = Scratch::default();
+        let mut out = self.collect_neighbors(&repr, Direction::Out, &mut scratch)?;
+        out.extend(self.collect_neighbors(&repr, Direction::In, &mut scratch)?);
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
+        Ok(self.reach.try_reachable(s, t)?)
+    }
+
+    fn rpq(&self, pattern: &str, s: u64, t: u64) -> Result<bool, GrepairError> {
+        let plan = self.plan(pattern)?;
+        Ok(plan.try_matches(s, t)?)
+    }
+
+    fn components(&self) -> u64 {
+        speedup::connected_components(&self.grammar)
+    }
+
+    fn degree_extrema(&self) -> Option<(u64, u64)> {
+        speedup::degree_extrema(&self.grammar)
+    }
+}

@@ -7,6 +7,7 @@
 //! path can be written end-to-end with `?` and *no* failure mode left as a
 //! panic.
 
+use grepair_baselines::BaselineError;
 use grepair_bits::BitError;
 use grepair_codec::CodecError;
 use grepair_queries::QueryError;
@@ -27,11 +28,17 @@ pub enum GrepairError {
     Bits(BitError),
     /// Grammar-format decode failure.
     Codec(CodecError),
+    /// A baseline-format decode failure (`k2`/`lm`/`hn` container
+    /// payloads).
+    Baseline(BaselineError),
     /// A structurally invalid query (out-of-range node, bad path).
     Query(QueryError),
     /// A request that could not be understood (unparsable query line,
     /// malformed RPQ pattern).
     BadRequest(String),
+    /// The operation is outside the chosen backend's model (hyperedges for
+    /// a matrix format, labels for an unlabeled-only format).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for GrepairError {
@@ -41,8 +48,10 @@ impl std::fmt::Display for GrepairError {
             GrepairError::Container(what) => write!(f, "not a g2g container: {what}"),
             GrepairError::Bits(e) => write!(f, "bit stream: {e}"),
             GrepairError::Codec(e) => write!(f, "{e}"),
+            GrepairError::Baseline(e) => write!(f, "baseline stream: {e}"),
             GrepairError::Query(e) => write!(f, "{e}"),
             GrepairError::BadRequest(what) => write!(f, "bad request: {what}"),
+            GrepairError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -67,6 +76,12 @@ impl From<QueryError> for GrepairError {
     }
 }
 
+impl From<BaselineError> for GrepairError {
+    fn from(e: BaselineError) -> Self {
+        GrepairError::Baseline(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +95,8 @@ mod tests {
         let e: GrepairError = QueryError::NodeOutOfRange { id: 9, total: 3 }.into();
         assert!(e.to_string().contains("out of range"), "{e}");
         assert!(e.to_string().contains("0..3"), "{e}");
+        let e: GrepairError = BaselineError::format("truncated bitmask").into();
+        assert!(matches!(e, GrepairError::Baseline(_)));
+        assert!(e.to_string().contains("truncated bitmask"), "{e}");
     }
 }

@@ -8,6 +8,12 @@
 //! * **Fallible load** — [`GraphStore::open`] / [`GraphStore::from_bytes`]
 //!   take any byte sequence to either a serving store or a [`GrepairError`];
 //!   no hostile container, truncation, or bit flip can panic the process.
+//! * **Pluggable backends** — containers are self-describing
+//!   (DESIGN.md §7): the [`backend`] module defines [`GraphCodec`] /
+//!   [`QueryEngine`], and `from_bytes` dispatches to whichever registered
+//!   backend (`grepair`, `k2`, `lm`, `hn`) wrote the file, legacy `.g2g`
+//!   images included. Every backend serves the same query plane; the
+//!   paper's space/query comparison runs live through one API.
 //! * **Eager indexing** — the G-representation navigation index and the
 //!   reachability skeletons are built at load time, so per-query latency
 //!   never pays the O(|G|) setup.
@@ -61,12 +67,19 @@
 //! assert!(store.query(&Query::OutNeighbors(1 << 40)).is_err());
 //! ```
 
+pub mod backend;
 mod cache;
+mod engine;
 mod error;
 pub mod query;
 mod registry;
 mod store;
 
+pub use backend::{
+    backend_names, codec_for, codecs, split_any_container, write_tagged_container, GraphCodec,
+    QueryEngine, TAGGED_MAGIC,
+};
+pub use engine::GrammarEngine;
 pub use error::GrepairError;
 pub use query::{compile_pattern, error_reply, parse_pattern, parse_query, Query, QueryAnswer};
 pub use registry::StoreRegistry;

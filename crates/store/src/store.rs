@@ -4,27 +4,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use grepair_grammar::Grammar;
-use grepair_hypergraph::{EdgeId, EdgeLabel, NodeId};
 use grepair_queries::neighbors::Direction;
 use grepair_queries::reach::SourceClosure;
-use grepair_queries::{
-    speedup, GRepr, GrammarIndex, QueryError, ReachIndex, RpqIndex, RpqSourceClosure,
-};
+use grepair_queries::{GRepr, QueryError, RpqSourceClosure};
 use grepair_util::{FxHashMap, FxHashSet};
 
+use crate::backend::{self, QueryEngine};
 use crate::cache::ShardedMap;
-use crate::query::{compile_pattern, Query, QueryAnswer};
+use crate::engine::{GrammarEngine, Scratch};
+use crate::query::{Query, QueryAnswer};
 use crate::GrepairError;
 
-/// Container magic for `.g2g` files (shared with the CLI writer).
+/// Container magic for legacy `.g2g` files (shared with the CLI writer; the
+/// gRePair backend still writes exactly this format — see
+/// [`crate::backend::split_any_container`] for the multi-backend layout).
 pub const MAGIC: &[u8; 4] = b"G2G1";
-/// Container header size: magic + little-endian `u64` bit length.
+/// Legacy container header size: magic + little-endian `u64` bit length.
 pub const HEADER_LEN: usize = 12;
 
-/// Split a `.g2g` container into its claimed bit length and payload.
+/// Split a legacy `.g2g` container into its claimed bit length and payload.
 ///
 /// Only the *container* is judged here; whether the payload actually holds
-/// `bit_len` coherent bits is the codec's job.
+/// `bit_len` coherent bits is the codec's job. Tagged multi-backend
+/// containers go through [`crate::backend::split_any_container`], which
+/// calls this for files carrying the legacy magic.
 pub fn parse_container(file: &[u8]) -> Result<(u64, &[u8]), GrepairError> {
     if file.len() < HEADER_LEN {
         return Err(GrepairError::Container(format!(
@@ -39,7 +42,8 @@ pub fn parse_container(file: &[u8]) -> Result<(u64, &[u8]), GrepairError> {
     Ok((bit_len, &file[HEADER_LEN..]))
 }
 
-/// Wrap an encoded grammar in the `.g2g` container format.
+/// Wrap an encoded grammar in the legacy `.g2g` container format (the
+/// gRePair backend's on-disk bytes, unchanged across the backend redesign).
 pub fn write_container(bytes: &[u8], bit_len: u64) -> Vec<u8> {
     let mut file = Vec::with_capacity(bytes.len() + HEADER_LEN);
     file.extend_from_slice(MAGIC);
@@ -48,12 +52,6 @@ pub fn write_container(bytes: &[u8], bit_len: u64) -> Vec<u8> {
     file
 }
 
-/// One memoized rule expansion: the neighbors one `(nt, ext position,
-/// direction)` combination contributes, as rule-relative `(path, node)`
-/// pairs (see [`GrammarIndex::rule_expansion`]).
-type Expansion = Arc<Vec<(Vec<EdgeId>, NodeId)>>;
-/// Cache key: `(nonterminal, external position, direction)`.
-type ExpansionKey = (u32, u32, Direction);
 /// What every query entry point returns: a shared handle to the answer, so
 /// cache and memo hits are `Arc` clones, never `Vec` copies.
 type AnswerResult = Result<Arc<QueryAnswer>, GrepairError>;
@@ -64,7 +62,9 @@ type AnswerResult = Result<Arc<QueryAnswer>, GrepairError>;
 /// [`GraphStore::query_batch_parallel`] plugs in a spawn-per-batch
 /// implementation (scoped `std::thread`s); a long-lived server plugs in a
 /// reusable worker pool (`grepair-server`'s `WorkerPool`), so small batches
-/// stop paying the per-batch spawn cost.
+/// stop paying the per-batch spawn cost. The batch being fanned out may be
+/// served by *any* registered backend — the jobs capture `&GraphStore`,
+/// which dispatches to the engine behind it.
 ///
 /// # Contract
 ///
@@ -107,17 +107,14 @@ impl BatchExecutor for ScopedSpawner {
 
 /// Monotonic serving counters. Every counter is an [`AtomicU64`] bumped with
 /// `Relaxed` ordering — correct under the concurrent batch paths (each
-/// increment lands exactly once) and free of any lock.
+/// increment lands exactly once) and free of any lock. The grammar engine's
+/// cache hit/miss counters live with the engine (`engine::CacheCounters`).
 #[derive(Debug, Default)]
 struct Counters {
     queries: AtomicU64,
     batches: AtomicU64,
     parallel_batches: AtomicU64,
     errors: AtomicU64,
-    expansion_hits: AtomicU64,
-    expansion_misses: AtomicU64,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
 }
 
 /// A point-in-time snapshot of a store's serving statistics.
@@ -130,6 +127,10 @@ pub struct StoreStats {
     /// `STATS`/`INFO` admin replies (DESIGN.md §6) so clients can observe
     /// a hot reload taking effect.
     pub generation: u64,
+    /// Which compression backend is serving (`grepair`, `k2`, `lm`, `hn` —
+    /// see DESIGN.md §7). Echoed by `STATS`/`INFO` so clients can observe
+    /// a cross-backend reload.
+    pub backend: &'static str,
     /// Decode + index-build operations performed for this store (always 1:
     /// a reload builds a *new* store — see [`crate::StoreRegistry`]).
     pub loads: u64,
@@ -142,11 +143,13 @@ pub struct StoreStats {
     pub parallel_batches: u64,
     /// Queries that returned an error.
     pub errors: u64,
-    /// Memoized rule-expansion lookups that hit.
+    /// Memoized rule-expansion lookups that hit (grammar backend; 0
+    /// elsewhere).
     pub expansion_cache_hits: u64,
     /// Memoized rule-expansion lookups that missed (and computed).
     pub expansion_cache_misses: u64,
-    /// RPQ plan-cache hits (pattern already compiled against this grammar).
+    /// RPQ plan-cache hits (pattern already compiled against this grammar;
+    /// grammar backend only).
     pub rpq_plan_hits: u64,
     /// RPQ plan-cache misses.
     pub rpq_plan_misses: u64,
@@ -156,7 +159,7 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "generation={} loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{}",
+            "generation={} loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{} backend={}",
             self.generation,
             self.loads,
             self.queries_served,
@@ -167,6 +170,7 @@ impl std::fmt::Display for StoreStats {
             self.expansion_cache_hits + self.expansion_cache_misses,
             self.rpq_plan_hits,
             self.rpq_plan_hits + self.rpq_plan_misses,
+            self.backend,
         )
     }
 }
@@ -242,6 +246,10 @@ impl<'q> BatchPlan<'q> {
 /// references into the batch slice (no `Query`/pattern clones), so the same
 /// context is shared *across worker threads* by
 /// [`GraphStore::query_batch_parallel`] without a global lock.
+///
+/// The duplicate memo applies to every backend; the three closure/locate
+/// maps are grammar-shaped levers and engage only when the grammar engine
+/// is serving.
 struct BatchContext<'q> {
     /// Which keys are worth admitting into the maps below.
     plan: BatchPlan<'q>,
@@ -269,23 +277,26 @@ impl<'q> BatchContext<'q> {
     }
 }
 
-/// Per-worker scratch buffers, reused across the queries one worker
-/// answers so the neighbor hot path does not reallocate its derivation-path
-/// buffer per query. Never shared between threads.
-#[derive(Default)]
-struct Scratch {
-    /// Absolute derivation path assembled while expanding nonterminal edges.
-    full: Vec<EdgeId>,
+/// The engine behind a store: the grammar engine is held unboxed because
+/// the batch machinery reaches into its reach/RPQ/locate internals for the
+/// per-batch sharing levers; every other backend is a [`QueryEngine`]
+/// trait object served through the same dispatch.
+#[derive(Debug)]
+enum EngineSlot {
+    Grammar(Box<GrammarEngine>),
+    External(Box<dyn QueryEngine>),
 }
 
 /// A loaded compressed graph, indexed once, serving forever.
 ///
 /// `GraphStore` is the serving-grade counterpart of the one-shot CLI path:
-/// it decodes a `.g2g` through a fully fallible pipeline (no panic on any
-/// byte sequence), eagerly builds the navigation and reachability indexes,
-/// and then answers any number of [`Query`]s — individually via
-/// [`GraphStore::query`], amortized via [`GraphStore::query_batch`], or
-/// across worker threads via [`GraphStore::query_batch_parallel`].
+/// it loads a container through a fully fallible pipeline (no panic on any
+/// byte sequence), dispatches to the backend the container's header names
+/// (DESIGN.md §7 — legacy `.g2g` files are detected as the gRePair
+/// grammar), eagerly builds that backend's indexes, and then answers any
+/// number of [`Query`]s — individually via [`GraphStore::query`], amortized
+/// via [`GraphStore::query_batch`], or across worker threads via
+/// [`GraphStore::query_batch_parallel`].
 ///
 /// All interior mutability is synchronized (sharded `RwLock` caches, atomic
 /// counters), so one store can be shared across threads
@@ -295,17 +306,10 @@ struct Scratch {
 /// of a neighbor list.
 #[derive(Debug)]
 pub struct GraphStore {
-    grammar: Arc<Grammar>,
-    /// G-representation navigation (Prop. 4), built eagerly.
-    index: GrammarIndex<Arc<Grammar>>,
-    /// Skeleton-based reachability (Thm. 6), built eagerly.
-    reach: ReachIndex<Arc<Grammar>>,
-    /// Memoized rule expansions — hot on hub nodes, whose incident
-    /// nonterminal edges repeat few distinct labels.
-    expansions: ShardedMap<ExpansionKey, Expansion>,
-    /// Compiled RPQ plans per canonical pattern text.
-    plans: ShardedMap<String, Arc<RpqIndex<Arc<Grammar>>>>,
-    /// Whole-graph aggregates, computed at most once.
+    engine: EngineSlot,
+    /// Whole-graph aggregates, computed at most once per loaded store —
+    /// for the grammar in one O(|G|) pass, for adjacency backends by a
+    /// full scan.
     components: OnceLock<u64>,
     degrees: OnceLock<Option<(u64, u64)>>,
     counters: Counters,
@@ -317,50 +321,83 @@ pub struct GraphStore {
 }
 
 impl GraphStore {
-    /// Build a store from an already-validated (or freshly compressed)
-    /// grammar. Validation runs again here — the store's zero-panic
-    /// guarantee must not depend on the caller's discipline.
-    pub fn from_grammar(grammar: Grammar) -> Result<Self, GrepairError> {
-        grammar
-            .validate()
-            .map_err(|e| GrepairError::Codec(grepair_codec::CodecError::Malformed(e)))?;
-        let grammar = Arc::new(grammar);
-        Ok(Self {
-            index: GrammarIndex::new(grammar.clone()),
-            reach: ReachIndex::new(grammar.clone()),
-            grammar,
-            expansions: ShardedMap::default(),
-            plans: ShardedMap::default(),
+    fn from_slot(engine: EngineSlot) -> Self {
+        Self {
+            engine,
             components: OnceLock::new(),
             degrees: OnceLock::new(),
             counters: Counters::default(),
             loads: 1,
             generation: AtomicU64::new(1),
-        })
+        }
     }
 
-    /// Decode a `.g2g` container image and build the store.
+    /// Build a grammar-backed store from an already-validated (or freshly
+    /// compressed) grammar. Validation runs again here — the store's
+    /// zero-panic guarantee must not depend on the caller's discipline.
+    pub fn from_grammar(grammar: Grammar) -> Result<Self, GrepairError> {
+        grammar
+            .validate()
+            .map_err(|e| GrepairError::Codec(grepair_codec::CodecError::Malformed(e)))?;
+        Ok(Self::from_slot(EngineSlot::Grammar(Box::new(GrammarEngine::new(Arc::new(grammar))))))
+    }
+
+    /// Build a store around any loaded [`QueryEngine`] — the seam the
+    /// non-grammar backends (and embedders with custom representations)
+    /// come through. The store supplies batching, parallel fan-out, the
+    /// duplicate memo, aggregate memoization, counters, and hot-reload
+    /// registration; the engine supplies the answers.
+    pub fn from_engine(engine: Box<dyn QueryEngine>) -> Self {
+        Self::from_slot(EngineSlot::External(engine))
+    }
+
+    /// Decode any container image — legacy `.g2g` or tagged — and build
+    /// the store for whichever backend the header names.
     pub fn from_bytes(file: &[u8]) -> Result<Self, GrepairError> {
-        let (bit_len, payload) = parse_container(file)?;
-        let grammar = grepair_codec::decode(payload, bit_len)?;
-        Self::from_grammar(grammar)
+        let (tag, bit_len, payload) = backend::split_any_container(file)?;
+        let codec = backend::resolve_codec(tag)?;
+        if codec.name() == backend::GREPAIR {
+            // The grammar path stays unboxed so the batch machinery keeps
+            // its grammar-shaped amortization levers.
+            let grammar = backend::decode_validated_grammar(payload, bit_len)?;
+            Ok(Self::from_slot(EngineSlot::Grammar(Box::new(GrammarEngine::new(Arc::new(grammar))))))
+        } else {
+            Ok(Self::from_engine(codec.load(payload, bit_len)?))
+        }
     }
 
-    /// Load a `.g2g` file and build the store.
+    /// Load a container file and build the store.
     pub fn open(path: &str) -> Result<Self, GrepairError> {
         let file = std::fs::read(path)
             .map_err(|e| GrepairError::Io { path: path.into(), error: e.to_string() })?;
         Self::from_bytes(&file)
     }
 
-    /// The grammar being served.
-    pub fn grammar(&self) -> &Grammar {
-        &self.grammar
+    /// The engine as its backend-agnostic trait surface.
+    fn engine_dyn(&self) -> &dyn QueryEngine {
+        match &self.engine {
+            EngineSlot::Grammar(ge) => &**ge,
+            EngineSlot::External(e) => &**e,
+        }
     }
 
-    /// Number of nodes of `val(G)` — valid query ids are `0..total_nodes()`.
+    /// Name of the backend serving this store (`grepair`, `k2`, …).
+    pub fn backend(&self) -> &'static str {
+        self.engine_dyn().backend()
+    }
+
+    /// The grammar being served — `Some` only for the gRePair backend.
+    pub fn grammar(&self) -> Option<&Grammar> {
+        match &self.engine {
+            EngineSlot::Grammar(ge) => Some(ge.grammar()),
+            EngineSlot::External(_) => None,
+        }
+    }
+
+    /// Number of nodes of the represented graph — valid query ids are
+    /// `0..total_nodes()`.
     pub fn total_nodes(&self) -> u64 {
-        self.index.total_nodes
+        self.engine_dyn().total_nodes()
     }
 
     /// Which registry generation this store is (see
@@ -378,17 +415,30 @@ impl GraphStore {
     /// Snapshot the serving statistics.
     pub fn stats(&self) -> StoreStats {
         let c = &self.counters;
+        let (eh, em, ph, pm) = match &self.engine {
+            EngineSlot::Grammar(ge) => {
+                let cc = &ge.cache_counters;
+                (
+                    cc.expansion_hits.load(Ordering::Relaxed),
+                    cc.expansion_misses.load(Ordering::Relaxed),
+                    cc.plan_hits.load(Ordering::Relaxed),
+                    cc.plan_misses.load(Ordering::Relaxed),
+                )
+            }
+            EngineSlot::External(_) => (0, 0, 0, 0),
+        };
         StoreStats {
             generation: self.generation(),
+            backend: self.backend(),
             loads: self.loads,
             queries_served: c.queries.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             parallel_batches: c.parallel_batches.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
-            expansion_cache_hits: c.expansion_hits.load(Ordering::Relaxed),
-            expansion_cache_misses: c.expansion_misses.load(Ordering::Relaxed),
-            rpq_plan_hits: c.plan_hits.load(Ordering::Relaxed),
-            rpq_plan_misses: c.plan_misses.load(Ordering::Relaxed),
+            expansion_cache_hits: eh,
+            expansion_cache_misses: em,
+            rpq_plan_hits: ph,
+            rpq_plan_misses: pm,
         }
     }
 
@@ -398,51 +448,37 @@ impl GraphStore {
 
     /// Out-neighbors of `v`, sorted ascending.
     pub fn out_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        let repr = self.index.try_locate(v)?;
-        Ok(self.collect_neighbors(&repr, Direction::Out, &mut Scratch::default())?)
+        self.engine_dyn().out_neighbors(v)
     }
 
     /// In-neighbors of `v`, sorted ascending.
     pub fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        let repr = self.index.try_locate(v)?;
-        Ok(self.collect_neighbors(&repr, Direction::In, &mut Scratch::default())?)
+        self.engine_dyn().in_neighbors(v)
     }
 
-    /// Union of both directions, sorted and deduplicated (one `locate`
-    /// serves both passes).
+    /// Union of both directions, sorted and deduplicated.
     pub fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
-        let repr = self.index.try_locate(v)?;
-        let mut scratch = Scratch::default();
-        let mut out = self.collect_neighbors(&repr, Direction::Out, &mut scratch)?;
-        out.extend(self.collect_neighbors(&repr, Direction::In, &mut scratch)?);
-        out.sort_unstable();
-        out.dedup();
-        Ok(out)
+        self.engine_dyn().neighbors(v)
     }
 
     /// Is `t` reachable from `s`?
     pub fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
-        Ok(self.reach.try_reachable(s, t)?)
+        self.engine_dyn().reachable(s, t)
     }
 
     /// Does some `s → t` path spell a word of the pattern's language?
     pub fn rpq(&self, pattern: &str, s: u64, t: u64) -> Result<bool, GrepairError> {
-        let plan = self.plan(pattern)?;
-        Ok(plan.try_matches(s, t)?)
+        self.engine_dyn().rpq(pattern, s, t)
     }
 
-    /// Number of connected components of `val(G)` (memoized).
+    /// Number of connected components (memoized per loaded store).
     pub fn components(&self) -> u64 {
-        *self
-            .components
-            .get_or_init(|| speedup::connected_components(&self.grammar))
+        *self.components.get_or_init(|| self.engine_dyn().components())
     }
 
-    /// `(min, max)` degree over `val(G)` (memoized; `None` when empty).
+    /// `(min, max)` degree (memoized; `None` when empty).
     pub fn degree_extrema(&self) -> Option<(u64, u64)> {
-        *self
-            .degrees
-            .get_or_init(|| speedup::degree_extrema(&self.grammar))
+        *self.degrees.get_or_init(|| self.engine_dyn().degree_extrema())
     }
 
     /// Answer one query, updating the serving counters.
@@ -461,12 +497,15 @@ impl GraphStore {
 
     /// Answer many queries at once, amortizing shared work:
     ///
-    /// * duplicate queries are answered once; repeats share the `Arc`,
+    /// * duplicate queries are answered once; repeats share the `Arc`
+    ///   (every backend),
     /// * `reach` queries sharing a source reuse one forward closure
-    ///   ([`ReachIndex::try_source`]) instead of recomputing it per target,
+    ///   ([`grepair_queries::ReachIndex::try_source`]) instead of
+    ///   recomputing it per target (grammar backend),
     /// * `rpq` queries sharing a (pattern, source) pair reuse one product
-    ///   closure ([`RpqIndex::try_source`]),
-    /// * neighbor queries against the same node share one `locate` descent,
+    ///   closure (grammar backend),
+    /// * neighbor queries against the same node share one `locate` descent
+    ///   (grammar backend),
     /// * rule expansions and RPQ plans hit the store-wide sharded caches.
     pub fn query_batch(&self, queries: &[Query]) -> Vec<AnswerResult> {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -576,57 +615,86 @@ impl GraphStore {
         out
     }
 
-    /// Shared worker for every query entry point. `ctx` carries the
-    /// per-batch reuse (absent for single queries); `scratch` the per-worker
-    /// buffers. Each sharing lever engages only for keys the batch plan
-    /// marked as actually shared.
+    /// Shared worker for every query entry point: dispatch to the engine.
+    /// The grammar engine gets the full per-batch sharing treatment; other
+    /// backends answer through the trait (still covered by the duplicate
+    /// memo in [`GraphStore::answer_chunk`] and the aggregate memoization).
     fn answer<'q>(
         &self,
         q: &'q Query,
         ctx: Option<&BatchContext<'q>>,
         scratch: &mut Scratch,
     ) -> AnswerResult {
+        match &self.engine {
+            EngineSlot::Grammar(ge) => self.answer_grammar(ge, q, ctx, scratch),
+            EngineSlot::External(e) => self.answer_external(&**e, q),
+        }
+    }
+
+    /// Trait-dispatch evaluation for the non-grammar backends.
+    fn answer_external(&self, e: &dyn QueryEngine, q: &Query) -> AnswerResult {
+        Ok(Arc::new(match q {
+            Query::OutNeighbors(v) => QueryAnswer::Nodes(e.out_neighbors(*v)?),
+            Query::InNeighbors(v) => QueryAnswer::Nodes(e.in_neighbors(*v)?),
+            Query::Neighbors(v) => QueryAnswer::Nodes(e.neighbors(*v)?),
+            Query::Reach { s, t } => QueryAnswer::Bool(e.reachable(*s, *t)?),
+            Query::Rpq { s, t, pattern } => QueryAnswer::Bool(e.rpq(pattern, *s, *t)?),
+            Query::Components => QueryAnswer::Count(self.components()),
+            Query::DegreeExtrema => QueryAnswer::Extrema(self.degree_extrema()),
+        }))
+    }
+
+    /// Grammar-engine evaluation with the per-batch sharing levers. `ctx`
+    /// carries the per-batch reuse (absent for single queries); `scratch`
+    /// the per-worker buffers. Each sharing lever engages only for keys the
+    /// batch plan marked as actually shared.
+    fn answer_grammar<'q>(
+        &self,
+        ge: &GrammarEngine,
+        q: &'q Query,
+        ctx: Option<&BatchContext<'q>>,
+        scratch: &mut Scratch,
+    ) -> AnswerResult {
         Ok(Arc::new(match q {
             Query::OutNeighbors(v) => {
-                let repr = self.locate_for(*v, ctx)?;
-                QueryAnswer::Nodes(self.collect_neighbors(&repr, Direction::Out, scratch)?)
+                let repr = Self::locate_for(ge, *v, ctx)?;
+                QueryAnswer::Nodes(ge.collect_neighbors(&repr, Direction::Out, scratch)?)
             }
             Query::InNeighbors(v) => {
-                let repr = self.locate_for(*v, ctx)?;
-                QueryAnswer::Nodes(self.collect_neighbors(&repr, Direction::In, scratch)?)
+                let repr = Self::locate_for(ge, *v, ctx)?;
+                QueryAnswer::Nodes(ge.collect_neighbors(&repr, Direction::In, scratch)?)
             }
             Query::Neighbors(v) => {
-                let repr = self.locate_for(*v, ctx)?;
-                let mut out = self.collect_neighbors(&repr, Direction::Out, scratch)?;
-                out.extend(self.collect_neighbors(&repr, Direction::In, scratch)?);
+                let repr = Self::locate_for(ge, *v, ctx)?;
+                let mut out = ge.collect_neighbors(&repr, Direction::Out, scratch)?;
+                out.extend(ge.collect_neighbors(&repr, Direction::In, scratch)?);
                 out.sort_unstable();
                 out.dedup();
                 QueryAnswer::Nodes(out)
             }
             Query::Reach { s, t } if s == t => {
                 // Trivially true for valid ids — skip the forward closure.
-                QueryAnswer::Bool(self.reach.try_reachable(*s, *t)?)
+                QueryAnswer::Bool(ge.reach.try_reachable(*s, *t)?)
             }
             Query::Reach { s, t } => {
-                let shared =
-                    ctx.filter(|c| !c.plan.shared_reach.is_empty() && c.plan.shared_reach.contains(s));
+                let shared = ctx
+                    .filter(|c| !c.plan.shared_reach.is_empty() && c.plan.shared_reach.contains(s));
                 let Some(ctx) = shared else {
-                    return Ok(Arc::new(QueryAnswer::Bool(self.reach.try_reachable(*s, *t)?)));
+                    return Ok(Arc::new(QueryAnswer::Bool(ge.reach.try_reachable(*s, *t)?)));
                 };
                 let src = match ctx.reach_sources.get(s) {
                     Some(hit) => hit,
-                    None => ctx.reach_sources.insert_if_absent(
-                        *s,
-                        self.reach.try_source(*s).map(Arc::new),
-                    ),
+                    None => ctx
+                        .reach_sources
+                        .insert_if_absent(*s, ge.reach.try_source(*s).map(Arc::new)),
                 };
-                QueryAnswer::Bool(self.reach.try_reachable_from(&*src?, *t)?)
+                QueryAnswer::Bool(ge.reach.try_reachable_from(&*src?, *t)?)
             }
             Query::Rpq { s, t, pattern } => {
-                let plan = self.plan(pattern)?;
+                let plan = ge.plan(pattern)?;
                 let key = (pattern.as_str(), *s);
-                let shared =
-                    ctx.filter(|c| !c.plan.shared_rpq.is_empty() && c.plan.shared_rpq.contains(&key));
+                let shared = ctx
+                    .filter(|c| !c.plan.shared_rpq.is_empty() && c.plan.shared_rpq.contains(&key));
                 let Some(ctx) = shared else {
                     return Ok(Arc::new(QueryAnswer::Bool(plan.try_matches(*s, *t)?)));
                 };
@@ -646,7 +714,7 @@ impl GraphStore {
     /// Resolve the G-representation of `k`, through the per-batch locate
     /// cache when the plan says ≥ 2 neighbor queries name this node.
     fn locate_for(
-        &self,
+        ge: &GrammarEngine,
         k: u64,
         ctx: Option<&BatchContext<'_>>,
     ) -> Result<Arc<GRepr>, QueryError> {
@@ -657,157 +725,43 @@ impl GraphStore {
                 Some(hit) => hit,
                 None => ctx
                     .locates
-                    .insert_if_absent(k, self.index.try_locate(k).map(Arc::new)),
+                    .insert_if_absent(k, ge.index.try_locate(k).map(Arc::new)),
             };
         }
-        self.index.try_locate(k).map(Arc::new)
-    }
-
-    // ------------------------------------------------------------------
-    // Caches
-    // ------------------------------------------------------------------
-
-    /// Neighbor collection with memoized nonterminal descent. The context
-    /// scan mirrors `GrammarIndex::neighbors`; the descent into each
-    /// nonterminal edge is replaced by a cache of rule-relative expansions
-    /// (see [`GrammarIndex::rule_expansion`] for the uncached reference).
-    /// The caller resolves `repr` (possibly through the per-batch locate
-    /// cache — see [`GraphStore::locate_for`]); the derivation-path buffer
-    /// comes from `scratch`.
-    fn collect_neighbors(
-        &self,
-        repr: &GRepr,
-        dir: Direction,
-        scratch: &mut Scratch,
-    ) -> Result<Vec<u64>, QueryError> {
-        let ctx_graph = self.index.context(&repr.path);
-        // Fast path: isolated (rank-0) nodes have no neighbors — return
-        // before touching the expansion machinery.
-        if ctx_graph.incident(repr.node).next().is_none() {
-            return Ok(Vec::new());
-        }
-        let mut out = Vec::new();
-        let full: &mut Vec<EdgeId> = &mut scratch.full;
-        full.clear();
-        full.extend_from_slice(&repr.path);
-        for e in ctx_graph.incident(repr.node) {
-            let att = ctx_graph.att(e);
-            match ctx_graph.label(e) {
-                EdgeLabel::Terminal(_) => {
-                    if att.len() != 2 {
-                        continue;
-                    }
-                    let neighbor = match dir {
-                        Direction::Out if att[0] == repr.node => att[1],
-                        Direction::In if att[1] == repr.node => att[0],
-                        _ => continue,
-                    };
-                    out.push(self.index.global_id(&repr.path, neighbor));
-                }
-                EdgeLabel::Nonterminal(nt) => {
-                    for (pos, &x) in att.iter().enumerate() {
-                        if x != repr.node {
-                            continue;
-                        }
-                        let exp = self.expansion(nt, pos as u32, dir);
-                        for (rel, node) in exp.iter() {
-                            full.truncate(repr.path.len());
-                            full.push(e);
-                            full.extend_from_slice(rel);
-                            out.push(self.index.global_id(full, *node));
-                        }
-                    }
-                }
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        Ok(out)
-    }
-
-    /// Memoized rule-relative expansion for `(nt, ext position, dir)` — a
-    /// hit is an `Arc` clone out of the sharded cache (read lock, no copy).
-    fn expansion(&self, nt: u32, pos: u32, dir: Direction) -> Expansion {
-        let key: ExpansionKey = (nt, pos, dir);
-        if let Some(hit) = self.expansions.get(&key) {
-            self.counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
-        }
-        // Compute outside any lock: the recursion below re-enters
-        // `expansion` for nested nonterminals (sharing their entries too).
-        self.counters.expansion_misses.fetch_add(1, Ordering::Relaxed);
-        let computed = Arc::new(self.compute_expansion(nt, pos, dir));
-        self.expansions.insert_if_absent(key, computed)
-    }
-
-    /// Uncached expansion body; straight-line grammars make the recursion
-    /// (over strictly smaller nonterminals) finite.
-    fn compute_expansion(&self, nt: u32, pos: u32, dir: Direction) -> Vec<(Vec<EdgeId>, NodeId)> {
-        let rhs = self.grammar.rule(nt);
-        let Some(&v) = rhs.ext().get(pos as usize) else { return Vec::new() };
-        let mut out = Vec::new();
-        for e in rhs.incident(v) {
-            let att = rhs.att(e);
-            match rhs.label(e) {
-                EdgeLabel::Terminal(_) => {
-                    if att.len() != 2 {
-                        continue;
-                    }
-                    let neighbor = match dir {
-                        Direction::Out if att[0] == v => att[1],
-                        Direction::In if att[1] == v => att[0],
-                        _ => continue,
-                    };
-                    out.push((Vec::new(), neighbor));
-                }
-                EdgeLabel::Nonterminal(sub) => {
-                    for (p2, &x) in att.iter().enumerate() {
-                        if x != v {
-                            continue;
-                        }
-                        let nested = self.expansion(sub, p2 as u32, dir);
-                        for (rel, node) in nested.iter() {
-                            let mut path = Vec::with_capacity(rel.len() + 1);
-                            path.push(e);
-                            path.extend_from_slice(rel);
-                            out.push((path, *node));
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Compiled-plan lookup for an RPQ pattern — a hit is an `Arc` clone out
-    /// of the sharded cache.
-    fn plan(&self, pattern: &str) -> Result<Arc<RpqIndex<Arc<Grammar>>>, GrepairError> {
-        if let Some(hit) = self.plans.get(pattern) {
-            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
-        }
-        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let nfa = compile_pattern(pattern)?;
-        let plan = Arc::new(RpqIndex::new(self.grammar.clone(), nfa));
-        Ok(self.plans.insert_if_absent(pattern.to_string(), plan))
+        ge.index.try_locate(k).map(Arc::new)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::codec_for;
     use grepair_core::{compress, GRePairConfig};
-    use grepair_hypergraph::Hypergraph;
+    use grepair_hypergraph::{EdgeLabel, Hypergraph};
+    use grepair_queries::GrammarIndex;
 
-    fn store_for(reps: u32) -> (GraphStore, Hypergraph) {
-        let (g, _) = Hypergraph::from_simple_edges(
+    fn two_label_path(reps: u32) -> Hypergraph {
+        Hypergraph::from_simple_edges(
             (2 * reps + 1) as usize,
             (0..reps).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
-        );
+        )
+        .0
+    }
+
+    fn store_for(reps: u32) -> (GraphStore, Hypergraph) {
+        let g = two_label_path(reps);
         let out = compress(&g, &GRePairConfig::default());
         let encoded = grepair_codec::encode(&out.grammar);
         let file = write_container(&encoded.bytes, encoded.bit_len);
         (GraphStore::from_bytes(&file).unwrap(), g)
+    }
+
+    /// The grammar engine behind a grammar-backed test store.
+    fn grammar_engine(store: &GraphStore) -> &GrammarEngine {
+        match &store.engine {
+            EngineSlot::Grammar(ge) => ge,
+            EngineSlot::External(_) => panic!("test store must be grammar-backed"),
+        }
     }
 
     fn mixed_queries(n: u64, len: u64) -> Vec<Query> {
@@ -829,7 +783,7 @@ mod tests {
     #[test]
     fn neighbors_match_uncached_index() {
         let (store, _) = store_for(32);
-        let idx = GrammarIndex::new(store.grammar());
+        let idx = GrammarIndex::new(store.grammar().unwrap());
         for k in 0..store.total_nodes() {
             assert_eq!(store.out_neighbors(k).unwrap(), idx.out_neighbors(k), "out {k}");
             assert_eq!(store.in_neighbors(k).unwrap(), idx.in_neighbors(k), "in {k}");
@@ -841,13 +795,14 @@ mod tests {
     #[test]
     fn cached_expansion_matches_reference() {
         let (store, _) = store_for(24);
-        let idx = GrammarIndex::new(store.grammar());
-        for nt in 0..store.grammar().num_nonterminals() as u32 {
-            let rank = store.grammar().nt_rank(nt);
+        let ge = grammar_engine(&store);
+        let idx = GrammarIndex::new(store.grammar().unwrap());
+        for nt in 0..store.grammar().unwrap().num_nonterminals() as u32 {
+            let rank = store.grammar().unwrap().nt_rank(nt);
             for pos in 0..rank as u32 {
                 for dir in [Direction::Out, Direction::In] {
                     assert_eq!(
-                        *store.expansion(nt, pos, dir),
+                        *ge.expansion(nt, pos, dir),
                         idx.rule_expansion(nt, pos as usize, dir),
                         "nt {nt} pos {pos} {dir:?}"
                     );
@@ -896,7 +851,7 @@ mod tests {
             assert_eq!(a, &store.query(q), "{q:?}");
         }
         // Cross-check a few against the derived graph.
-        let derived = store.grammar().derive();
+        let derived = store.grammar().unwrap().derive();
         assert_eq!(derived.num_nodes() as u64, n);
         assert_eq!(store.components(), 1);
         let _ = g;
@@ -974,6 +929,7 @@ mod tests {
         assert_eq!(store.stats().generation, 1);
         let rendered = store.stats().to_string();
         assert!(rendered.starts_with("generation=1 "), "{rendered}");
+        assert!(rendered.ends_with("backend=grepair"), "{rendered}");
     }
 
     #[test]
@@ -1003,10 +959,11 @@ mod tests {
     #[test]
     fn expansion_hits_are_arc_clones() {
         let (store, _) = store_for(16);
+        let ge = grammar_engine(&store);
         // Warm the cache, then check a hit shares the allocation.
-        let first = store.expansion(0, 0, Direction::Out);
+        let first = ge.expansion(0, 0, Direction::Out);
         let count_before = Arc::strong_count(&first);
-        let second = store.expansion(0, 0, Direction::Out);
+        let second = ge.expansion(0, 0, Direction::Out);
         assert!(Arc::ptr_eq(&first, &second), "hit must be the cached allocation");
         assert_eq!(Arc::strong_count(&first), count_before + 1);
         let s = store.stats();
@@ -1072,7 +1029,88 @@ mod tests {
         // not served.
         let mut start = Hypergraph::with_nodes(2);
         start.add_edge(EdgeLabel::Nonterminal(0), &[0, 1]);
-        let grammar = Grammar::new(start, 1);
+        let grammar = grepair_grammar::Grammar::new(start, 1);
         assert!(GraphStore::from_grammar(grammar).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-backend dispatch
+    // ------------------------------------------------------------------
+
+    /// Build a store for `backend` holding the same unlabeled path graph.
+    fn backend_store(backend: &str, n: u32) -> GraphStore {
+        let g = Hypergraph::from_simple_edges(
+            n as usize,
+            (0..n - 1).map(|i| (i, 0u32, i + 1)),
+        )
+        .0;
+        let file = codec_for(backend).unwrap().encode(&g).unwrap();
+        GraphStore::from_bytes(&file).unwrap()
+    }
+
+    #[test]
+    fn from_bytes_dispatches_on_the_container_tag() {
+        for backend in ["grepair", "k2", "lm", "hn"] {
+            let store = backend_store(backend, 20);
+            assert_eq!(store.backend(), backend);
+            assert_eq!(store.total_nodes(), 20, "{backend}");
+            assert_eq!(store.grammar().is_some(), backend == "grepair");
+            let stats = store.stats();
+            assert_eq!(stats.backend, backend);
+            assert!(stats.to_string().ends_with(&format!("backend={backend}")));
+        }
+    }
+
+    #[test]
+    fn unknown_container_tags_name_the_registry() {
+        let file = crate::backend::write_tagged_container("zstd9", b"", 0);
+        let err = GraphStore::from_bytes(&file).unwrap_err().to_string();
+        assert!(err.contains("zstd9"), "{err}");
+        assert!(err.contains("grepair, k2, lm, hn"), "{err}");
+    }
+
+    #[test]
+    fn external_backends_serve_batches_with_the_duplicate_memo() {
+        let store = backend_store("k2", 24);
+        let n = store.total_nodes();
+        let batch = [
+            Query::OutNeighbors(3),
+            Query::Reach { s: 0, t: n - 1 },
+            Query::OutNeighbors(3),
+            Query::Components,
+            Query::OutNeighbors(n + 5), // error mid-batch keeps serving
+            Query::DegreeExtrema,
+        ];
+        let answers = store.query_batch(&batch);
+        assert_eq!(answers[0].as_deref(), Ok(&QueryAnswer::Nodes(vec![4])));
+        assert_eq!(answers[1].as_deref(), Ok(&QueryAnswer::Bool(true)));
+        // Duplicate collapses to one shared allocation, same as grammar.
+        assert!(Arc::ptr_eq(answers[0].as_ref().unwrap(), answers[2].as_ref().unwrap()));
+        assert_eq!(answers[3].as_deref(), Ok(&QueryAnswer::Count(1)));
+        assert!(answers[4].is_err());
+        assert_eq!(answers[5].as_deref(), Ok(&QueryAnswer::Extrema(Some((1, 2)))));
+        let stats = store.stats();
+        assert_eq!(stats.errors, 1, "{stats}");
+        // Grammar-only cache counters stay zero on external backends.
+        assert_eq!(stats.expansion_cache_hits + stats.expansion_cache_misses, 0);
+    }
+
+    #[test]
+    fn external_backends_fan_out_in_parallel() {
+        for backend in ["k2", "lm", "hn"] {
+            let store = backend_store(backend, 40);
+            let n = store.total_nodes();
+            let mut queries = mixed_queries(n, 300);
+            // Unlabeled graph: rewrite the two-label patterns onto label 0.
+            for q in &mut queries {
+                if let Query::Rpq { pattern, .. } = q {
+                    *pattern = "0 0*".into();
+                }
+            }
+            queries[11] = Query::InNeighbors(n + 11);
+            let sequential = store.query_batch(&queries);
+            let parallel = store.query_batch_parallel(&queries, 4);
+            assert_eq!(parallel, sequential, "{backend}");
+        }
     }
 }

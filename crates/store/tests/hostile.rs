@@ -7,7 +7,7 @@
 
 use grepair_core::{compress, GRePairConfig};
 use grepair_hypergraph::Hypergraph;
-use grepair_store::{write_container, GraphStore, Query};
+use grepair_store::{codecs, write_container, GraphStore, Query};
 
 /// A real compressed container to corrupt.
 fn good_container() -> Vec<u8> {
@@ -69,6 +69,88 @@ fn garbage_and_wrong_magic_error() {
     lie.extend_from_slice(b"G2G1");
     lie.extend_from_slice(&u64::MAX.to_le_bytes());
     assert!(GraphStore::from_bytes(&lie).is_err());
+}
+
+/// A real container per registered backend, all encoding the same
+/// unlabeled path graph (every backend's model accepts it).
+fn backend_containers() -> Vec<(&'static str, Vec<u8>)> {
+    let (g, _) = Hypergraph::from_simple_edges(41, (0..40u32).map(|i| (i, 0u32, i + 1)));
+    codecs()
+        .iter()
+        .map(|codec| (codec.name(), codec.encode(&g).expect("path graph encodes")))
+        .collect()
+}
+
+#[test]
+fn every_backend_container_loads_and_serves() {
+    for (name, file) in backend_containers() {
+        let store = GraphStore::from_bytes(&file).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(store.backend(), name);
+        assert_eq!(store.total_nodes(), 41, "{name}");
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_errors_for_every_backend() {
+    for (name, file) in backend_containers() {
+        for keep in 0..file.len() {
+            let result = GraphStore::from_bytes(&file[..keep]);
+            assert!(result.is_err(), "{name}: prefix of {keep} bytes must error");
+        }
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic_in_any_backend() {
+    for (name, file) in backend_containers() {
+        for byte in 0..file.len() {
+            for bit in 0..8 {
+                let mut copy = file.clone();
+                copy[byte] ^= 1 << bit;
+                // Ok or Err are both acceptable (some flips decode to a
+                // different valid container); panicking is not. A store
+                // that does load must then survive hostile queries.
+                if let Ok(store) = GraphStore::from_bytes(&copy) {
+                    let n = store.total_nodes();
+                    let _ = store.query(&Query::OutNeighbors(n));
+                    let _ = store.query(&Query::Reach { s: 0, t: n.saturating_sub(1) });
+                }
+                let _ = name;
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_query_inputs_error_for_every_backend() {
+    for (name, file) in backend_containers() {
+        let store = GraphStore::from_bytes(&file).unwrap();
+        let n = store.total_nodes();
+        for id in [n, n + 1, u64::MAX, 1 << 40] {
+            assert!(store.out_neighbors(id).is_err(), "{name} out {id}");
+            assert!(store.in_neighbors(id).is_err(), "{name} in {id}");
+            assert!(store.neighbors(id).is_err(), "{name} both {id}");
+            assert!(store.reachable(id, 0).is_err(), "{name} reach s={id}");
+            assert!(store.reachable(0, id).is_err(), "{name} reach t={id}");
+            assert!(store.rpq("0", id, 0).is_err(), "{name} rpq {id}");
+        }
+        // Malformed patterns are BadRequest, not panics.
+        assert!(store.rpq("", 0, 1).is_err(), "{name}");
+        assert!(store.rpq("x", 0, 1).is_err(), "{name}");
+        // In-range queries still work after all that, through the batch
+        // machinery (the acceptance shape), sequential and parallel.
+        let queries: Vec<Query> = (0..2_000u64)
+            .map(|i| match i % 4 {
+                0 => Query::OutNeighbors(i % n),
+                1 => Query::Neighbors((i * 7) % n),
+                2 => Query::Reach { s: (i * 3) % n, t: (i * 11) % n },
+                _ => Query::Rpq { s: (i * 5) % n, t: (i * 13) % n, pattern: "0*".into() },
+            })
+            .collect();
+        let answers = store.query_batch(&queries);
+        assert!(answers.iter().all(|a| a.is_ok()), "{name}");
+        assert_eq!(store.query_batch_parallel(&queries, 4), answers, "{name}");
+    }
 }
 
 #[test]
