@@ -3,8 +3,8 @@
 //! client-driven throughput probe.
 //!
 //! ```text
-//! serve-probe <addr> <queries.txt>     # stream a query file, print replies to stdout
-//! serve-probe <addr> --throughput N    # generate the bench's skewed mixed workload
+//! serve-probe <addr> <queries.txt> [--namespace NAME]   # stream a query file, replies to stdout
+//! serve-probe <addr> --throughput N [--namespace NAME]  # generate the skewed mixed workload
 //! ```
 //!
 //! File mode writes exactly one reply line per request line to stdout, so
@@ -14,6 +14,13 @@
 //! [`grepair_bench::serving::mixed_batch`] (the same skewed-popularity
 //! workload `BENCH_store.json` measures in-process), and reports
 //! client-observed queries/second to stderr.
+//!
+//! `--namespace NAME` targets one tenant of a multi-tenant server
+//! (DESIGN.md §8): every query line is sent with a `NAME:` prefix (admin
+//! lines go bare — admin verbs take no prefix), and throughput mode reads
+//! `INFO` through `USE NAME` so the node count is the tenant's own. CI's
+//! cross-namespace byte-identity diff is this flag against a per-tenant
+//! `store serve-file` run.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -21,8 +28,11 @@ use std::process::ExitCode;
 use grepair_bench::serving::{mixed_batch, probe_server, query_line};
 
 const USAGE: &str = "usage:
-  serve-probe <addr> <queries.txt>      stream a query file, replies to stdout
-  serve-probe <addr> --throughput <N>   drive N generated mixed queries, report q/s";
+  serve-probe <addr> <queries.txt> [--namespace NAME]     stream a query file, replies to stdout
+  serve-probe <addr> --throughput <N> [--namespace NAME]  drive N generated mixed queries, report q/s
+
+  --namespace  prefix every query line with NAME: (admin lines go bare) to
+               target one tenant of a multi-tenant server";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,33 +48,68 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let addr = args.first().ok_or("missing server address")?;
-    match args.get(1).map(String::as_str) {
+    // Split off the one optional flag so the positional grammar below
+    // stays simple.
+    let mut namespace = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--namespace" {
+            let name = it.next().ok_or("--namespace needs a value")?;
+            namespace = Some(name.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let addr = rest.first().ok_or("missing server address")?;
+    match rest.get(1).map(String::as_str) {
         Some("--throughput") => {
-            let count: u64 = args
+            let count: u64 = rest
                 .get(2)
                 .ok_or("missing query count")?
                 .parse()
                 .map_err(|e| format!("bad query count: {e}"))?;
-            if let Some(extra) = args.get(3) {
+            if let Some(extra) = rest.get(3) {
                 return Err(format!("unexpected argument {extra:?}"));
             }
-            throughput(addr, count)
+            throughput(addr, count, namespace.as_deref())
         }
         Some(path) => {
-            if let Some(extra) = args.get(2) {
+            if let Some(extra) = rest.get(2) {
                 return Err(format!("unexpected argument {extra:?}"));
             }
-            stream_file(addr, path)
+            stream_file(addr, path, namespace.as_deref())
         }
         None => Err("missing queries file or --throughput".into()),
     }
 }
 
+/// Is this request line an admin command? Admin verbs are upper-case and
+/// take no namespace prefix (DESIGN.md §8), so `--namespace` must leave
+/// them bare.
+fn is_admin_line(line: &str) -> bool {
+    matches!(
+        line.split_whitespace().next(),
+        Some("PING" | "INFO" | "STATS" | "USE" | "ATTACH" | "DETACH" | "LIST" | "RELOAD" | "QUIT")
+    )
+}
+
+/// Apply the `--namespace` prefix to one request line; blank lines,
+/// comments, and admin lines pass through untouched.
+fn prefixed(line: &str, namespace: Option<&str>) -> String {
+    let trimmed = line.trim();
+    match namespace {
+        Some(ns) if !trimmed.is_empty() && !trimmed.starts_with('#') && !is_admin_line(line) => {
+            format!("{ns}:{line}")
+        }
+        _ => line.to_string(),
+    }
+}
+
 /// File mode: replies go to stdout byte-for-byte, like serve-file's.
-fn stream_file(addr: &str, path: &str) -> Result<(), String> {
+fn stream_file(addr: &str, path: &str, namespace: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let lines: Vec<String> = text.lines().map(|l| prefixed(l, namespace)).collect();
     let report = probe_server(addr, &lines).map_err(|e| format!("{addr}: {e}"))?;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -88,11 +133,21 @@ fn stream_file(addr: &str, path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Throughput mode: learn the node count from `INFO`, then push the
-/// bench's skewed mixed workload through the socket.
-fn throughput(addr: &str, count: u64) -> Result<(), String> {
-    let info = probe_server(addr, &["INFO".to_string()]).map_err(|e| format!("{addr}: {e}"))?;
-    let info_line = info.answers.first().ok_or("server sent no INFO reply")?;
+/// Throughput mode: learn the node count from `INFO` (through `USE` when
+/// a tenant is targeted), then push the bench's skewed mixed workload
+/// through the socket.
+fn throughput(addr: &str, count: u64, namespace: Option<&str>) -> Result<(), String> {
+    let preamble: Vec<String> = match namespace {
+        Some(ns) => vec![format!("USE {ns}"), "INFO".to_string()],
+        None => vec!["INFO".to_string()],
+    };
+    let info = probe_server(addr, &preamble).map_err(|e| format!("{addr}: {e}"))?;
+    let info_line = info.answers.last().ok_or("server sent no INFO reply")?;
+    if let Some(first) = info.answers.first() {
+        if first.starts_with("error: ") {
+            return Err(format!("server rejected the probe preamble: {first}"));
+        }
+    }
     let nodes: u64 = info_line
         .split_whitespace()
         .find_map(|tok| tok.strip_prefix("nodes="))
@@ -102,7 +157,10 @@ fn throughput(addr: &str, count: u64) -> Result<(), String> {
     if nodes == 0 {
         return Err("server is serving an empty graph".into());
     }
-    let lines: Vec<String> = mixed_batch(nodes, count).iter().map(query_line).collect();
+    let lines: Vec<String> = mixed_batch(nodes, count)
+        .iter()
+        .map(|q| prefixed(&query_line(q), namespace))
+        .collect();
     let report = probe_server(addr, &lines).map_err(|e| format!("{addr}: {e}"))?;
     eprintln!("{info_line}");
     eprintln!(

@@ -36,6 +36,41 @@ pub struct BackendBenchRow {
     pub reach_ns: f64,
 }
 
+/// One hosted tenant's measured row: container size on disk, and the
+/// cold-open latency the first query after an eviction pays (load + index
+/// from the container file, the transparently-amortized cache-miss cost of
+/// `--memory-budget`).
+#[derive(Debug, Clone)]
+pub struct TenantBenchRow {
+    /// Namespace name inside the measuring registry.
+    pub name: String,
+    /// Container file size in bytes — the currency `--memory-budget`
+    /// accounts in.
+    pub container_bytes: u64,
+    /// Best-of-laps ns for a cold `StoreRegistry::store` resolve (open +
+    /// index) after the namespace was evicted.
+    pub cold_open_ns: f64,
+}
+
+/// The multi-tenant hosting measurement (DESIGN.md §8): several containers
+/// behind one registry whose memory budget is below their combined size,
+/// so the LRU policy must evict and transparently reopen.
+#[derive(Debug, Clone)]
+pub struct TenancyReport {
+    /// The resident-byte cap the registry ran under.
+    pub budget_bytes: u64,
+    /// Sum of every tenant's container bytes — deliberately over budget.
+    pub combined_bytes: u64,
+    /// Evictions the budget forced over the whole measurement.
+    pub evictions: u64,
+    /// Cold opens (first-touch and evicted-then-reopened) over the run.
+    pub cold_opens: u64,
+    /// Resident container bytes when the measurement finished.
+    pub resident_bytes: u64,
+    /// Per-tenant size and cold-open rows.
+    pub tenants: Vec<TenantBenchRow>,
+}
+
 /// Everything `BENCH_store.json` records, in measurement units of
 /// nanoseconds (floats: per-query numbers are means).
 #[derive(Debug, Clone)]
@@ -55,6 +90,8 @@ pub struct StoreBenchReport {
     pub thread_scaling: Vec<(usize, f64)>,
     /// Per-backend size + query latency over one shared unlabeled graph.
     pub backends: Vec<BackendBenchRow>,
+    /// Multi-tenant hosting under a memory budget (schema 3).
+    pub tenancy: TenancyReport,
 }
 
 impl StoreBenchReport {
@@ -185,6 +222,106 @@ pub fn measure_backends(scale: Scale) -> Vec<BackendBenchRow> {
         .collect()
 }
 
+/// Measure multi-tenant hosting: three grammar containers of different
+/// sizes behind one [`grepair_store::StoreRegistry`] whose budget is half
+/// their combined size. Phase one forces a cold open per resolve (budget
+/// of one byte: touching any tenant evicts the rest) to time the
+/// evicted-then-reopened path; phase two round-robins real queries under
+/// the honest budget so the eviction and cold-open counters reflect
+/// steady-state churn.
+pub fn measure_multi_tenant(scale: Scale) -> TenancyReport {
+    use grepair_store::StoreRegistry;
+
+    let base = match scale {
+        Scale::Full => 2_048u32,
+        Scale::Quick => 256,
+    };
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let names = ["alpha", "beta", "gamma"];
+    let mut paths = Vec::new();
+    for (i, mult) in [1u32, 2, 4].into_iter().enumerate() {
+        let reps = base * mult;
+        let (g, _) = Hypergraph::from_simple_edges(
+            (2 * reps + 1) as usize,
+            (0..reps).flat_map(|r| [(2 * r, 0u32, 2 * r + 1), (2 * r + 1, 1u32, 2 * r + 2)]),
+        );
+        let out = compress(&g, &GRePairConfig::default());
+        let enc = grepair_codec::encode(&out.grammar);
+        let path = dir.join(format!("grepair_bench_tenant_{pid}_{i}.g2g"));
+        std::fs::write(&path, write_container(&enc.bytes, enc.bit_len))
+            .expect("bench scratch file writes");
+        paths.push(path);
+    }
+    let sizes: Vec<u64> =
+        paths.iter().map(|p| std::fs::metadata(p).expect("scratch file stats").len()).collect();
+    let combined: u64 = sizes.iter().sum();
+    let budget = combined / 2;
+
+    let registry = StoreRegistry::open(paths[0].to_str().unwrap()).expect("tenant container opens");
+    // The registry's own `default` namespace doubles as tenant "alpha";
+    // the other two attach cold, exactly like `--attach` at startup.
+    let resolve_names = ["default", names[1], names[2]];
+    for (name, path) in names.iter().zip(&paths).skip(1) {
+        registry.attach_cold(name, path.to_str().unwrap()).expect("cold attach");
+    }
+
+    // Phase one: cold-open latency. With a one-byte budget every resolve
+    // evicts the other tenants, so each lap's resolve is a true cache
+    // miss (open + index from the container file).
+    registry.set_budget(Some(1));
+    for name in resolve_names {
+        registry.store(name).expect("warm-up resolve"); // establish the evicted steady state
+    }
+    let mut cold_open_ns = vec![f64::INFINITY; names.len()];
+    for _lap in 0..3 {
+        for (i, name) in resolve_names.iter().enumerate() {
+            let ns = time_ns(|| {
+                registry.store(name).expect("cold resolve");
+            });
+            cold_open_ns[i] = cold_open_ns[i].min(ns);
+        }
+    }
+
+    // Phase two: steady-state churn under the honest budget — round-robin
+    // queries force the LRU policy to evict and transparently reopen.
+    registry.set_budget(Some(budget));
+    for round in 0..20u64 {
+        for name in resolve_names {
+            let store = registry.store(name).expect("tenant resolves under budget");
+            let n = store.total_nodes();
+            store.query(&Query::OutNeighbors((round * 7) % n)).expect("in-range query");
+        }
+    }
+
+    let stats = registry.aggregate_stats();
+    assert!(
+        stats.resident_bytes <= budget.max(*sizes.iter().max().expect("nonempty")),
+        "eviction failed to hold the budget: {stats}"
+    );
+    let report = TenancyReport {
+        budget_bytes: budget,
+        combined_bytes: combined,
+        evictions: stats.evictions,
+        cold_opens: stats.cold_opens,
+        resident_bytes: stats.resident_bytes,
+        tenants: names
+            .iter()
+            .zip(&sizes)
+            .zip(&cold_open_ns)
+            .map(|((name, bytes), ns)| TenantBenchRow {
+                name: name.to_string(),
+                container_bytes: *bytes,
+                cold_open_ns: *ns,
+            })
+            .collect(),
+    };
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
+    report
+}
+
 /// Run the serving workload and collect every number the JSON records.
 pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
     let reps = match scale {
@@ -268,6 +405,7 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
         batch_individual_ns,
         thread_scaling,
         backends: measure_backends(scale),
+        tenancy: measure_multi_tenant(scale),
     }
 }
 
@@ -357,8 +495,9 @@ fn num(x: f64) -> String {
 pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    // Schema 2 added the per-backend comparison rows (PR 5).
-    s.push_str("  \"schema\": 2,\n");
+    // Schema 2 added the per-backend comparison rows (PR 5); schema 3
+    // added the multi-tenant budget/eviction block (PR 6).
+    s.push_str("  \"schema\": 3,\n");
     s.push_str("  \"bench\": \"store\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
     s.push_str(&format!("  \"threads_available\": {},\n", r.threads_available));
@@ -397,7 +536,26 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
             num(b.reach_ns)
         ));
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+    let t = &r.tenancy;
+    s.push_str("  \"multi_tenant\": {\n");
+    s.push_str(&format!("    \"budget_bytes\": {},\n", t.budget_bytes));
+    s.push_str(&format!("    \"combined_bytes\": {},\n", t.combined_bytes));
+    s.push_str(&format!("    \"evictions\": {},\n", t.evictions));
+    s.push_str(&format!("    \"cold_opens\": {},\n", t.cold_opens));
+    s.push_str(&format!("    \"resident_bytes\": {},\n", t.resident_bytes));
+    s.push_str("    \"tenants\": [\n");
+    for (i, row) in t.tenants.iter().enumerate() {
+        let comma = if i + 1 < t.tenants.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"container_bytes\": {}, \"cold_open_ns\": {} }}{comma}\n",
+            row.name,
+            row.container_bytes,
+            num(row.cold_open_ns)
+        ));
+    }
+    s.push_str("    ]\n");
+    s.push_str("  }\n");
     s.push_str("}\n");
     s
 }
@@ -430,6 +588,25 @@ mod tests {
                     reach_ns: 40_000.0,
                 },
             ],
+            tenancy: TenancyReport {
+                budget_bytes: 1_500,
+                combined_bytes: 3_000,
+                evictions: 12,
+                cold_opens: 15,
+                resident_bytes: 1_400,
+                tenants: vec![
+                    TenantBenchRow {
+                        name: "alpha".into(),
+                        container_bytes: 1_000,
+                        cold_open_ns: 52_000.0,
+                    },
+                    TenantBenchRow {
+                        name: "beta".into(),
+                        container_bytes: 2_000,
+                        cold_open_ns: 61_000.0,
+                    },
+                ],
+            },
         }
     }
 
@@ -447,7 +624,7 @@ mod tests {
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         for key in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"bench\": \"store\"",
             "\"scale\": \"quick\"",
             "\"threads_available\": 8",
@@ -463,6 +640,14 @@ mod tests {
             "\"container_bytes\": 812",
             "\"name\": \"k2\"",
             "\"reach_ns\": 40000.0",
+            "\"multi_tenant\"",
+            "\"budget_bytes\": 1500",
+            "\"combined_bytes\": 3000",
+            "\"evictions\": 12",
+            "\"cold_opens\": 15",
+            "\"resident_bytes\": 1400",
+            "\"name\": \"alpha\"",
+            "\"cold_open_ns\": 52000.0",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -507,6 +692,15 @@ mod tests {
             assert!(b.bits_per_edge > 0.0, "{}", b.name);
             assert!(b.neighbors_ns > 0.0 && b.reach_ns > 0.0, "{}", b.name);
         }
+        // The multi-tenant block measured real churn: the budget is below
+        // the combined size, so evictions and cold reopens must show up,
+        // and every tenant has a finite cold-open number.
+        let t = &r.tenancy;
+        assert!(t.budget_bytes < t.combined_bytes);
+        assert!(t.evictions > 0, "budget never bit: {t:?}");
+        assert!(t.cold_opens > 0, "{t:?}");
+        assert_eq!(t.tenants.len(), 3);
+        assert!(t.tenants.iter().all(|row| row.container_bytes > 0 && row.cold_open_ns > 0.0));
         // The grammar path's Fig. 13 story holds in serving form: the
         // container is far smaller than the baselines' on this graph.
         let by_name = |n: &str| r.backends.iter().find(|b| b.name == n).unwrap();
@@ -516,7 +710,8 @@ mod tests {
         );
         // The rendered form of a real measurement is also well-formed.
         let text = render_store_bench_json(&r);
-        assert!(text.contains("\"schema\": 2"));
+        assert!(text.contains("\"schema\": 3"));
         assert!(text.contains("\"name\": \"hn\""));
+        assert!(text.contains("\"multi_tenant\""));
     }
 }

@@ -242,12 +242,17 @@ fn count_request_lines(reader: &mut impl std::io::BufRead) -> std::io::Result<u6
 /// (the TCP front end).
 ///
 /// `serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N]
-/// [--max-line N]` delegates to `grepair-server`: it binds, prints one
+/// [--max-line N] [--attach NAME=PATH]... [--memory-budget BYTES]`
+/// delegates to `grepair-server`: it binds, prints one
 /// `listening <addr> ...` line, and speaks the wire protocol of DESIGN.md
-/// §6 (the serve-file query plane plus `PING`/`INFO`/`STATS`/`RELOAD`/
-/// `QUIT` admin commands and SIGHUP hot reload) until killed.
+/// §6/§8 (the serve-file query plane plus the `PING`/`INFO`/`STATS`/
+/// `USE`/`ATTACH`/`DETACH`/`LIST`/`RELOAD`/`QUIT` admin plane and SIGHUP
+/// hot reload) until killed. Each `--attach` registers a further
+/// namespace, opened lazily on first query; `--memory-budget` caps
+/// resident container bytes with LRU eviction (DESIGN.md §8).
 ///
-/// `serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]` drives
+/// `serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
+/// [--attach NAME=PATH]... [--memory-budget BYTES]` drives
 /// the **same session engine** from a file instead of a socket — the two
 /// front ends are byte-identical on the same input by construction, every
 /// failure mode included (unknown verbs, out-of-range ids, non-UTF-8
@@ -268,7 +273,10 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
         Some("serve-file") => {
             let g2g = args.get(1).ok_or("missing g2g file")?;
             let queries_path = args.get(2).ok_or("missing queries file")?;
-            crate::validate_value_flags(&args[3..], &["--batch", "--threads"])?;
+            crate::validate_value_flags(
+                &args[3..],
+                &["--batch", "--threads", "--attach", "--memory-budget"],
+            )?;
             let batch_size: usize = match crate::flag_value(&args[3..], "--batch") {
                 Some(raw) => raw.parse().map_err(|e| format!("bad --batch: {e}"))?,
                 None => 1024,
@@ -280,7 +288,15 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
                 Some(raw) => raw.parse().map_err(|e| format!("bad --threads: {e}"))?,
                 None => 1,
             };
-            let registry = StoreRegistry::new(open_store(g2g)?);
+            // Open through the path-recording constructor — exactly what
+            // `grepair-server` does — so bare RELOAD, `--attach` tenants,
+            // and `--memory-budget` eviction behave byte-identically
+            // across the socket and file front ends.
+            let registry = StoreRegistry::open(g2g).map_err(|e| match e {
+                GrepairError::Io { .. } => e.to_string(),
+                other => format!("{g2g}: {other}"),
+            })?;
+            grepair_server::apply_tenancy_flags(&registry, &args[3..])?;
             let pool = grepair_server::WorkerPool::new(threads);
             let file = std::fs::File::open(queries_path)
                 .map_err(|e| format!("{queries_path}: {e}"))?;

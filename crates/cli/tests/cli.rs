@@ -272,7 +272,8 @@ fn store_serve_speaks_the_same_bytes_as_serve_file() {
     let mut banner = String::new();
     BufReader::new(server.stdout.take().unwrap()).read_line(&mut banner).unwrap();
     assert!(banner.starts_with("listening "), "{banner:?}");
-    assert!(banner.contains("proto=1") && banner.contains("generation=1"), "{banner:?}");
+    assert!(banner.contains("proto=2") && banner.contains("namespaces=1"), "{banner:?}");
+    assert!(banner.contains("generation=1"), "{banner:?}");
     let addr = banner.split_whitespace().nth(1).expect("addr in banner").to_string();
 
     let result = std::panic::catch_unwind(|| {
@@ -300,7 +301,8 @@ fn store_serve_speaks_the_same_bytes_as_serve_file() {
         assert_eq!(roundtrip("out 0"), "1");
         // Bare RELOAD re-reads the serving .g2g (the configured path).
         assert!(roundtrip("RELOAD").starts_with("reloaded generation=2"));
-        assert!(roundtrip("STATS").starts_with("generation=2 "));
+        assert!(roundtrip("STATS default").starts_with("generation=2 "));
+        assert!(roundtrip("STATS").starts_with("namespaces=1 resident=1 "), "aggregate form");
         assert_eq!(roundtrip("out 0"), "1", "same connection, new generation");
         assert_eq!(roundtrip("QUIT"), "bye");
     });
@@ -349,13 +351,68 @@ fn serve_file_speaks_the_admin_plane_and_flags_a_mid_file_quit() {
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 3, "QUIT ends the session:\n{stdout}");
     assert_eq!(lines[0], "1");
-    assert!(lines[1].starts_with("generation=1 "), "{stdout}");
+    assert!(lines[1].starts_with("namespaces=1 resident=1 "), "{stdout}");
     assert_eq!(lines[2], "bye");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("warning: QUIT left 2 request lines unanswered"),
         "truncation must be visible:\n{stderr}"
     );
+}
+
+#[test]
+fn multi_tenant_serve_file_and_socket_serve_stay_byte_identical() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let default_g2g = compressed_fixture();
+    // A second tenant: a shorter single-label path, separately compressed.
+    let input = scratch("tenant.txt");
+    let tenant_g2g = scratch("tenant.g2g");
+    let text: String = (0..10u32).map(|i| format!("{i} 0 {}\n", i + 1)).collect();
+    std::fs::write(&input, text).unwrap();
+    let out = grepair(&["compress", input.to_str().unwrap(), "-o", tenant_g2g.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let attach = format!("t={}", tenant_g2g.display());
+
+    // A workload that crosses namespaces per line (`t:` prefixes), switches
+    // the session namespace (`USE t`), and reads both STATS forms.
+    let queries = scratch("mt_queries.txt");
+    let workload = "out 0\nt:out 0\nLIST\nt:components\ncomponents\n\
+                    t:out 99999\nUSE t\ndegrees\nSTATS t\nSTATS\n";
+    std::fs::write(&queries, workload).unwrap();
+
+    let offline = grepair(&[
+        "store", "serve-file", &default_g2g, queries.to_str().unwrap(), "--attach", &attach,
+    ]);
+    assert!(offline.status.success(), "{}", String::from_utf8_lossy(&offline.stderr));
+    let expected = String::from_utf8_lossy(&offline.stdout).to_string();
+    assert_eq!(expected.lines().count(), 10, "one reply per request line:\n{expected}");
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_grepair"))
+        .args(["store", "serve", &default_g2g, "--addr", "127.0.0.1:0", "--attach", &attach])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let mut banner = String::new();
+    BufReader::new(server.stdout.take().unwrap()).read_line(&mut banner).unwrap();
+    assert!(banner.contains("namespaces=2"), "{banner:?}");
+    let addr = banner.split_whitespace().nth(1).expect("addr in banner").to_string();
+
+    let result = std::panic::catch_unwind(|| {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(workload.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut got = String::new();
+        stream.read_to_string(&mut got).unwrap();
+        assert_eq!(got, expected, "multi-tenant socket vs serve-file");
+    });
+    let _ = server.kill();
+    let _ = server.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
 }
 
 #[test]

@@ -9,20 +9,26 @@
 //! * **Wire protocol** — the same newline-delimited text protocol
 //!   `grepair store serve-file` speaks (one query per line, one reply line
 //!   back, per-line errors keep the connection serving), extended with an
-//!   upper-case admin plane (`PING` / `INFO` / `STATS` / `RELOAD` /
-//!   `QUIT`). Versioned and fully specified in DESIGN.md §6; the CI smoke
-//!   step asserts the socket and file front ends answer byte-identically.
+//!   upper-case admin plane (`PING` / `INFO` / `STATS [name]` / `USE` /
+//!   `ATTACH` / `DETACH` / `LIST` / `RELOAD` / `QUIT`). Versioned and
+//!   fully specified in DESIGN.md §6 and §8; the CI smoke step asserts the
+//!   socket and file front ends answer byte-identically.
+//! * **Multi-tenant hosting** — one server hosts many namespaces
+//!   (`USE <name>` per session, `name:` prefixes per line), each a
+//!   container attached eagerly over the wire (`ATTACH`) or lazily at
+//!   startup (`--attach NAME=PATH`), with per-namespace hot reload and LRU
+//!   eviction under `--memory-budget` (DESIGN.md §8).
 //! * **Reusable worker pool** — [`WorkerPool`] keeps a fixed set of
 //!   resident threads fed through a channel and plugs into
 //!   [`GraphStore::query_batch_on`](grepair_store::GraphStore::query_batch_on)
 //!   as a [`grepair_store::BatchExecutor`], so a connection's request batch
 //!   fans out across reused threads instead of paying a per-batch
 //!   `thread::spawn` (the PR-3 spawn-cost note).
-//! * **Hot reload** — all sessions resolve the store through one
+//! * **Hot reload** — all sessions resolve stores through one
 //!   [`grepair_store::StoreRegistry`]; the `RELOAD` admin command (or
-//!   `SIGHUP`) swaps in a freshly loaded `.g2g` while in-flight batches
-//!   finish on the old `Arc`, bumping the monotonic generation echoed by
-//!   `STATS`/`INFO`.
+//!   `SIGHUP` for the default namespace) swaps in a freshly loaded
+//!   container while in-flight batches finish on the old `Arc`, bumping
+//!   that namespace's monotonic generation echoed by `STATS`/`INFO`.
 //!
 //! Serving topology: one [`Server`] owns the listener; each accepted
 //! connection gets a session thread running [`serve_session`]; every
@@ -53,7 +59,8 @@ mod signal;
 
 pub use pool::{WorkerPool, MAX_POOL_THREADS};
 pub use server::{
-    run_cli, Server, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS, DEFAULT_READ_TIMEOUT,
+    apply_tenancy_flags, run_cli, Server, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_READ_TIMEOUT,
 };
 pub use session::{
     serve_session, LineSource, SessionOpts, SessionSummary, DEFAULT_BATCH, DEFAULT_MAX_LINE,

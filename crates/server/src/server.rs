@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use grepair_store::StoreRegistry;
-use grepair_util::args::{flag_value, validate_value_flags};
+use grepair_util::args::{flag_value, flag_values, validate_value_flags};
 
 use crate::pool::WorkerPool;
 use crate::session::{serve_session, SessionOpts, DEFAULT_BATCH, DEFAULT_MAX_LINE};
@@ -294,20 +294,54 @@ fn serve_one(
     writer.flush()
 }
 
+/// The multi-tenant argv surface shared by `grepair-server`,
+/// `grepair store serve`, and `grepair store serve-file` (DESIGN.md §8):
+/// every `--attach NAME=PATH` registers a *cold* namespace (the container
+/// is opened on its first query), and `--memory-budget BYTES` caps the
+/// resident container bytes with LRU eviction. Applying the flags to the
+/// registry here keeps the socket and file front ends byte-identical on
+/// the same input, flags included.
+pub fn apply_tenancy_flags(registry: &StoreRegistry, flags: &[String]) -> Result<(), String> {
+    for spec in flag_values(flags, "--attach") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --attach {spec:?}: want NAME=PATH"))?;
+        registry
+            .attach_cold(name, path)
+            .map_err(|e| format!("--attach {name}: {e}"))?;
+    }
+    if let Some(raw) = flag_value(flags, "--memory-budget") {
+        let bytes: u64 = raw.parse().map_err(|e| format!("bad --memory-budget: {e}"))?;
+        registry.set_budget(Some(bytes));
+    }
+    Ok(())
+}
+
 /// Shared argv front end for the `grepair-server` binary and
 /// `grepair store serve`:
 /// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
-/// [--read-timeout SECS] [--max-connections N]`.
+/// [--read-timeout SECS] [--max-connections N]
+/// [--attach NAME=PATH]... [--memory-budget BYTES]`.
 ///
-/// `--read-timeout 0` disables the idle cutoff. Prints one `listening ...`
-/// line to stdout once bound (CI and scripts parse the ephemeral port out
-/// of it), then serves until killed.
+/// `--read-timeout 0` disables the idle cutoff. The positional container
+/// becomes the `default` namespace; each `--attach` adds a cold tenant.
+/// Prints one `listening ...` line to stdout once bound (CI and scripts
+/// parse the ephemeral port out of it), then serves until killed.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let g2g = args.first().ok_or("missing g2g file")?;
     let flags = &args[1..];
     validate_value_flags(
         flags,
-        &["--addr", "--threads", "--batch", "--max-line", "--read-timeout", "--max-connections"],
+        &[
+            "--addr",
+            "--threads",
+            "--batch",
+            "--max-line",
+            "--read-timeout",
+            "--max-connections",
+            "--attach",
+            "--memory-budget",
+        ],
     )?;
     let mut config = ServerConfig::default();
     if let Some(addr) = flag_value(flags, "--addr") {
@@ -344,13 +378,15 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         grepair_store::GrepairError::Io { .. } => e.to_string(),
         other => format!("{g2g}: {other}"),
     })?);
+    apply_tenancy_flags(&registry, flags)?;
     let server = Server::bind(&config, Arc::clone(&registry), Some(g2g.clone()))
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let store = registry.current();
     println!(
-        "listening {addr} proto={} generation={} nodes={} backend={}",
+        "listening {addr} proto={} namespaces={} generation={} nodes={} backend={}",
         crate::session::PROTO_VERSION,
+        registry.list().len(),
         store.generation(),
         store.total_nodes(),
         store.backend()
@@ -384,6 +420,34 @@ mod tests {
         // A good flag set still fails cleanly on a missing store file.
         let err = run_cli(&args(&["/nonexistent/x.g2g", "--threads", "2"])).unwrap_err();
         assert!(err.contains("/nonexistent/x.g2g"), "{err}");
+    }
+
+    #[test]
+    fn tenancy_flags_register_cold_tenants_and_set_the_budget() {
+        use grepair_core::{compress, GRePairConfig};
+        use grepair_hypergraph::Hypergraph;
+        use grepair_store::{write_container, GraphStore};
+        let (g, _) = Hypergraph::from_simple_edges(5, (0..4u32).map(|i| (i, 0u32, i + 1)));
+        let out = compress(&g, &GRePairConfig::default());
+        let enc = grepair_codec::encode(&out.grammar);
+        let registry = StoreRegistry::new(
+            GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).unwrap(),
+        );
+        // Cold attach records paths without touching the disk; the budget
+        // is applied immediately.
+        apply_tenancy_flags(
+            &registry,
+            &args(&["--attach", "a=/no/such/a.g2g", "--attach", "b=/no/such/b.g2g",
+                    "--memory-budget", "1024"]),
+        )
+        .unwrap();
+        assert!(registry.contains("a") && registry.contains("b"));
+        assert_eq!(registry.budget(), Some(1024));
+        assert_eq!(registry.resident_count(), 1, "cold tenants stay cold");
+        // Malformed specs and duplicate names are usage errors.
+        assert!(apply_tenancy_flags(&registry, &args(&["--attach", "noequals"])).is_err());
+        assert!(apply_tenancy_flags(&registry, &args(&["--attach", "a=/again.g2g"])).is_err());
+        assert!(apply_tenancy_flags(&registry, &args(&["--memory-budget", "lots"])).is_err());
     }
 
     #[test]

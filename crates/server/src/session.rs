@@ -1,30 +1,40 @@
 //! One connection's lifetime: the newline-delimited wire protocol engine
-//! (DESIGN.md §6).
+//! (DESIGN.md §6, multi-tenant addressing in §8).
 //!
 //! The query plane is exactly the `store serve-file` line protocol — one
 //! query per line, one reply line back, per-line errors never close the
 //! connection — so the two front ends are byte-identical on the same input
-//! (the CI smoke step diffs them). On top of it sits the admin plane:
-//! upper-case verbs (`PING`, `INFO`, `STATS`, `RELOAD`, `QUIT`) that a
-//! query file can never collide with, because query verbs are lower-case.
+//! (the CI smoke step diffs them). A query line may carry a one-shot
+//! `name:` namespace prefix; unprefixed lines go to the session's current
+//! namespace (`default` until a `USE`). On top sits the admin plane:
+//! upper-case verbs (`PING`, `INFO`, `STATS [name]`, `USE`, `ATTACH`,
+//! `DETACH`, `LIST`, `RELOAD`, `QUIT`) that a query file can never collide
+//! with, because query verbs are lower-case.
 //!
 //! Batching is adaptive: lines are parsed and buffered while more input is
 //! already waiting in the read buffer, and the pending batch is evaluated
 //! (through the shared [`WorkerPool`] for large batches) the moment the
 //! client pauses — so an interactive `nc` session gets an answer per line
 //! while a pipelined client gets amortized batches, without any flush
-//! command in the protocol.
+//! command in the protocol. A mixed-namespace batch is grouped per
+//! namespace (one store snapshot each) and the replies are written back in
+//! input order.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
-use grepair_store::{error_reply, parse_query, GrepairError, Query, StoreRegistry};
+use grepair_store::{
+    error_reply, parse_query, valid_namespace, GrepairError, Query, StoreRegistry,
+    DEFAULT_NAMESPACE,
+};
 
 use crate::pool::WorkerPool;
 
 /// Wire protocol version, echoed by `INFO`. Bumped only for *breaking*
 /// changes (a reply rendering change, a verb repurposed); new verbs and new
-/// `INFO`/`STATS` fields are additive and do not bump it.
-pub const PROTO_VERSION: u32 = 1;
+/// `INFO`/`STATS` fields are additive and do not bump it. Version 2 is the
+/// multi-tenant protocol (DESIGN.md §8): `INFO` gained a `namespace=`
+/// field and bare `STATS` now renders the registry aggregate.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Default cap on buffered-but-unanswered lines before a forced evaluation.
 pub const DEFAULT_BATCH: usize = 1024;
@@ -46,8 +56,9 @@ pub struct SessionOpts {
     pub batch: usize,
     /// Maximum accepted line length in bytes.
     pub max_line: usize,
-    /// What `RELOAD` without an argument reloads (the path the server was
-    /// started from); `None` makes a bare `RELOAD` an error.
+    /// What a bare `RELOAD` of the *default* namespace reloads when the
+    /// registry has no recorded path for it (the path the server was
+    /// started from); `None` leaves only the registry's own records.
     pub reload_path: Option<String>,
 }
 
@@ -148,13 +159,22 @@ fn read_limited_line(
 enum Admin {
     Ping,
     Info,
-    Stats,
+    /// Bare `STATS` (registry aggregate) or `STATS <name>` (one store).
+    Stats(Option<String>),
     Reload(Option<String>),
+    /// Switch the session's current namespace.
+    Use(String),
+    /// Register a container file under a namespace, eagerly opened.
+    Attach { name: String, path: String },
+    /// Unregister a namespace.
+    Detach(String),
+    /// One-line listing of every namespace with residency and generation.
+    List,
     Quit,
 }
 
 /// `Some` iff the line's first token is an admin verb. Malformed admin
-/// lines (trailing tokens) are still admin — they get an admin error reply,
+/// lines (wrong arity) are still admin — they get an admin error reply,
 /// not a query parse error.
 fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
     let mut it = line.split_whitespace();
@@ -163,11 +183,41 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
         None => Ok(admin),
         Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
     };
+    let one_arg = |build: fn(String) -> Admin,
+                   what: &str,
+                   mut rest: std::str::SplitWhitespace<'_>| {
+        let Some(arg) = rest.next() else {
+            return Err(format!("{what} needs an argument"));
+        };
+        match rest.next() {
+            None => Ok(build(arg.to_string())),
+            Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+        }
+    };
     Some(match verb {
         "PING" => no_args(Admin::Ping, it),
         "INFO" => no_args(Admin::Info, it),
-        "STATS" => no_args(Admin::Stats, it),
+        "LIST" => no_args(Admin::List, it),
         "QUIT" => no_args(Admin::Quit, it),
+        "USE" => one_arg(Admin::Use, "USE", it),
+        "DETACH" => one_arg(Admin::Detach, "DETACH", it),
+        "STATS" => {
+            let name = it.next().map(str::to_string);
+            match it.next() {
+                None => Ok(Admin::Stats(name)),
+                Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+            }
+        }
+        "ATTACH" => {
+            let (name, path) = match (it.next(), it.next()) {
+                (Some(name), Some(path)) => (name.to_string(), path.to_string()),
+                _ => return Some(Err("ATTACH needs a name and a path".into())),
+            };
+            match it.next() {
+                None => Ok(Admin::Attach { name, path }),
+                Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+            }
+        }
         "RELOAD" => {
             let path = it.next().map(str::to_string);
             match it.next() {
@@ -179,14 +229,19 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
     })
 }
 
+/// One buffered query line: the namespace it was addressed to (the
+/// session's current one, or a one-shot `name:` prefix) and its parse
+/// outcome.
+type Pending = (String, Result<Query, GrepairError>);
+
 /// Serve one connection (or any line stream) to completion.
 ///
 /// `reader`/`writer` are the two halves of the connection; the function
 /// returns when the client disconnects or sends `QUIT`. Every failure mode
 /// below the transport — unparsable line, non-UTF-8 bytes, oversized line,
-/// out-of-range id, failed reload — becomes an `error:` reply line and the
-/// session keeps serving; only transport errors (the peer vanished) and
-/// EOF end it.
+/// out-of-range id, unknown namespace, failed reload or attach — becomes an
+/// `error:` reply line and the session keeps serving; only transport errors
+/// (the peer vanished) and EOF end it.
 pub fn serve_session(
     registry: &StoreRegistry,
     pool: &WorkerPool,
@@ -195,7 +250,8 @@ pub fn serve_session(
     opts: &SessionOpts,
 ) -> std::io::Result<SessionSummary> {
     let mut summary = SessionSummary::default();
-    let mut pending: Vec<Result<Query, GrepairError>> = Vec::new();
+    let mut namespace = DEFAULT_NAMESPACE.to_string();
+    let mut pending: Vec<Pending> = Vec::new();
     let mut line = Vec::new();
     loop {
         let event = read_limited_line(reader, &mut line, opts.max_line)?;
@@ -208,14 +264,20 @@ pub fn serve_session(
                 return Ok(summary);
             }
             LineEvent::Oversized => {
-                pending.push(Err(GrepairError::BadRequest(format!(
-                    "line exceeds {} bytes",
-                    opts.max_line
-                ))));
+                pending.push((
+                    namespace.clone(),
+                    Err(GrepairError::BadRequest(format!(
+                        "line exceeds {} bytes",
+                        opts.max_line
+                    ))),
+                ));
             }
             LineEvent::Line => match std::str::from_utf8(&line) {
                 Err(_) => {
-                    pending.push(Err(GrepairError::BadRequest("line is not valid UTF-8".into())));
+                    pending.push((
+                        namespace.clone(),
+                        Err(GrepairError::BadRequest("line is not valid UTF-8".into())),
+                    ));
                 }
                 Ok(text) => {
                     let text = text.trim();
@@ -228,7 +290,8 @@ pub fn serve_session(
                         // a RELOAD cannot retroactively change them.
                         flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
                         let quit = matches!(admin, Ok(Admin::Quit));
-                        let reply = handle_admin(registry, admin, opts, &mut summary);
+                        let reply =
+                            handle_admin(registry, admin, opts, &mut namespace, &mut summary);
                         summary.served += 1;
                         if reply.starts_with("error: ") {
                             summary.errors += 1;
@@ -239,7 +302,17 @@ pub fn serve_session(
                             return Ok(summary);
                         }
                     } else {
-                        pending.push(parse_query(text));
+                        // A `name:` prefix addresses one line at another
+                        // namespace; anything else (including a `:` deeper
+                        // in the line after a non-name prefix) parses as a
+                        // plain query against the session's namespace.
+                        let (target, query_text) = match text.split_once(':') {
+                            Some((prefix, rest)) if valid_namespace(prefix) => {
+                                (prefix.to_string(), rest.trim_start())
+                            }
+                            _ => (namespace.clone(), text),
+                        };
+                        pending.push((target, parse_query(query_text)));
                     }
                 }
             },
@@ -253,42 +326,72 @@ pub fn serve_session(
     }
 }
 
-/// Evaluate the pending lines against the *current* store generation and
-/// write one reply line each, in input order.
+/// Evaluate the pending lines and write one reply line each, in input
+/// order. The batch is grouped per namespace: each namespace named in it
+/// is resolved once (lazily opening a cold store — that resolution *is*
+/// the namespace's hit) and its queries are evaluated against that one
+/// snapshot, so a concurrent RELOAD or eviction never tears a batch across
+/// generations. A namespace that fails to resolve (unknown, hostile file)
+/// turns into per-line error replies; the other namespaces' lines are
+/// unaffected.
 fn flush_pending(
     registry: &StoreRegistry,
     pool: &WorkerPool,
-    pending: &mut Vec<Result<Query, GrepairError>>,
+    pending: &mut Vec<Pending>,
     writer: &mut impl Write,
     summary: &mut SessionSummary,
 ) -> std::io::Result<()> {
     if pending.is_empty() {
         return Ok(());
     }
-    // One snapshot per batch: a concurrent RELOAD swaps the registry but
-    // this batch finishes on the Arc it grabbed — in-flight answers are
-    // never torn across generations.
-    let store = registry.current();
-    let queries: Vec<Query> = pending.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
-    let answers = if queries.len() >= INLINE_BATCH {
-        store.query_batch_on(&queries, pool)
-    } else {
-        store.query_batch(&queries)
-    };
-    let mut next = 0usize;
-    for entry in pending.drain(..) {
-        summary.served += 1;
-        match entry {
-            Ok(_) => {
-                match &answers[next] {
-                    Ok(answer) => writeln!(writer, "{answer}")?,
-                    Err(e) => {
-                        summary.errors += 1;
-                        writeln!(writer, "{}", error_reply(e))?;
-                    }
+    let mut replies: Vec<Option<Result<std::sync::Arc<grepair_store::QueryAnswer>, GrepairError>>> =
+        Vec::new();
+    replies.resize_with(pending.len(), || None);
+    // Namespaces in order of first appearance, so resolution (and its
+    // side effects: lazy opens, LRU hits) happens in request order.
+    let mut order: Vec<&str> = Vec::new();
+    for (ns, parsed) in pending.iter() {
+        if parsed.is_ok() && !order.contains(&ns.as_str()) {
+            order.push(ns);
+        }
+    }
+    for ns in order {
+        let indexes: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (name, parsed))| name == ns && parsed.is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        match registry.store(ns) {
+            Err(e) => {
+                for &i in &indexes {
+                    replies[i] = Some(Err(e.clone()));
                 }
-                next += 1;
             }
+            Ok(store) => {
+                let queries: Vec<Query> = indexes
+                    .iter()
+                    .map(|&i| pending[i].1.as_ref().cloned().expect("filtered to Ok"))
+                    .collect();
+                let answers = if queries.len() >= INLINE_BATCH {
+                    store.query_batch_on(&queries, pool)
+                } else {
+                    store.query_batch(&queries)
+                };
+                for (&i, answer) in indexes.iter().zip(answers) {
+                    replies[i] = Some(answer);
+                }
+            }
+        }
+    }
+    for (reply, (_, entry)) in replies.into_iter().zip(pending.drain(..)) {
+        summary.served += 1;
+        let outcome = match entry {
+            Err(e) => Err(e),
+            Ok(_) => reply.expect("every parsed query got a reply slot"),
+        };
+        match outcome {
+            Ok(answer) => writeln!(writer, "{answer}")?,
             Err(e) => {
                 summary.errors += 1;
                 writeln!(writer, "{}", error_reply(e))?;
@@ -303,31 +406,70 @@ fn handle_admin(
     registry: &StoreRegistry,
     admin: Result<Admin, String>,
     opts: &SessionOpts,
+    namespace: &mut String,
     summary: &mut SessionSummary,
 ) -> String {
     match admin {
         Err(reason) => error_reply(format_args!("bad request: {reason}")),
         Ok(Admin::Ping) => "pong".into(),
         Ok(Admin::Quit) => "bye".into(),
-        Ok(Admin::Info) => {
-            let store = registry.current();
-            format!(
-                "grepair proto={PROTO_VERSION} generation={} nodes={} backend={}",
+        Ok(Admin::Info) => match registry.store(namespace) {
+            Err(e) => error_reply(e),
+            Ok(store) => format!(
+                "grepair proto={PROTO_VERSION} namespace={namespace} generation={} nodes={} backend={}",
                 store.generation(),
                 store.total_nodes(),
                 store.backend()
-            )
+            ),
+        },
+        Ok(Admin::Stats(None)) => registry.aggregate_stats().to_string(),
+        Ok(Admin::Stats(Some(name))) => match registry.stats_for(&name) {
+            Ok(stats) => stats.to_string(),
+            Err(e) => error_reply(e),
+        },
+        Ok(Admin::Use(name)) => {
+            if registry.contains(&name) {
+                *namespace = name;
+                format!("using {namespace}")
+            } else {
+                error_reply(format_args!("bad request: unknown namespace {name:?}"))
+            }
         }
-        Ok(Admin::Stats) => registry.stats().to_string(),
+        Ok(Admin::Attach { name, path }) => match registry.attach(&name, &path) {
+            Ok(store) => format!(
+                "attached {name} generation={} nodes={} backend={}",
+                store.generation(),
+                store.total_nodes(),
+                store.backend()
+            ),
+            Err(e) => error_reply(e),
+        },
+        Ok(Admin::Detach(name)) => match registry.detach(&name) {
+            Ok(()) => format!("detached {name}"),
+            Err(e) => error_reply(e),
+        },
+        Ok(Admin::List) => {
+            let entries = registry.list();
+            let mut reply = format!("namespaces={}", entries.len());
+            for (name, resident, generation) in entries {
+                let state = if resident { "resident" } else { "cold" };
+                reply.push_str(&format!(" {name}={state}:{generation}"));
+            }
+            reply
+        }
         Ok(Admin::Reload(path)) => {
-            let path = path.or_else(|| opts.reload_path.clone());
-            let Some(path) = path else {
-                return error_reply("bad request: RELOAD needs a path (no default configured)");
-            };
-            match registry.reload_from(&path) {
-                // Report from the swapped-in snapshot, not current(): a
-                // concurrent reload must not pair this generation number
-                // with another generation's node count.
+            // A bare RELOAD re-reads the namespace's recorded path; for the
+            // default namespace the server's startup path is the fallback
+            // (registries seeded from in-memory stores record none).
+            let explicit = path.or_else(|| {
+                (namespace.as_str() == DEFAULT_NAMESPACE)
+                    .then(|| opts.reload_path.clone())
+                    .flatten()
+            });
+            match registry.reload(namespace, explicit.as_deref()) {
+                // Report from the swapped-in snapshot, not a fresh
+                // resolution: a concurrent reload must not pair this
+                // generation number with another generation's node count.
                 Ok(store) => {
                     summary.reloads += 1;
                     format!(
@@ -366,12 +508,15 @@ mod tests {
     /// Run `input` through a session against a fresh 17-node store and
     /// return the reply bytes as text.
     fn run(input: &str) -> (String, SessionSummary) {
-        let registry = registry(8);
+        run_on(&registry(8), input)
+    }
+
+    fn run_on(registry: &StoreRegistry, input: &str) -> (String, SessionSummary) {
         let pool = WorkerPool::new(2);
         let mut reader: &[u8] = input.as_bytes();
         let mut out = Vec::new();
         let summary =
-            serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default())
+            serve_session(registry, &pool, &mut reader, &mut out, &SessionOpts::default())
                 .unwrap();
         (String::from_utf8(out).unwrap(), summary)
     }
@@ -394,8 +539,11 @@ mod tests {
         let (out, summary) = run("PING\nINFO\nSTATS\nQUIT\nout 0\n");
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "pong");
-        assert_eq!(lines[1], "grepair proto=1 generation=1 nodes=17 backend=grepair");
-        assert!(lines[2].starts_with("generation=1 loads=1 "), "{out}");
+        assert_eq!(
+            lines[1],
+            "grepair proto=2 namespace=default generation=1 nodes=17 backend=grepair"
+        );
+        assert!(lines[2].starts_with("namespaces=1 resident=1 "), "{out}");
         assert_eq!(lines[3], "bye");
         // QUIT ends the session: the query after it is never answered.
         assert_eq!(lines.len(), 4, "{out}");
@@ -404,11 +552,95 @@ mod tests {
     }
 
     #[test]
+    fn scoped_stats_render_one_store() {
+        let (out, _) = run("out 0\nSTATS default\nSTATS nosuch\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].starts_with("generation=1 loads=1 queries=1 "), "{out}");
+        assert!(lines[1].ends_with("backend=grepair"), "{out}");
+        assert!(lines[2].starts_with("error: bad request: unknown namespace"), "{out}");
+    }
+
+    #[test]
     fn admin_lines_with_trailing_tokens_error_but_serve_on() {
-        let (out, _) = run("PING extra\nout 0\n");
+        let (out, _) = run("PING extra\nUSE\nATTACH onlyname\nout 0\n");
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[0].starts_with("error: bad request"), "{out}");
-        assert_eq!(lines[1], "1");
+        assert!(lines[1].starts_with("error: bad request: USE needs"), "{out}");
+        assert!(lines[2].starts_with("error: bad request: ATTACH needs"), "{out}");
+        assert_eq!(lines[3], "1");
+    }
+
+    #[test]
+    fn use_switches_and_prefixes_override_per_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("grepair_session_use_{}.g2g", std::process::id()));
+        std::fs::write(&path, g2g(16)).unwrap();
+        let registry = registry(8);
+        let input = format!(
+            "ATTACH big {0}\nout 32\nbig:out 32\nUSE big\nout 32\nINFO\ndefault:out 0\nUSE nosuch\nLIST\nDETACH big\nout 32\n",
+            path.display()
+        );
+        let (out, _) = run_on(&registry, &input);
+        let lines: Vec<&str> = out.lines().collect();
+        // The compressor renumbers nodes, so the expected neighbor list
+        // comes from a twin store, not the input file's ids.
+        let twin = GraphStore::from_bytes(&g2g(16)).unwrap();
+        let out32 = twin.query(&grepair_store::Query::OutNeighbors(32)).unwrap().to_string();
+        assert_eq!(lines[0], "attached big generation=1 nodes=33 backend=grepair");
+        // Unprefixed goes to default (17 nodes): 32 is out of range...
+        assert!(lines[1].starts_with("error:"), "{out}");
+        // ...the one-shot prefix hits the 33-node store...
+        assert_eq!(lines[2], out32, "{out}");
+        assert_eq!(lines[3], "using big");
+        // ...and after USE the unprefixed line does too.
+        assert_eq!(lines[4], out32, "{out}");
+        assert_eq!(
+            lines[5],
+            "grepair proto=2 namespace=big generation=1 nodes=33 backend=grepair"
+        );
+        // A prefix points back at default regardless of the session state.
+        assert_eq!(lines[6], "1");
+        assert!(lines[7].starts_with("error: bad request: unknown namespace"), "{out}");
+        assert_eq!(lines[8], "namespaces=2 big=resident:1 default=resident:1");
+        assert_eq!(lines[9], "detached big");
+        // The session still points at the detached namespace: error, serve on.
+        assert!(lines[10].starts_with("error: bad request: unknown namespace"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mixed_namespace_batches_reply_in_input_order() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("grepair_session_mixed_{}.g2g", std::process::id()));
+        std::fs::write(&path, g2g(16)).unwrap();
+        let registry = registry(8);
+        registry.attach("big", path.to_str().unwrap()).unwrap();
+        // All lines arrive in one buffered gulp: the batch spans three
+        // namespaces (one unknown) and replies must stay line-for-line.
+        let input = "out 0\nbig:out 32\nnosuch:out 0\nout 0\nbig:reach 0 32\n";
+        let (out, summary) = run_on(&registry, input);
+        let lines: Vec<&str> = out.lines().collect();
+        let twin = GraphStore::from_bytes(&g2g(16)).unwrap();
+        let out32 = twin.query(&grepair_store::Query::OutNeighbors(32)).unwrap().to_string();
+        assert_eq!(lines[0], "1");
+        assert_eq!(lines[1], out32, "{out}");
+        assert!(lines[2].starts_with("error: bad request: unknown namespace"), "{out}");
+        assert_eq!(lines[3], "1");
+        assert_eq!(lines[4], "true");
+        assert_eq!(summary.served, 5);
+        assert_eq!(summary.errors, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_prefixes_fall_through_to_query_parsing() {
+        // "has space:out 0" — the pre-colon text is not a valid namespace
+        // name, so the whole line is (an unparsable) query.
+        let (out, _) = run("has space:out 0\n::\nout 0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("error: bad request"), "{out}");
+        assert!(lines[1].starts_with("error: bad request"), "{out}");
+        assert_eq!(lines[2], "1");
     }
 
     #[test]
@@ -464,7 +696,7 @@ mod tests {
         let registry = registry(8);
         let pool = WorkerPool::new(2);
         let input = format!(
-            "in 32\nRELOAD {0}\nin 32\nRELOAD /nonexistent.g2g\nSTATS\n",
+            "in 32\nRELOAD {0}\nin 32\nRELOAD /nonexistent.g2g\nSTATS default\n",
             path.display()
         );
         let mut reader: &[u8] = input.as_bytes();
@@ -489,6 +721,34 @@ mod tests {
         assert_eq!(summary.reloads, 1);
         assert_eq!(registry.generation(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_acts_on_the_session_namespace() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("grepair_session_nsa_{}.g2g", std::process::id()));
+        let b = dir.join(format!("grepair_session_nsb_{}.g2g", std::process::id()));
+        std::fs::write(&a, g2g(4)).unwrap();
+        std::fs::write(&b, g2g(12)).unwrap();
+        let registry = registry(8);
+        registry.attach("a", a.to_str().unwrap()).unwrap();
+        let input = format!("USE a\nRELOAD {}\nINFO\nSTATS\n", b.display());
+        let (out, summary) = run_on(&registry, &input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "using a");
+        // The session's namespace reloads (and its recorded path moves to
+        // the new file); the default namespace's generation is untouched.
+        assert_eq!(lines[1], "reloaded generation=2 nodes=25");
+        assert_eq!(
+            lines[2],
+            "grepair proto=2 namespace=a generation=2 nodes=25 backend=grepair"
+        );
+        assert!(lines[3].starts_with("namespaces=2 resident=2 "), "{out}");
+        assert_eq!(summary.reloads, 1);
+        assert_eq!(registry.generation(), 1);
+        assert_eq!(registry.generation_of("a").unwrap(), 2);
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

@@ -141,8 +141,65 @@ fn hostile_reload_arguments_never_kill_the_store() {
         assert!(reply.starts_with("error: "), "{line:?} -> {reply:?}");
     }
     // Generation unchanged, still serving the original store.
-    assert!(client.roundtrip("STATS").starts_with("generation=1 "));
+    assert!(client.roundtrip("STATS default").starts_with("generation=1 "));
     assert_eq!(server.registry.generation(), 1);
     assert_eq!(client.roundtrip("out 0"), "1");
     let _ = std::fs::remove_file(&junk);
+}
+
+#[test]
+fn hostile_attach_arguments_never_disturb_existing_namespaces() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let good = common::g2g(4);
+
+    // A truncated container and a bit-flipped one, plus plain text junk.
+    let truncated = dir.join(format!("grepair_attach_trunc_{pid}.g2g"));
+    std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+    let flipped_path = dir.join(format!("grepair_attach_flip_{pid}.g2g"));
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xFF;
+    std::fs::write(&flipped_path, &flipped).unwrap();
+    let junk = dir.join(format!("grepair_attach_junk_{pid}.g2g"));
+    std::fs::write(&junk, b"definitely not a container").unwrap();
+
+    let server = TestServer::start(8, None);
+    let mut client = LineClient::new(server.connect());
+    for (name, path) in [
+        ("trunc", truncated.display().to_string()),
+        ("flip", flipped_path.display().to_string()),
+        ("junk", junk.display().to_string()),
+        ("ghost", "/nonexistent/nowhere.g2g".to_string()),
+    ] {
+        let reply = client.roundtrip(&format!("ATTACH {name} {path}"));
+        assert!(reply.starts_with("error: "), "{name} -> {reply:?}");
+        // No partial registration: the name is not in the map, so neither
+        // USE nor a prefixed query can reach it.
+        assert!(!server.registry.contains(name), "{name} half-registered");
+        let reply = client.roundtrip(&format!("USE {name}"));
+        assert!(reply.starts_with("error: "), "{name} -> {reply:?}");
+        let reply = client.roundtrip(&format!("{name}:out 0"));
+        assert!(reply.starts_with("error: "), "{name} -> {reply:?}");
+    }
+    // Malformed ATTACH argument lists are clean errors too.
+    for line in ["ATTACH", "ATTACH onlyname", "ATTACH a b c", "ATTACH bad/name x.g2g"] {
+        let reply = client.roundtrip(line);
+        assert!(reply.starts_with("error: "), "{line:?} -> {reply:?}");
+    }
+    // The default namespace never stopped serving.
+    assert_eq!(client.roundtrip("LIST"), "namespaces=1 default=resident:1");
+    assert_eq!(client.roundtrip("out 0"), "1");
+    assert_eq!(client.roundtrip("PING"), "pong");
+
+    // And a valid ATTACH still works after all that hostility.
+    let fine = dir.join(format!("grepair_attach_fine_{pid}.g2g"));
+    std::fs::write(&fine, &good).unwrap();
+    let reply = client.roundtrip(&format!("ATTACH fine {}", fine.display()));
+    assert_eq!(reply, "attached fine generation=1 nodes=9 backend=grepair");
+    let reply = client.roundtrip("fine:out 0");
+    assert!(!reply.starts_with("error:"), "{reply}");
+    for path in [&truncated, &flipped_path, &junk, &fine] {
+        let _ = std::fs::remove_file(path);
+    }
 }

@@ -73,7 +73,7 @@ fn reload_mid_stream_bumps_generation_without_dropping_anything() {
     // Generation 1 serving normally.
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=1 generation=1 nodes=33 backend=grepair"
+        "grepair proto=2 namespace=default generation=1 nodes=33 backend=grepair"
     );
     assert_eq!(client.roundtrip("reach 0 32"), "true");
     let err = client.roundtrip("out 64"); // not a node yet
@@ -93,7 +93,7 @@ fn reload_mid_stream_bumps_generation_without_dropping_anything() {
     assert_eq!(after, expected_after, "post-reload query runs on generation 2");
 
     // The same connection is still alive, and STATS echoes the bump.
-    let stats = client.roundtrip("STATS");
+    let stats = client.roundtrip("STATS default");
     assert!(stats.starts_with("generation=2 "), "{stats}");
     assert_eq!(server.registry.generation(), 2);
     assert_eq!(client.roundtrip("PING"), "pong");
@@ -236,7 +236,7 @@ fn reload_swaps_in_a_different_backend_mid_session() {
     let mut client = LineClient::new(server.connect());
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=1 generation=1 nodes=33 backend=grepair"
+        "grepair proto=2 namespace=default generation=1 nodes=33 backend=grepair"
     );
     assert_eq!(
         client.roundtrip(&format!("RELOAD {}", path.display())),
@@ -245,7 +245,7 @@ fn reload_swaps_in_a_different_backend_mid_session() {
     // Same connection, new backend: the whole query plane answers.
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=1 generation=2 nodes=9 backend=k2"
+        "grepair proto=2 namespace=default generation=2 nodes=9 backend=k2"
     );
     assert_eq!(client.roundtrip("out 0"), "1");
     assert_eq!(client.roundtrip("in 8"), "7");
@@ -256,7 +256,7 @@ fn reload_swaps_in_a_different_backend_mid_session() {
     assert_eq!(client.roundtrip("degrees"), "min=1 max=2");
     let err = client.roundtrip("out 33"); // old id space is gone
     assert!(err.starts_with("error:") && err.contains("0..9"), "{err}");
-    let stats = client.roundtrip("STATS");
+    let stats = client.roundtrip("STATS default");
     assert!(stats.ends_with("backend=k2"), "{stats}");
     assert_eq!(client.roundtrip("QUIT"), "bye");
     let _ = std::fs::remove_file(&path);
@@ -272,7 +272,7 @@ fn bare_reload_uses_the_configured_path_and_errors_without_one() {
     let server = TestServer::start(8, None);
     let mut client = LineClient::new(server.connect());
     let reply = client.roundtrip("RELOAD");
-    assert!(reply.contains("no default configured"), "{reply}");
+    assert!(reply.contains("no container path"), "{reply}");
     drop(client);
     drop(server);
 

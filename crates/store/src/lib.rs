@@ -30,13 +30,16 @@
 //!   worker threads that share the per-batch closures. Long-lived servers
 //!   plug their own reusable worker pool into the same machinery through
 //!   [`GraphStore::query_batch_on`] / [`BatchExecutor`].
-//! * **Hot reload** — a [`StoreRegistry`] holds the currently serving
-//!   store behind `RwLock<Arc<GraphStore>>` with a monotonic generation
-//!   counter: a freshly loaded `.g2g` swaps in while in-flight queries
-//!   finish on the old `Arc` (the wire protocol's `RELOAD` command,
-//!   DESIGN.md §6). The end-to-end embedded pattern — registry + batches,
-//!   no sockets — is `examples/serving.rs` at the repository root; the
-//!   socket front end is the `grepair-server` crate.
+//! * **Multi-tenant hosting** — a [`StoreRegistry`] maps namespace names
+//!   to hot-reloadable store slots with per-namespace monotonic
+//!   generations: a freshly loaded container swaps in while in-flight
+//!   queries finish on the old `Arc` (the wire protocol's `RELOAD`
+//!   command, DESIGN.md §6/§8). Tenants can be attached cold (opened
+//!   lazily on first query) and, under a configured byte budget, the
+//!   least-recently-hit resident stores are evicted and reopen
+//!   transparently on their next hit. The end-to-end embedded pattern —
+//!   registry + batches, no sockets — is `examples/serving.rs` at the
+//!   repository root; the socket front end is the `grepair-server` crate.
 //!
 //! ```
 //! use grepair_store::{GraphStore, Query, QueryAnswer, write_container};
@@ -82,7 +85,9 @@ pub use backend::{
 pub use engine::GrammarEngine;
 pub use error::GrepairError;
 pub use query::{compile_pattern, error_reply, parse_pattern, parse_query, Query, QueryAnswer};
-pub use registry::StoreRegistry;
+pub use registry::{
+    valid_namespace, RegistryStats, StoreRegistry, DEFAULT_NAMESPACE, MAX_NAMESPACE_LEN,
+};
 pub use store::{
     parse_container, write_container, BatchExecutor, GraphStore, StoreStats, HEADER_LEN, MAGIC,
 };

@@ -1,29 +1,150 @@
-//! Hot store reload: a registry that swaps a freshly loaded [`GraphStore`]
-//! in under live traffic.
+//! Multi-tenant store hosting: a namespace-addressed registry that serves
+//! many compressed graphs from one process, under a memory budget.
 //!
-//! The serving topology (DESIGN.md §6) keeps exactly one mutable cell per
-//! process: `RwLock<Arc<GraphStore>>`. Every request path grabs the current
-//! `Arc` (a read lock held for one pointer clone — the `ArcSwap` pattern
-//! with `std` parts), answers against that snapshot, and drops it when
-//! done. A reload builds the *new* store entirely outside the lock, then
-//! takes the write lock for one pointer swap, so:
+//! The paper's grammar containers are small (hundreds of bytes for graphs
+//! whose k²-tree images are kilobytes — `BENCH_store.json`), so the serving
+//! topology (DESIGN.md §8) holds a *map* of namespaces, each one mutable
+//! slot: `RwLock<Option<Arc<GraphStore>>>`. Every request path resolves its
+//! namespace, grabs the current `Arc` (a read lock held for one pointer
+//! clone), answers against that snapshot, and drops it when done. The
+//! single-store registry of earlier revisions is the degenerate case: one
+//! namespace, [`DEFAULT_NAMESPACE`], which the back-compat methods
+//! ([`StoreRegistry::current`], [`StoreRegistry::swap`], …) address.
 //!
-//! * in-flight queries finish on the old store's `Arc` — nothing is
-//!   dropped or torn mid-answer; the old store is freed when its last
-//!   in-flight holder finishes,
-//! * a failed reload (missing file, hostile bytes) leaves the registry
-//!   untouched — the old generation keeps serving,
-//! * the generation counter is monotonic, and each store is stamped with
-//!   its generation ([`StoreStats::generation`]) so `STATS`/`INFO` admin
-//!   replies let clients observe the swap.
+//! Three properties carry over from the single-slot design, now per
+//! namespace:
+//!
+//! * in-flight queries finish on the old store's `Arc` — a reload (or an
+//!   eviction) never tears an answer mid-flight,
+//! * a failed reload/attach (missing file, hostile bytes) leaves every
+//!   registered namespace untouched — no partial registration,
+//! * each namespace's generation counter is strictly monotonic, and each
+//!   resident store is stamped with it ([`StoreStats::generation`]) so
+//!   `STATS`/`INFO` admin replies let clients observe a swap.
+//!
+//! Two properties are new:
+//!
+//! * **lazy open** — a namespace may be registered *cold* (path only, no
+//!   decode); the first query against it pays the open, every later one
+//!   rides the resident `Arc`,
+//! * **LRU eviction** — with a byte budget configured
+//!   ([`StoreRegistry::set_budget`], the server's `--memory-budget` flag),
+//!   loading a store evicts the least-recently-hit resident containers
+//!   until the total resident container bytes fit again. An evicted
+//!   namespace stays registered; its next hit reopens it transparently
+//!   (counted in [`RegistryStats::cold_opens`]) with its generation
+//!   *unchanged* — eviction is a cache decision, not a data change, so an
+//!   evicted-then-reopened store answers byte-identically to a twin that
+//!   was never evicted.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::{GraphStore, GrepairError, StoreStats};
 
-/// A shared, hot-reloadable slot holding the currently serving
-/// [`GraphStore`].
+/// The namespace addressed by the back-compat single-store methods and by
+/// wire-protocol sessions that never issued `USE` (DESIGN.md §8).
+pub const DEFAULT_NAMESPACE: &str = "default";
+
+/// Longest accepted namespace name, in bytes.
+pub const MAX_NAMESPACE_LEN: usize = 64;
+
+/// Is `name` a syntactically valid namespace name? Accepted: 1 to
+/// [`MAX_NAMESPACE_LEN`] ASCII characters from `[A-Za-z0-9._-]`. The
+/// session layer uses the same predicate to decide whether the text before
+/// a `:` in a query line is a namespace prefix (DESIGN.md §8).
+pub fn valid_namespace(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAMESPACE_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+fn bad_name(name: &str) -> GrepairError {
+    GrepairError::BadRequest(format!(
+        "invalid namespace {name:?} (want 1..={MAX_NAMESPACE_LEN} chars of [A-Za-z0-9._-])"
+    ))
+}
+
+fn unknown(name: &str) -> GrepairError {
+    GrepairError::BadRequest(format!("unknown namespace {name:?}"))
+}
+
+/// One registered tenant: a name bound to a container path and a slot that
+/// is either resident (`Some(store)`) or cold (`None` — never opened, or
+/// evicted). In-memory tenants (registered from a built [`GraphStore`],
+/// no path) can never be cold: there is nothing to reopen them from, so
+/// they are exempt from eviction — and they report 0 resident bytes anyway.
+#[derive(Debug)]
+struct Namespace {
+    /// Where to (re)open this tenant from. `None` for in-memory tenants.
+    path: Mutex<Option<String>>,
+    /// The serving store, if resident.
+    slot: RwLock<Option<Arc<GraphStore>>>,
+    /// Strictly monotonic per namespace: `0` until the first open, `1`
+    /// after it, `+1` per reload. Evict/reopen does *not* bump it.
+    generation: AtomicU64,
+    /// Registry clock value of the most recent hit — the LRU key.
+    last_hit: AtomicU64,
+}
+
+impl Namespace {
+    fn resident(&self) -> Option<Arc<GraphStore>> {
+        self.slot.read().expect("namespace slot poisoned").clone()
+    }
+}
+
+/// Aggregate registry statistics — the wire protocol's bare `STATS` reply
+/// (per-namespace stats are `STATS <name>`; DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered namespaces (resident + cold).
+    pub namespaces: u64,
+    /// Namespaces currently holding a store.
+    pub resident: u64,
+    /// Total container bytes held resident.
+    pub resident_bytes: u64,
+    /// The configured eviction budget, if any.
+    pub budget: Option<u64>,
+    /// Stores evicted to fit the budget, ever.
+    pub evictions: u64,
+    /// Stores opened lazily — a cold-registered namespace's first query,
+    /// or an evicted namespace reopening on a hit.
+    pub cold_opens: u64,
+    /// Queries served, summed over resident stores plus every store this
+    /// registry retired (evicted, detached, or replaced by a reload).
+    pub queries: u64,
+    /// Query errors, summed the same way.
+    pub errors: u64,
+}
+
+impl std::fmt::Display for RegistryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "namespaces={} resident={} resident_bytes={} budget={} evictions={} cold_opens={} queries={} errors={}",
+            self.namespaces,
+            self.resident,
+            self.resident_bytes,
+            match self.budget {
+                Some(b) => b.to_string(),
+                None => "none".into(),
+            },
+            self.evictions,
+            self.cold_opens,
+            self.queries,
+            self.errors,
+        )
+    }
+}
+
+/// Sentinel for "no budget configured" in the atomic budget cell.
+const NO_BUDGET: u64 = u64::MAX;
+
+/// A shared, hot-reloadable map of named [`GraphStore`]s with lazy open
+/// and LRU eviction under a byte budget.
 ///
 /// ```
 /// use grepair_store::{GraphStore, StoreRegistry};
@@ -36,87 +157,473 @@ use crate::{GraphStore, GrepairError, StoreStats};
 /// #     let enc = grepair_codec::encode(&out.grammar);
 /// #     GraphStore::from_bytes(&write_container(&enc.bytes, enc.bit_len)).unwrap()
 /// # }
-/// let registry = StoreRegistry::new(store());
-/// let before = registry.current();          // a long-lived query holds this
+/// let registry = StoreRegistry::new(store());   // the "default" namespace
+/// let before = registry.current();              // a long-lived query holds this
 /// assert_eq!(registry.generation(), 1);
 ///
-/// registry.swap(store());                   // hot reload
+/// registry.swap(store());                       // hot reload
 /// assert_eq!(registry.generation(), 2);
-/// assert_eq!(before.generation(), 1);       // the old snapshot still answers
+/// assert_eq!(before.generation(), 1);           // the old snapshot still answers
 /// assert!(before.reachable(0, 4).unwrap());
+///
+/// // More tenants ride the same registry under their own names.
+/// registry.attach_store("tenant-b", store());
+/// assert_eq!(registry.list().len(), 2);
+/// assert!(registry.store("tenant-b").unwrap().reachable(0, 4).unwrap());
 /// ```
 #[derive(Debug)]
 pub struct StoreRegistry {
-    current: RwLock<Arc<GraphStore>>,
-    /// Generation of the store in `current`. Monotonic; only `swap` bumps
-    /// it, under the write lock, so it never disagrees with the slot.
-    generation: AtomicU64,
+    namespaces: RwLock<BTreeMap<String, Arc<Namespace>>>,
+    /// Budget in container bytes; [`NO_BUDGET`] = unlimited.
+    budget: AtomicU64,
+    /// Logical LRU clock: every namespace hit takes the next tick.
+    clock: AtomicU64,
+    /// Serializes budget enforcement so two concurrent loads cannot each
+    /// decide the *other* one's eviction is unnecessary.
+    budget_lock: Mutex<()>,
+    evictions: AtomicU64,
+    cold_opens: AtomicU64,
+    /// Counters folded in from retired stores (evicted / detached /
+    /// replaced), so the aggregate stays monotonic across their lifetimes.
+    retired_queries: AtomicU64,
+    retired_errors: AtomicU64,
 }
 
 impl StoreRegistry {
-    /// Register the first store as generation 1.
-    pub fn new(store: GraphStore) -> Self {
-        store.set_generation(1);
+    fn empty() -> Self {
         Self {
-            current: RwLock::new(Arc::new(store)),
-            generation: AtomicU64::new(1),
+            namespaces: RwLock::new(BTreeMap::new()),
+            budget: AtomicU64::new(NO_BUDGET),
+            clock: AtomicU64::new(0),
+            budget_lock: Mutex::new(()),
+            evictions: AtomicU64::new(0),
+            cold_opens: AtomicU64::new(0),
+            retired_queries: AtomicU64::new(0),
+            retired_errors: AtomicU64::new(0),
         }
     }
 
-    /// Load the first store from a `.g2g` file.
+    /// Register `store` as the [`DEFAULT_NAMESPACE`], generation 1. The
+    /// store is in-memory (no path recorded): bare `RELOAD` needs an
+    /// explicit path and the namespace is exempt from eviction.
+    pub fn new(store: GraphStore) -> Self {
+        let registry = Self::empty();
+        registry
+            .attach_store(DEFAULT_NAMESPACE, store)
+            .expect("empty registry accepts the default namespace");
+        registry
+    }
+
+    /// Load the first store from a container file into the
+    /// [`DEFAULT_NAMESPACE`]. The path is recorded, so the namespace is
+    /// evictable (it can be reopened) and bare `RELOAD` re-reads it.
     pub fn open(path: &str) -> Result<Self, GrepairError> {
-        Ok(Self::new(GraphStore::open(path)?))
+        let registry = Self::empty();
+        registry.attach(DEFAULT_NAMESPACE, path)?;
+        Ok(registry)
     }
 
-    /// The currently serving store. Callers keep the returned `Arc` for the
-    /// duration of one request/batch: a concurrent [`StoreRegistry::swap`]
-    /// never invalidates it, it only stops *new* calls from seeing it.
+    // ------------------------------------------------------------------
+    // Namespace management
+    // ------------------------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Arc<Namespace>> {
+        self.namespaces
+            .read()
+            .expect("store registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Fold a retiring store's counters into the registry aggregate.
+    fn retire(&self, store: &GraphStore) {
+        let stats = store.stats();
+        self.retired_queries.fetch_add(stats.queries_served, Ordering::Relaxed);
+        self.retired_errors.fetch_add(stats.errors, Ordering::Relaxed);
+    }
+
+    /// Insert a fresh namespace, failing (with nothing registered) if the
+    /// name is taken or invalid.
+    fn register(
+        &self,
+        name: &str,
+        path: Option<String>,
+        store: Option<Arc<GraphStore>>,
+    ) -> Result<(), GrepairError> {
+        if !valid_namespace(name) {
+            return Err(bad_name(name));
+        }
+        let generation = store.is_some() as u64;
+        let ns = Arc::new(Namespace {
+            path: Mutex::new(path),
+            slot: RwLock::new(store),
+            generation: AtomicU64::new(generation),
+            last_hit: AtomicU64::new(self.tick()),
+        });
+        let mut map = self.namespaces.write().expect("store registry poisoned");
+        if map.contains_key(name) {
+            return Err(GrepairError::BadRequest(format!(
+                "namespace {name:?} already attached"
+            )));
+        }
+        map.insert(name.to_string(), ns);
+        Ok(())
+    }
+
+    /// Attach a container file under `name`, opening it eagerly — the wire
+    /// protocol's `ATTACH` (DESIGN.md §8). The open runs *before* anything
+    /// is registered, so a hostile or missing container leaves the registry
+    /// exactly as it was: no partial registration, every existing namespace
+    /// keeps serving. The new store is generation 1 for its namespace.
+    pub fn attach(&self, name: &str, path: &str) -> Result<Arc<GraphStore>, GrepairError> {
+        if !valid_namespace(name) {
+            return Err(bad_name(name));
+        }
+        let store = GraphStore::open(path)?;
+        store.set_generation(1);
+        let store = Arc::new(store);
+        self.register(name, Some(path.to_string()), Some(Arc::clone(&store)))?;
+        self.enforce_budget(name);
+        Ok(store)
+    }
+
+    /// Attach a container file under `name` *cold*: the path is recorded
+    /// but nothing is read or decoded until the first query resolves the
+    /// namespace (the server's `--attach NAME=PATH` flag). The namespace
+    /// reports generation 0 until that first open.
+    pub fn attach_cold(&self, name: &str, path: &str) -> Result<(), GrepairError> {
+        self.register(name, Some(path.to_string()), None)
+    }
+
+    /// Register an already-built store under `name` (generation 1). No
+    /// path is recorded: the namespace cannot be evicted or bare-`RELOAD`ed.
+    pub fn attach_store(&self, name: &str, store: GraphStore) -> Result<Arc<GraphStore>, GrepairError> {
+        store.set_generation(1);
+        let store = Arc::new(store);
+        self.register(name, None, Some(Arc::clone(&store)))?;
+        Ok(store)
+    }
+
+    /// Remove `name` from the registry. In-flight queries holding the
+    /// store's `Arc` finish normally; new resolutions error.
+    pub fn detach(&self, name: &str) -> Result<(), GrepairError> {
+        let removed = self
+            .namespaces
+            .write()
+            .expect("store registry poisoned")
+            .remove(name)
+            .ok_or_else(|| unknown(name))?;
+        if let Some(store) = removed.resident() {
+            self.retire(&store);
+        }
+        Ok(())
+    }
+
+    /// Is `name` registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.namespaces
+            .read()
+            .expect("store registry poisoned")
+            .contains_key(name)
+    }
+
+    /// Registered namespaces in sorted order: `(name, resident, generation)`.
+    pub fn list(&self) -> Vec<(String, bool, u64)> {
+        self.namespaces
+            .read()
+            .expect("store registry poisoned")
+            .iter()
+            .map(|(name, ns)| {
+                (
+                    name.clone(),
+                    ns.resident().is_some(),
+                    ns.generation.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution (the per-request hot path)
+    // ------------------------------------------------------------------
+
+    /// Resolve `name` to its serving store, opening it if cold (first
+    /// query after a cold attach, or after an eviction — both counted in
+    /// [`RegistryStats::cold_opens`]). Callers keep the returned `Arc` for
+    /// one request/batch: a concurrent reload, eviction, or detach never
+    /// invalidates it, it only stops *new* resolutions from seeing it.
+    pub fn store(&self, name: &str) -> Result<Arc<GraphStore>, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        ns.last_hit.store(self.tick(), Ordering::Relaxed);
+        if let Some(store) = ns.resident() {
+            return Ok(store);
+        }
+        // Cold: open under the slot's write lock so concurrent hits pay
+        // one decode between them, not one each.
+        let mut slot = ns.slot.write().expect("namespace slot poisoned");
+        if let Some(store) = slot.clone() {
+            return Ok(store);
+        }
+        let path = ns
+            .path
+            .lock()
+            .expect("namespace path poisoned")
+            .clone()
+            .ok_or_else(|| {
+                // Unreachable by construction (pathless tenants are
+                // registered resident and never evicted) — but the serving
+                // path must degrade to an error line, never a panic.
+                GrepairError::BadRequest(format!("namespace {name:?} has no container path"))
+            })?;
+        let store = GraphStore::open(&path)?;
+        // First-ever open moves the namespace to generation 1; a reopen
+        // after eviction re-stamps the *unchanged* generation, so clients
+        // cannot tell an evicted store from one that stayed resident.
+        let generation = match ns.generation.load(Ordering::Relaxed) {
+            0 => {
+                ns.generation.store(1, Ordering::Relaxed);
+                1
+            }
+            g => g,
+        };
+        store.set_generation(generation);
+        let store = Arc::new(store);
+        *slot = Some(Arc::clone(&store));
+        drop(slot);
+        self.cold_opens.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(name);
+        Ok(store)
+    }
+
+    // ------------------------------------------------------------------
+    // Reload
+    // ------------------------------------------------------------------
+
+    /// Swap `store` in under `name` and hand back the swapped-in `Arc` —
+    /// callers reporting on the reload must read generation *and* node
+    /// count from this snapshot, not from a fresh resolution, or a
+    /// concurrent swap can pair one generation with another generation's
+    /// data. The old store keeps serving whoever already holds its `Arc`.
+    fn swap_in(&self, name: &str, store: GraphStore) -> Result<Arc<GraphStore>, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        ns.last_hit.store(self.tick(), Ordering::Relaxed);
+        let mut slot = ns.slot.write().expect("namespace slot poisoned");
+        // Bump under the write lock: concurrent swaps serialize here, so
+        // each store gets a distinct, strictly increasing generation.
+        let generation = ns.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        store.set_generation(generation);
+        let store = Arc::new(store);
+        if let Some(old) = slot.replace(Arc::clone(&store)) {
+            self.retire(&old);
+        }
+        drop(slot);
+        self.enforce_budget(name);
+        Ok(store)
+    }
+
+    /// Load a fresh container and swap it in under `name`: the `RELOAD`
+    /// admin command and the `SIGHUP` path. With `path` = `None` the
+    /// namespace's recorded path is re-read; with an explicit path the
+    /// recorded path is updated too, so later evict/reopen cycles follow
+    /// the reload. The decode and index build run *before* any lock is
+    /// taken, so serving never stalls on a reload, and any error (missing
+    /// file, hostile bytes) leaves the current store untouched.
+    pub fn reload(&self, name: &str, path: Option<&str>) -> Result<Arc<GraphStore>, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        let target = match path {
+            Some(p) => p.to_string(),
+            None => ns
+                .path
+                .lock()
+                .expect("namespace path poisoned")
+                .clone()
+                .ok_or_else(|| {
+                    GrepairError::BadRequest(format!(
+                        "namespace {name:?} has no container path to reload from"
+                    ))
+                })?,
+        };
+        let store = GraphStore::open(&target)?;
+        if path.is_some() {
+            *ns.path.lock().expect("namespace path poisoned") = Some(target);
+        }
+        self.swap_in(name, store)
+    }
+
+    // ------------------------------------------------------------------
+    // Budget and eviction
+    // ------------------------------------------------------------------
+
+    /// Configure the eviction budget (container bytes; `None` = unlimited)
+    /// and immediately enforce it.
+    pub fn set_budget(&self, budget: Option<u64>) {
+        self.budget.store(budget.unwrap_or(NO_BUDGET), Ordering::Relaxed);
+        self.enforce_budget("");
+    }
+
+    /// The configured eviction budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        match self.budget.load(Ordering::Relaxed) {
+            NO_BUDGET => None,
+            b => Some(b),
+        }
+    }
+
+    /// Total container bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.namespaces
+            .read()
+            .expect("store registry poisoned")
+            .values()
+            .filter_map(|ns| ns.resident())
+            .map(|s| s.resident_bytes())
+            .sum()
+    }
+
+    /// Number of namespaces currently holding a store.
+    pub fn resident_count(&self) -> usize {
+        self.namespaces
+            .read()
+            .expect("store registry poisoned")
+            .values()
+            .filter(|ns| ns.resident().is_some())
+            .count()
+    }
+
+    /// Evict least-recently-hit resident stores until the resident
+    /// container bytes fit the budget again. `keep` (the namespace whose
+    /// load triggered enforcement) is evicted only as the last resort —
+    /// when it alone exceeds the budget, it stays resident anyway, because
+    /// evicting the store a request is about to use would just force an
+    /// immediate reopen. Pathless (in-memory) tenants are never evicted;
+    /// they report 0 bytes and cannot be reopened.
+    fn enforce_budget(&self, keep: &str) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == NO_BUDGET {
+            return;
+        }
+        let _serialize = self.budget_lock.lock().expect("budget lock poisoned");
+        loop {
+            // Snapshot resident sizes and LRU ranks outside any slot lock.
+            let map = self.namespaces.read().expect("store registry poisoned");
+            let mut total = 0u64;
+            let mut victim: Option<(u64, Arc<Namespace>)> = None;
+            for (name, ns) in map.iter() {
+                let Some(store) = ns.resident() else { continue };
+                total += store.resident_bytes();
+                let evictable =
+                    name != keep && ns.path.lock().expect("namespace path poisoned").is_some();
+                if evictable {
+                    let hit = ns.last_hit.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(best, _)| hit < *best) {
+                        victim = Some((hit, Arc::clone(ns)));
+                    }
+                }
+            }
+            drop(map);
+            if total <= budget {
+                return;
+            }
+            let Some((_, ns)) = victim else { return };
+            let evicted = ns
+                .slot
+                .write()
+                .expect("namespace slot poisoned")
+                .take();
+            if let Some(store) = evicted {
+                self.retire(&store);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Aggregate statistics across every namespace — the bare `STATS`
+    /// reply. Query/error totals include retired stores (evicted,
+    /// detached, or replaced by a reload), so they are monotonic.
+    pub fn aggregate_stats(&self) -> RegistryStats {
+        let map = self.namespaces.read().expect("store registry poisoned");
+        let mut resident = 0u64;
+        let mut resident_bytes = 0u64;
+        let mut queries = self.retired_queries.load(Ordering::Relaxed);
+        let mut errors = self.retired_errors.load(Ordering::Relaxed);
+        let namespaces = map.len() as u64;
+        for ns in map.values() {
+            if let Some(store) = ns.resident() {
+                let stats = store.stats();
+                resident += 1;
+                resident_bytes += stats.resident_bytes;
+                queries += stats.queries_served;
+                errors += stats.errors;
+            }
+        }
+        RegistryStats {
+            namespaces,
+            resident,
+            resident_bytes,
+            budget: self.budget(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cold_opens: self.cold_opens.load(Ordering::Relaxed),
+            queries,
+            errors,
+        }
+    }
+
+    /// Statistics of one namespace's serving store (resolving it if cold).
+    pub fn stats_for(&self, name: &str) -> Result<StoreStats, GrepairError> {
+        Ok(self.store(name)?.stats())
+    }
+
+    /// Generation of `name`: 0 for a cold-attached namespace that was
+    /// never opened, 1 from the first open, `+1` per reload.
+    pub fn generation_of(&self, name: &str) -> Result<u64, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        Ok(ns.generation.load(Ordering::Relaxed))
+    }
+
+    // ------------------------------------------------------------------
+    // Back-compat single-store surface (the default namespace)
+    // ------------------------------------------------------------------
+
+    /// The [`DEFAULT_NAMESPACE`]'s serving store. Panics if that namespace
+    /// was detached — embedders using the single-store surface never do.
     pub fn current(&self) -> Arc<GraphStore> {
-        self.current.read().expect("store registry poisoned").clone()
+        self.store(DEFAULT_NAMESPACE)
+            .expect("default namespace must be resident for the single-store surface")
     }
 
-    /// Generation of the currently serving store (starts at 1, bumped by
+    /// Generation of the [`DEFAULT_NAMESPACE`] (starts at 1, bumped by
     /// every successful swap/reload).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.generation_of(DEFAULT_NAMESPACE).unwrap_or(0)
     }
 
-    /// Statistics of the currently serving store (includes its generation).
+    /// Statistics of the [`DEFAULT_NAMESPACE`]'s serving store (includes
+    /// its generation).
     pub fn stats(&self) -> StoreStats {
         self.current().stats()
     }
 
-    /// Swap `store` in as the new serving store and return its generation.
-    /// The old store keeps serving whoever already holds its `Arc`.
+    /// Swap `store` in as the [`DEFAULT_NAMESPACE`]'s new serving store
+    /// and return its generation. The old store keeps serving whoever
+    /// already holds its `Arc`.
     pub fn swap(&self, store: GraphStore) -> u64 {
-        self.swap_arc(store).generation()
+        self.swap_in(DEFAULT_NAMESPACE, store)
+            .expect("default namespace must exist for the single-store surface")
+            .generation()
     }
 
-    /// [`StoreRegistry::swap`], handing back the swapped-in `Arc` — callers
-    /// reporting on the reload must read generation *and* node count from
-    /// this snapshot, not from [`StoreRegistry::current`], or a concurrent
-    /// swap can pair one generation with another generation's data.
-    fn swap_arc(&self, store: GraphStore) -> Arc<GraphStore> {
-        let mut slot = self.current.write().expect("store registry poisoned");
-        // Bump under the write lock: concurrent swaps serialize here, so
-        // each store gets a distinct, strictly increasing generation.
-        let generation = self.generation.load(Ordering::Relaxed) + 1;
-        store.set_generation(generation);
-        let store = Arc::new(store);
-        *slot = Arc::clone(&store);
-        self.generation.store(generation, Ordering::Relaxed);
-        store
-    }
-
-    /// Load a fresh `.g2g` and swap it in: the `RELOAD` admin command and
-    /// the `SIGHUP` path. The decode and index build run *before* the write
-    /// lock is taken, so serving never stalls on a reload, and any error
-    /// (missing file, hostile bytes) leaves the current store untouched.
-    /// Returns the swapped-in store (its [`GraphStore::generation`] is the
-    /// new registry generation).
+    /// Load a fresh container and swap it into the [`DEFAULT_NAMESPACE`]:
+    /// [`StoreRegistry::reload`] for the single-store surface.
     pub fn reload_from(&self, path: &str) -> Result<Arc<GraphStore>, GrepairError> {
-        let store = GraphStore::open(path)?;
-        Ok(self.swap_arc(store))
+        self.reload(DEFAULT_NAMESPACE, Some(path))
     }
 }
 
@@ -139,6 +646,29 @@ mod tests {
 
     fn store(reps: u32) -> GraphStore {
         GraphStore::from_bytes(&g2g(reps)).unwrap()
+    }
+
+    /// Write `reps` containers to temp files and return their paths.
+    fn g2g_files(tag: &str, sizes: &[u32]) -> Vec<String> {
+        let dir = std::env::temp_dir();
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &reps)| {
+                let path = dir.join(format!(
+                    "grepair_registry_{tag}_{}_{i}.g2g",
+                    std::process::id()
+                ));
+                std::fs::write(&path, g2g(reps)).unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect()
+    }
+
+    fn cleanup(paths: &[String]) {
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]
@@ -173,15 +703,13 @@ mod tests {
 
     #[test]
     fn reload_from_a_real_file_swaps() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("grepair_registry_{}.g2g", std::process::id()));
-        std::fs::write(&path, g2g(12)).unwrap();
+        let paths = g2g_files("reload", &[12]);
         let registry = StoreRegistry::new(store(4));
-        let reloaded = registry.reload_from(path.to_str().unwrap()).unwrap();
+        let reloaded = registry.reload_from(&paths[0]).unwrap();
         assert_eq!(reloaded.generation(), 2);
         assert_eq!(reloaded.total_nodes(), 25);
         assert!(Arc::ptr_eq(&reloaded, &registry.current()));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&paths);
     }
 
     #[test]
@@ -208,5 +736,218 @@ mod tests {
         });
         assert_eq!(registry.generation(), 21);
         assert_eq!(registry.current().generation(), 21);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-tenant behavior
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn namespace_names_are_validated() {
+        assert!(valid_namespace("default"));
+        assert!(valid_namespace("tenant-1.prod_x"));
+        assert!(!valid_namespace(""));
+        assert!(!valid_namespace("has space"));
+        assert!(!valid_namespace("colon:here"));
+        assert!(!valid_namespace(&"x".repeat(MAX_NAMESPACE_LEN + 1)));
+        let registry = StoreRegistry::new(store(4));
+        assert!(registry.attach_cold("bad name", "/x").is_err());
+        assert!(registry.attach_store("", store(4)).is_err());
+    }
+
+    #[test]
+    fn attach_detach_and_list() {
+        let paths = g2g_files("attach", &[4, 8]);
+        let registry = StoreRegistry::new(store(2));
+        let a = registry.attach("a", &paths[0]).unwrap();
+        assert_eq!(a.generation(), 1);
+        assert_eq!(a.total_nodes(), 9);
+        registry.attach_cold("b", &paths[1]).unwrap();
+
+        // Sorted, with residency and generation.
+        assert_eq!(
+            registry.list(),
+            vec![
+                ("a".into(), true, 1),
+                ("b".into(), false, 0),
+                ("default".into(), true, 1),
+            ]
+        );
+
+        // Duplicate names are rejected, registry untouched.
+        assert!(registry.attach("a", &paths[1]).is_err());
+        assert_eq!(registry.store("a").unwrap().total_nodes(), 9);
+
+        // Lazy open on first resolution: generation 0 → 1, cold open counted.
+        assert_eq!(registry.store("b").unwrap().total_nodes(), 17);
+        assert_eq!(registry.generation_of("b").unwrap(), 1);
+        assert_eq!(registry.aggregate_stats().cold_opens, 1);
+
+        registry.detach("a").unwrap();
+        assert!(registry.store("a").is_err());
+        assert!(registry.detach("a").is_err(), "double detach errors");
+        assert_eq!(registry.list().len(), 2);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn failed_attach_registers_nothing() {
+        let registry = StoreRegistry::new(store(4));
+        assert!(registry.attach("bad", "/nonexistent/x.g2g").is_err());
+        assert!(!registry.contains("bad"));
+        // A hostile container likewise: error, no registration.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("grepair_registry_hostile_{}.g2g", std::process::id()));
+        std::fs::write(&path, b"G2G1 definitely not a container").unwrap();
+        assert!(registry.attach("bad", path.to_str().unwrap()).is_err());
+        assert!(!registry.contains("bad"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_is_per_namespace() {
+        let paths = g2g_files("perns", &[4, 8, 12]);
+        let registry = StoreRegistry::new(store(2));
+        registry.attach("a", &paths[0]).unwrap();
+        registry.attach("b", &paths[1]).unwrap();
+
+        let reloaded = registry.reload("a", Some(&paths[2])).unwrap();
+        assert_eq!(reloaded.generation(), 2);
+        assert_eq!(reloaded.total_nodes(), 25);
+        // The sibling namespace's generation is untouched.
+        assert_eq!(registry.generation_of("b").unwrap(), 1);
+        assert_eq!(registry.generation(), 1);
+
+        // Bare reload re-reads the recorded path — which the explicit
+        // reload above updated.
+        let again = registry.reload("a", None).unwrap();
+        assert_eq!(again.generation(), 3);
+        assert_eq!(again.total_nodes(), 25);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_reopens_transparently() {
+        let sizes = [8u32, 10, 12];
+        let paths = g2g_files("evict", &sizes);
+        let registry = StoreRegistry::new(store(2)); // in-memory, 0 bytes
+        for (i, p) in paths.iter().enumerate() {
+            registry.attach(&format!("t{i}"), p).unwrap();
+        }
+        let total = registry.resident_bytes();
+        assert!(total > 0);
+        let one = registry.store("t0").unwrap().resident_bytes();
+
+        // Budget below the combined size: the registry must shed stores.
+        let budget = total - 1;
+        registry.set_budget(Some(budget));
+        assert!(registry.resident_bytes() <= budget);
+        let evicted_so_far = registry.aggregate_stats().evictions;
+        assert!(evicted_so_far >= 1);
+
+        // An evicted namespace is still registered and reopens on hit with
+        // its generation unchanged — byte-identical to a never-evicted twin.
+        let cold: Vec<String> = registry
+            .list()
+            .into_iter()
+            .filter(|(_, resident, _)| !resident)
+            .map(|(name, _, _)| name)
+            .collect();
+        assert!(!cold.is_empty());
+        for name in &cold {
+            let reopened = registry.store(name).unwrap();
+            assert_eq!(reopened.generation(), 1, "evict/reopen must not bump");
+            let twin = GraphStore::from_bytes(&std::fs::read(
+                paths[name[1..].parse::<usize>().unwrap()].as_str(),
+            ).unwrap())
+            .unwrap();
+            for v in 0..reopened.total_nodes() {
+                assert_eq!(
+                    reopened.query(&Query::OutNeighbors(v)),
+                    twin.query(&Query::OutNeighbors(v)),
+                );
+            }
+            // The reopen itself may have evicted someone else, but the
+            // budget invariant holds after every operation.
+            assert!(registry.resident_bytes() <= budget);
+        }
+
+        // A budget smaller than any single store: everything evictable is
+        // shed except the store a request just touched.
+        registry.set_budget(Some(one / 2));
+        let touched = registry.store("t2").unwrap();
+        assert_eq!(touched.total_nodes(), 25);
+        let resident_evictable = registry
+            .list()
+            .into_iter()
+            .filter(|(name, resident, _)| *resident && name != "default")
+            .count();
+        assert_eq!(resident_evictable, 1, "only the just-touched store stays");
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn pathless_tenants_are_never_evicted() {
+        let registry = StoreRegistry::new(store(8));
+        registry.attach_store("mem", store(4)).unwrap();
+        registry.set_budget(Some(0));
+        // Nothing to evict: both tenants are in-memory (0 resident bytes).
+        assert_eq!(registry.resident_count(), 2);
+        assert_eq!(registry.aggregate_stats().evictions, 0);
+        assert!(registry.store("mem").is_ok());
+    }
+
+    #[test]
+    fn aggregate_stats_fold_in_retired_stores() {
+        let paths = g2g_files("fold", &[4]);
+        let registry = StoreRegistry::new(store(4));
+        registry.attach("a", &paths[0]).unwrap();
+        let a = registry.store("a").unwrap();
+        let _ = a.query(&Query::OutNeighbors(0));
+        let _ = a.query(&Query::OutNeighbors(1 << 40)); // error
+        drop(a);
+        registry.detach("a").unwrap();
+        let stats = registry.aggregate_stats();
+        assert_eq!(stats.queries, 2, "{stats}");
+        assert_eq!(stats.errors, 1, "{stats}");
+        let rendered = stats.to_string();
+        assert!(rendered.starts_with("namespaces=1 resident=1 "), "{rendered}");
+        assert!(rendered.contains("budget=none"), "{rendered}");
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn concurrent_tenants_survive_reloads_and_evictions() {
+        let paths = g2g_files("conc", &[8, 8, 8]);
+        let registry = StoreRegistry::new(store(8));
+        for (i, p) in paths.iter().enumerate() {
+            registry.attach(&format!("t{i}"), p).unwrap();
+        }
+        let one = registry.store("t0").unwrap().resident_bytes();
+        registry.set_budget(Some(2 * one));
+        std::thread::scope(|scope| {
+            for t in 0..3usize {
+                let registry = &registry;
+                scope.spawn(move || {
+                    let name = format!("t{t}");
+                    for i in 0..200u64 {
+                        let snapshot = registry.store(&name).unwrap();
+                        assert!(snapshot.query(&Query::OutNeighbors(i % 17)).is_ok());
+                    }
+                });
+            }
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..20u64 {
+                    let _ = registry.reload(&format!("t{}", i % 3), None);
+                }
+            });
+        });
+        // Budget holds at rest; every tenant still answers.
+        assert!(registry.resident_bytes() <= 2 * one);
+        for t in 0..3 {
+            assert!(registry.store(&format!("t{t}")).is_ok());
+        }
+        cleanup(&paths);
     }
 }

@@ -143,6 +143,11 @@ pub struct StoreStats {
     pub parallel_batches: u64,
     /// Queries that returned an error.
     pub errors: u64,
+    /// Size of the container image this store was decoded from, in bytes —
+    /// the currency of the registry's `--memory-budget` (DESIGN.md §8).
+    /// `0` for stores built in memory ([`GraphStore::from_grammar`] /
+    /// [`GraphStore::from_engine`]), which are never evicted.
+    pub resident_bytes: u64,
     /// Memoized rule-expansion lookups that hit (grammar backend; 0
     /// elsewhere).
     pub expansion_cache_hits: u64,
@@ -159,7 +164,7 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "generation={} loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{} backend={}",
+            "generation={} loads={} queries={} batches={} (parallel={}) errors={} expansion_cache={}/{} rpq_plans={}/{} resident_bytes={} backend={}",
             self.generation,
             self.loads,
             self.queries_served,
@@ -170,6 +175,7 @@ impl std::fmt::Display for StoreStats {
             self.expansion_cache_hits + self.expansion_cache_misses,
             self.rpq_plan_hits,
             self.rpq_plan_hits + self.rpq_plan_misses,
+            self.resident_bytes,
             self.backend,
         )
     }
@@ -314,6 +320,9 @@ pub struct GraphStore {
     degrees: OnceLock<Option<(u64, u64)>>,
     counters: Counters,
     loads: u64,
+    /// Container image size in bytes (see [`StoreStats::resident_bytes`]);
+    /// `0` for stores that never came from a container.
+    container_bytes: u64,
     /// Registry generation (see [`StoreStats::generation`]); `1` until a
     /// [`crate::StoreRegistry`] swap assigns a later one. Atomic because it
     /// is stamped through `&self` after the store is shared.
@@ -328,6 +337,7 @@ impl GraphStore {
             degrees: OnceLock::new(),
             counters: Counters::default(),
             loads: 1,
+            container_bytes: 0,
             generation: AtomicU64::new(1),
         }
     }
@@ -356,14 +366,16 @@ impl GraphStore {
     pub fn from_bytes(file: &[u8]) -> Result<Self, GrepairError> {
         let (tag, bit_len, payload) = backend::split_any_container(file)?;
         let codec = backend::resolve_codec(tag)?;
-        if codec.name() == backend::GREPAIR {
+        let mut store = if codec.name() == backend::GREPAIR {
             // The grammar path stays unboxed so the batch machinery keeps
             // its grammar-shaped amortization levers.
             let grammar = backend::decode_validated_grammar(payload, bit_len)?;
-            Ok(Self::from_slot(EngineSlot::Grammar(Box::new(GrammarEngine::new(Arc::new(grammar))))))
+            Self::from_slot(EngineSlot::Grammar(Box::new(GrammarEngine::new(Arc::new(grammar)))))
         } else {
-            Ok(Self::from_engine(codec.load(payload, bit_len)?))
-        }
+            Self::from_engine(codec.load(payload, bit_len)?)
+        };
+        store.container_bytes = file.len() as u64;
+        Ok(store)
     }
 
     /// Load a container file and build the store.
@@ -406,10 +418,18 @@ impl GraphStore {
         self.generation.load(Ordering::Relaxed)
     }
 
-    /// Stamp the registry generation onto this store
-    /// ([`crate::StoreRegistry::swap`] is the only caller).
+    /// Stamp the registry generation onto this store (only
+    /// [`crate::StoreRegistry`] calls this — on swap/reload, and when a
+    /// transparent evict-then-reopen re-stamps the reopened store with the
+    /// namespace's unchanged generation).
     pub(crate) fn set_generation(&self, generation: u64) {
         self.generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// Size of the container image this store was decoded from — `0` for
+    /// stores built in memory (see [`StoreStats::resident_bytes`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.container_bytes
     }
 
     /// Snapshot the serving statistics.
@@ -431,6 +451,7 @@ impl GraphStore {
             generation: self.generation(),
             backend: self.backend(),
             loads: self.loads,
+            resident_bytes: self.container_bytes,
             queries_served: c.queries.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             parallel_batches: c.parallel_batches.load(Ordering::Relaxed),

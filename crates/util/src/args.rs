@@ -2,9 +2,21 @@
 //! `grepair-server`), so every front end parses and rejects flags with the
 //! same contract and the same error wording.
 
-/// The value following `flag` in `args`, if present.
+/// The value following `flag` in `args`, if present. For a repeatable
+/// flag, the first occurrence; see [`flag_values`] for all of them.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Every value following an occurrence of `flag` in `args`, in order —
+/// for repeatable flags like the server's `--attach NAME=PATH`.
+pub fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 /// Check that `args` is exactly a sequence of `known` value-taking flags,
@@ -40,6 +52,15 @@ mod tests {
         assert_eq!(flag_value(&a, "--map").as_deref(), Some("m"));
         assert_eq!(flag_value(&a, "--missing"), None);
         assert_eq!(flag_value(&args(&["-o"]), "-o"), None, "value-less flag");
+    }
+
+    #[test]
+    fn repeated_flags_collect_every_value_in_order() {
+        let a = args(&["--attach", "a=1", "-o", "x", "--attach", "b=2"]);
+        assert_eq!(flag_values(&a, "--attach"), vec!["a=1".to_string(), "b=2".to_string()]);
+        assert_eq!(flag_value(&a, "--attach").as_deref(), Some("a=1"), "first wins");
+        assert!(flag_values(&a, "--missing").is_empty());
+        assert!(flag_values(&args(&["--attach"]), "--attach").is_empty(), "value-less");
     }
 
     #[test]
