@@ -1,0 +1,11 @@
+// Fixture: doc-anchors must fire exactly once — on the dangling section
+// reference below — and not on the resolvable twin or the Roman-numeral
+// paper citation.
+
+/// Checked against the zero-panic policy of DESIGN.md §99 (dangling!).
+pub fn bad() {}
+
+/// Checked against the zero-panic policy of DESIGN.md §2, which the
+/// paper's §III-C2 codec feeds (Roman numerals are paper sections, not
+/// DESIGN anchors).
+pub fn good() {}

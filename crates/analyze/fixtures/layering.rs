@@ -1,0 +1,12 @@
+// Fixture: layering must fire exactly once — on the bare `println!` in
+// library position — and not on the audited operational warning or the
+// `process::exit` mention in this comment.
+
+pub fn bad(x: u32) {
+    println!("library code printing {x}");
+}
+
+pub fn good(x: u32) {
+    // audited: fixture twin — operational warning, stderr is the contract
+    eprintln!("degraded: {x}");
+}

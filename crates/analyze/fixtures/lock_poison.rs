@@ -1,0 +1,18 @@
+// Fixture: lock-poisoning must fire exactly once — on the
+// `.lock().unwrap()` — and not on the audited `.read().expect(` twin,
+// nor on the wrapper idiom where `.lock()` returns the guard directly.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bad(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn good(l: &RwLock<u32>) -> u32 {
+    // audited: fixture twin — poisoning is fatal by design here
+    *l.read().expect("poisoned")
+}
+
+pub fn wrapper_idiom(m: &grepair_util::sync::Mutex<u32>) -> u32 {
+    *m.lock()
+}

@@ -1,0 +1,13 @@
+// Fixture: panic-surface must fire exactly once — on the bare `.expect(`
+// below — and not on the audited twin, nor on the string literal or the
+// comment mentioning .expect("decoy").
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.expect("boom")
+}
+
+pub fn good(v: Option<u32>) -> (u32, &'static str) {
+    let decoy = "call .expect(\"decoy\") here";
+    // audited: fixture twin — invariant established by the constructor
+    (v.expect("invariant"), decoy)
+}

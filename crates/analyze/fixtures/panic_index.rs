@@ -1,0 +1,17 @@
+// Fixture: panic-surface must fire exactly once — on the unaudited
+// `v[i]` — and not on the audited twin, the array type/literal, the
+// `&mut [u8]` parameter, or the attribute brackets.
+
+#[derive(Debug)]
+pub struct Wrap(pub Vec<u32>);
+
+pub fn bad(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn good(v: &[u32], _buf: &mut [u8]) -> u32 {
+    let table: [u32; 4] = [0, 1, 2, 3];
+    let first = table.first().copied().unwrap_or(0);
+    // audited: fixture twin — index bounded by the modulo above
+    v[first as usize % v.len().max(1)]
+}

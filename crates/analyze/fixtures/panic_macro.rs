@@ -1,0 +1,17 @@
+// Fixture: panic-surface must fire exactly once — on the `unreachable!`
+// below — and not on the audited `panic!` twin, nor inside the raw string.
+
+pub fn bad(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn good(x: u32) -> &'static str {
+    if x > 1_000_000 {
+        // audited: fixture twin — deliberate re-raise
+        panic!("too big");
+    }
+    r#"panic!("inside a raw string is fine")"#
+}

@@ -1,0 +1,11 @@
+// Fixture: panic-surface must fire exactly once — on the bare `.unwrap()`
+// below — and not on the audited twin.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn good(v: Option<u32>) -> u32 {
+    // audited: fixture twin — caller guarantees Some
+    v.unwrap()
+}

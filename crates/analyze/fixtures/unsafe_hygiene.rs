@@ -1,0 +1,13 @@
+// Fixture: unsafe-hygiene must fire exactly once — on the unannotated
+// `unsafe` block — and not on the twin whose `// SAFETY:` block sits
+// directly above it.
+
+pub fn bad(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn good(v: &[u32]) -> u32 {
+    // SAFETY: index 0 is in bounds — the caller-visible contract of this
+    // fixture requires a non-empty slice, asserted above in real code.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,164 @@
+//! The checked-in allowlist (`analyze.allow` at the workspace root).
+//!
+//! Grammar (DESIGN.md §9): one entry per line, `#` starts a comment.
+//!
+//! ```text
+//! <rule-id> <path> <reason…>
+//! ```
+//!
+//! An entry suppresses every finding of `<rule-id>` in `<path>`. The
+//! reason is mandatory — an entry without one is itself reported — and an
+//! entry that suppresses nothing is reported too, so the allowlist can
+//! only ever shrink to match reality. Inline `// audited:` annotations are
+//! the preferred mechanism (they sit next to the code they excuse); the
+//! allowlist exists for findings with no line to annotate (e.g. a
+//! generated file) or for temporarily grandfathering a whole file during
+//! a sweep.
+
+use crate::rules::{Finding, Rule};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// 1-based line in the allowlist file (for reporting).
+    pub line: u32,
+    pub rule: Rule,
+    pub path: String,
+    pub reason: String,
+}
+
+/// The parsed allowlist plus any findings about the list itself.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    /// Malformed lines, reported as `annotation` findings.
+    pub findings: Vec<Finding>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. `rel_path` names the file in findings.
+    pub fn parse(rel_path: &str, text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule_id = parts.next().unwrap_or_default();
+            let path = parts.next().unwrap_or_default().to_string();
+            let reason = parts.next().unwrap_or_default().trim().to_string();
+            let Some(rule) = Rule::from_id(rule_id) else {
+                list.findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::Annotation,
+                    message: format!("allowlist entry names unknown rule {rule_id:?}"),
+                });
+                continue;
+            };
+            if path.is_empty() || reason.is_empty() {
+                list.findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::Annotation,
+                    message: "allowlist entry needs `<rule> <path> <reason…>` — the reason is mandatory".to_string(),
+                });
+                continue;
+            }
+            list.entries.push(AllowEntry { line: line_no, rule, path, reason });
+        }
+        list
+    }
+
+    /// Drop findings covered by an entry; report entries that covered
+    /// nothing. `rel_path` names the allowlist file in those reports.
+    pub fn apply(&self, rel_path: &str, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept: Vec<Finding> = findings
+            .into_iter()
+            .filter(|f| {
+                let covered = self.entries.iter().enumerate().find(|(_, e)| {
+                    e.rule == f.rule && e.path == f.file
+                });
+                match covered {
+                    Some((i, _)) => {
+                        used[i] = true;
+                        false
+                    }
+                    None => true,
+                }
+            })
+            .collect();
+        kept.extend(self.findings.iter().cloned());
+        for (entry, used) in self.entries.iter().zip(used) {
+            if !used {
+                kept.push(Finding {
+                    file: rel_path.to_string(),
+                    line: entry.line,
+                    rule: Rule::Annotation,
+                    message: format!(
+                        "allowlist entry `{} {}` suppresses nothing — remove it",
+                        entry.rule.id(),
+                        entry.path
+                    ),
+                });
+            }
+        }
+        kept.sort();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: Rule) -> Finding {
+        Finding { file: file.into(), line: 3, rule, message: "x".into() }
+    }
+
+    #[test]
+    fn entries_suppress_matching_findings_only() {
+        let list = Allowlist::parse(
+            "analyze.allow",
+            "# comment\npanic-surface crates/store/src/x.rs generated table\n",
+        );
+        assert_eq!(list.entries.len(), 1);
+        let out = list.apply(
+            "analyze.allow",
+            vec![
+                finding("crates/store/src/x.rs", Rule::PanicSurface),
+                finding("crates/store/src/y.rs", Rule::PanicSurface),
+                finding("crates/store/src/x.rs", Rule::Layering),
+            ],
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| !(f.file.ends_with("x.rs") && f.rule == Rule::PanicSurface)));
+    }
+
+    #[test]
+    fn reasons_are_mandatory() {
+        let list = Allowlist::parse("analyze.allow", "panic-surface crates/store/src/x.rs\n");
+        assert!(list.entries.is_empty());
+        assert_eq!(list.findings.len(), 1);
+        assert_eq!(list.findings[0].rule, Rule::Annotation);
+    }
+
+    #[test]
+    fn unknown_rules_are_reported() {
+        let list = Allowlist::parse("analyze.allow", "bogus-rule path because\n");
+        assert_eq!(list.findings.len(), 1);
+        assert!(list.findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let list =
+            Allowlist::parse("analyze.allow", "layering crates/store/src/x.rs old excuse\n");
+        let out = list.apply("analyze.allow", Vec::new());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("suppresses nothing"));
+    }
+}

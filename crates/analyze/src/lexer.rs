@@ -1,0 +1,451 @@
+//! A lightweight Rust lexer — just enough token structure for the source
+//! rules of DESIGN.md §9, with no `syn` in the offline dependency set.
+//!
+//! The rules only need to know, reliably, what is *code* and what is not:
+//! every pattern the analyzer hunts (`.unwrap()`, `unsafe`, `println!`,
+//! indexing brackets) also appears constantly inside comments, doc text,
+//! and string literals, so the lexer's whole job is classifying those
+//! regions exactly — line comments, nested block comments, normal and raw
+//! (and byte/C) strings, char literals vs lifetimes — and otherwise
+//! emitting a flat token stream with line numbers. It does not parse:
+//! generics, shifts (`<<` vs `Vec<Vec<_>>`), and every other ambiguity
+//! that needs a grammar simply come out as single-character punctuation
+//! tokens, which is all the rule patterns consume.
+
+/// What a [`Token`] is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// Numeric literal, including suffixes (`1.5e3`, `0xffu32`).
+    Number,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, …
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// One character of punctuation. Multi-character operators arrive as
+    /// consecutive tokens (`::` is two `:`), which the rules re-assemble.
+    Punct,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (strings span lines).
+    pub end_line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (block comments span lines).
+    pub end_line: u32,
+    /// Full text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn slice(&self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+
+    fn push(&mut self, kind: TokenKind, from: usize, line: u32) {
+        let text = self.slice(from);
+        self.out.tokens.push(Token { kind, text, line, end_line: self.line });
+    }
+
+    /// Consume a `//…` comment (cursor on the first `/`).
+    fn line_comment(&mut self) {
+        let (from, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.slice(from);
+        self.out.comments.push(Comment { line, end_line: line, text });
+    }
+
+    /// Consume a `/* … */` comment, honoring nesting (cursor on the `/`).
+    fn block_comment(&mut self) {
+        let (from, line) = (self.pos, self.line);
+        self.bump();
+        self.bump(); // the opening `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, we only classify
+            }
+        }
+        let text = self.slice(from);
+        self.out.comments.push(Comment { line, end_line: self.line, text });
+    }
+
+    /// Consume a normal (escaped) string body; cursor on the opening `"`.
+    fn escaped_string(&mut self, from: usize, line: u32) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump(); // whatever is escaped, including `"` and `\`
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, from, line);
+    }
+
+    /// Consume a raw string `r##"…"##`; cursor on the first `#` or `"`.
+    fn raw_string(&mut self, from: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'body: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, from, line);
+    }
+
+    /// Cursor on a `'`: a char literal or a lifetime.
+    fn quote(&mut self, from: usize, line: u32) {
+        self.bump(); // the `'`
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.bump();
+                self.bump(); // the escaped character (enough for \u{…} too:
+                             // the braces cannot contain a quote)
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, from, line);
+            }
+            Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    self.push(TokenKind::Char, from, line); // 'a', '_'
+                } else {
+                    self.push(TokenKind::Lifetime, from, line); // 'a, 'static
+                }
+            }
+            Some(_) => {
+                // A punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, from, line);
+            }
+            None => self.push(TokenKind::Punct, from, line),
+        }
+    }
+
+    /// Cursor on a digit.
+    fn number(&mut self, from: usize, line: u32) {
+        while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        // A fractional part only if `.` is followed by a digit — `1..3` and
+        // tuple access `x.0` keep their `.` as punctuation.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+        }
+        // Exponent sign (`1e-3`): the alphanumeric scan above already took
+        // the `e`; a following sign+digits still belongs to the number.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self
+                .src
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|b| matches!(b, b'e' | b'E'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Number, from, line);
+    }
+
+    /// Cursor on an identifier start: an ident, or a string-literal prefix.
+    fn ident_or_prefixed(&mut self, from: usize, line: u32) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let ident = self.slice(from);
+        match (ident.as_str(), self.peek(0)) {
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr"…".
+            ("r" | "br" | "cr", Some(b'"')) | ("r" | "br" | "cr", Some(b'#'))
+                if self.raw_quote_follows() =>
+            {
+                self.raw_string(from, line);
+            }
+            // Escaped strings with a prefix: b"…", c"…".
+            ("b" | "c", Some(b'"')) => self.escaped_string(from, line),
+            // Byte char: b'x'.
+            ("b", Some(b'\'')) => self.quote(from, line),
+            // Raw identifier r#match: consume `#` + the identifier.
+            ("r", Some(b'#')) if self.peek(1).is_some_and(is_ident_start) => {
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, from, line);
+            }
+            _ => self.push(TokenKind::Ident, from, line),
+        }
+    }
+
+    /// After an `r`/`br`/`cr` prefix: does `#*"` follow? (Distinguishes a
+    /// raw string from a raw identifier or a lone ident before an attr.)
+    fn raw_quote_follows(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (from, line) = (self.pos, self.line);
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.escaped_string(from, line),
+                b'\'' => self.quote(from, line),
+                _ if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                _ if b.is_ascii_digit() => self.number(from, line),
+                _ if is_ident_start(b) => self.ident_or_prefixed(from, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, from, line);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lex `source` into tokens and comments. Never fails: unterminated
+/// constructs are tolerated (the analyzer classifies, the compiler judges).
+pub fn lex(source: &str) -> Lexed {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        assert_eq!(
+            texts("fn f(x: u32) -> u32 { x }"),
+            ["fn", "f", "(", "x", ":", "u32", ")", "-", ">", "u32", "{", "x", "}"]
+        );
+    }
+
+    #[test]
+    fn shift_vs_nested_generics_both_lex_as_angle_puncts() {
+        // `<<` is two `<` tokens, exactly like the close of a nested
+        // generic is two `>` tokens — the rules never need to know which.
+        assert_eq!(texts("1 << k"), ["1", "<", "<", "k"]);
+        assert_eq!(
+            texts("Vec<Vec<u8>> >> x"),
+            ["Vec", "<", "Vec", "<", "u8", ">", ">", ">", ">", "x"]
+        );
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_not_tokens() {
+        let lexed = lex("a // unwrap() in a comment\nb /* outer /* inner */ still */ c");
+        let toks: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(toks, ["a", "b", "c"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "// unwrap() in a comment");
+        assert_eq!(lexed.comments[1].text, "/* outer /* inner */ still */");
+        assert_eq!(lexed.tokens[2].line, 2, "`c` sits on line 2");
+    }
+
+    #[test]
+    fn block_comment_line_spans() {
+        let lexed = lex("/* a\nb\nc */ x");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        // The `.unwrap()` and `//` inside are literal text, not tokens.
+        let lexed = lex(r#"let s = "x.unwrap() // not a comment";"#);
+        assert_eq!(
+            lexed.tokens.iter().map(|t| t.kind).collect::<Vec<_>>(),
+            [
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Str,
+                TokenKind::Punct
+            ]
+        );
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#""a\"b" c"#);
+        assert_eq!(lexed.tokens[0].text, r#""a\"b""#);
+        assert_eq!(lexed.tokens[1].text, "c");
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_inner_quotes() {
+        let lexed = lex(r###"let s = r#"a "quoted" \ b"# ;"###);
+        assert_eq!(lexed.tokens[3].kind, TokenKind::Str);
+        assert_eq!(lexed.tokens[3].text, r##"r#"a "quoted" \ b"#"##);
+        assert_eq!(lexed.tokens[4].text, ";");
+        // More hashes than the terminator candidates inside.
+        let lexed = lex(r####"r##"has "# inside"## x"####);
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+        assert_eq!(lexed.tokens[1].text, "x");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r#"c"cstr""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r##"br#"raw bytes"#"##)[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'\\n'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'\\''")[0].0, TokenKind::Char);
+        assert_eq!(kinds("b'x'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'('")[0].0, TokenKind::Char);
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(kinds("'static")[0], (TokenKind::Lifetime, "'static".into()));
+        // A lifetime followed by code containing quotes must not derail.
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) {}"),
+            ["fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "str", ")", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match".into()));
+        // …while `r` alone stays an ident.
+        assert_eq!(kinds("r + 1")[0], (TokenKind::Ident, "r".into()));
+    }
+
+    #[test]
+    fn numbers_including_float_dots_and_suffixes() {
+        assert_eq!(kinds("1.5e-3")[0], (TokenKind::Number, "1.5e-3".into()));
+        assert_eq!(kinds("0xffu32")[0], (TokenKind::Number, "0xffu32".into()));
+        // Ranges keep their dots as punctuation…
+        assert_eq!(texts("0..10"), ["0", ".", ".", "10"]);
+        // …and tuple access keeps its dot too.
+        assert_eq!(texts("x.0"), ["x", ".", "0"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// outer doc with .unwrap()\n//! inner doc\nfn f() {}");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.tokens[0].text, "fn");
+    }
+}

@@ -1,0 +1,91 @@
+//! `grepair-analyze` — the workspace's static-analysis pass (DESIGN.md §9).
+//!
+//! The serving stack promises a zero-panic boundary over untrusted
+//! container bytes (DESIGN.md §2). CI enforces that *dynamically* with
+//! hostile corpora; this crate enforces it *statically*, before a panic
+//! path can ship: a lightweight Rust lexer (no `syn` in the offline
+//! dependency set — see [`lexer`]) feeds five rule families (see
+//! [`rules`]) over every workspace `src/` file:
+//!
+//! 1. **panic-surface** — `unwrap`/`expect`/panicking macros/direct
+//!    indexing in the untrusted-input crates, unless `// audited:`.
+//! 2. **lock-poisoning** — `.lock()/.read()/.write()` chained into
+//!    `.unwrap()/.expect(`; the fix is the poison-transparent wrappers
+//!    in `grepair_util::sync` (cited as prose; this crate does not link
+//!    the util crate).
+//! 3. **unsafe-hygiene** — every `unsafe` carries a `// SAFETY:` comment.
+//! 4. **doc-anchors** — every `DESIGN.md §N` reference, `DESIGN.md#…`
+//!    slug link, and `examples/*.rs` mention resolves.
+//! 5. **layering** — `println!`/`eprintln!`/`process::exit` only in
+//!    binary roots.
+//!
+//! The binary (`cargo run -p grepair-analyze -- --ci`) exits non-zero on
+//! findings; `--json` emits machine-readable output; `--self-test` runs
+//! the embedded fixture corpus (known-bad snippets that must each fire
+//! their rule exactly once, with an annotated twin that must not).
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+pub mod workspace;
+
+pub use allow::Allowlist;
+pub use rules::{check_source, Anchors, FileClass, Finding, Rule};
+pub use workspace::{analyze_workspace, find_root};
+
+/// Render findings as a JSON array (no serde in the offline set).
+pub fn to_json(findings: &[Finding]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&f.file),
+            f.line,
+            f.rule.id(),
+            escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let findings = vec![Finding {
+            file: "a \"b\".rs".into(),
+            line: 3,
+            rule: Rule::PanicSurface,
+            message: "tab\there".into(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.contains(r#""file": "a \"b\".rs""#), "{json}");
+        assert!(json.contains(r#""line": 3"#));
+        assert!(json.contains(r#""rule": "panic-surface""#));
+        assert!(json.contains(r#"tab\there"#));
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

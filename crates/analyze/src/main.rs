@@ -1,0 +1,119 @@
+//! `grepair-analyze` — enforce the zero-panic boundary at the source
+//! level (DESIGN.md §9).
+//!
+//! ```text
+//! grepair-analyze [--ci] [--json] [--root PATH] [--allowlist PATH]
+//! grepair-analyze --self-test
+//! ```
+//!
+//! Exit status: 0 on a clean workspace (always, without `--ci`); with
+//! `--ci`, 1 when any finding survives the allowlist; 1 on a self-test
+//! mismatch; 2 on usage or layout errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grepair_analyze::workspace::{inventory, ALLOWLIST_PATH};
+use grepair_analyze::{analyze_workspace, find_root, selftest, to_json, Allowlist};
+
+struct Options {
+    ci: bool,
+    json: bool,
+    self_test: bool,
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: grepair-analyze [--ci] [--json] [--root PATH] [--allowlist PATH] [--self-test]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { ci: false, json: false, self_test: false, root: None, allowlist: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ci" => opts.ci = true,
+            "--json" => opts.json = true,
+            "--self-test" => opts.self_test = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a path")?,
+                ));
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist needs a path")?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.self_test {
+        return match selftest::run() {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("no workspace root found (need Cargo.toml + DESIGN.md; use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = opts.allowlist.unwrap_or_else(|| root.join(ALLOWLIST_PATH));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(ALLOWLIST_PATH, &text),
+        Err(_) => Allowlist::default(), // no allowlist file: nothing allowed
+    };
+
+    let findings = match analyze_workspace(&root, &allow) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", to_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        if findings.is_empty() {
+            println!("grepair-analyze: zero findings ({})", inventory(&root));
+        } else {
+            println!("grepair-analyze: {} finding(s)", findings.len());
+        }
+    }
+
+    if opts.ci && !findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

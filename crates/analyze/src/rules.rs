@@ -1,0 +1,663 @@
+//! The rule families of DESIGN.md §9, applied to one lexed source file.
+//!
+//! Every rule is a pattern over the token stream of [`crate::lexer`] plus
+//! the comment side-channel (for the `// audited:` / `// SAFETY:`
+//! annotation grammar). Test code — items behind `#[cfg(test)]` /
+//! `#[test]` attributes — is exempt from the panic-surface and layering
+//! rules: tests panic on purpose. The unsafe-hygiene and lock-poisoning
+//! rules apply everywhere, tests included.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// The crates whose `src/` parses untrusted container bytes or wire input;
+/// the panic-surface rule applies only to these (DESIGN.md §2 and §9).
+pub const BOUNDARY_CRATES: &[&str] = &["bits", "codec", "k2tree", "baselines", "store", "server"];
+
+/// Rule identifiers, as rendered in findings and accepted by the allowlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap`/`expect`/panicking macros/indexing in a boundary crate.
+    PanicSurface,
+    /// `.lock()/.read()/.write()` chained into `.unwrap()/.expect(` —
+    /// code that should sit on `grepair_util::sync` instead.
+    LockPoisoning,
+    /// An `unsafe` keyword with no `// SAFETY:` justification.
+    UnsafeHygiene,
+    /// A `DESIGN.md §N` (or bare `§N`) reference to a missing heading, a
+    /// dangling `DESIGN.md#…` slug link, or a missing `examples/*.rs` path.
+    DocAnchors,
+    /// `println!`/`eprintln!`/`std::process::exit` outside binary roots.
+    Layering,
+    /// The annotation grammar itself: an `// audited:` with no reason, or
+    /// one that suppresses nothing; a malformed or unused allowlist entry.
+    Annotation,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PanicSurface => "panic-surface",
+            Rule::LockPoisoning => "lock-poisoning",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::DocAnchors => "doc-anchors",
+            Rule::Layering => "layering",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Some(match id {
+            "panic-surface" => Rule::PanicSurface,
+            "lock-poisoning" => Rule::LockPoisoning,
+            "unsafe-hygiene" => Rule::UnsafeHygiene,
+            "doc-anchors" => Rule::DocAnchors,
+            "layering" => Rule::Layering,
+            "annotation" => Rule::Annotation,
+            _ => return None,
+        })
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+    }
+}
+
+/// How one file relates to the rule set — derived from its workspace path
+/// by [`crate::workspace`], or constructed directly by the fixture tests.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Path as reported in findings (workspace-relative).
+    pub rel_path: String,
+    /// Inside one of [`BOUNDARY_CRATES`]? (panic-surface applies)
+    pub boundary: bool,
+    /// A binary root (`src/main.rs`, `src/bin/*`, or any file of a crate
+    /// with no `src/lib.rs`)? (layering allows prints / exit)
+    pub bin_root: bool,
+}
+
+/// The resolvable anchor targets parsed from `DESIGN.md`.
+#[derive(Debug, Default, Clone)]
+pub struct Anchors {
+    /// Arabic section numbers with headings: "2", "6", "6.1", …
+    pub sections: BTreeSet<String>,
+    /// GitHub-style heading slugs: "6-wire-protocol-and-serving-topology".
+    pub slugs: BTreeSet<String>,
+}
+
+impl Anchors {
+    /// Parse the `§N`-numbered headings of a DESIGN.md text.
+    pub fn from_design(text: &str) -> Anchors {
+        let mut anchors = Anchors::default();
+        for line in text.lines() {
+            let trimmed = line.trim_start_matches('#');
+            let hashes = line.len() - trimmed.len();
+            if hashes == 0 || !line.starts_with('#') {
+                continue;
+            }
+            let heading = trimmed.trim();
+            if let Some(rest) = heading.strip_prefix('§') {
+                let number: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
+                if !number.is_empty() {
+                    anchors.sections.insert(number.trim_end_matches('.').to_string());
+                }
+            }
+            anchors.slugs.insert(slugify(heading));
+        }
+        anchors
+    }
+}
+
+/// GitHub's heading→fragment convention, as used by the README links:
+/// lowercase, alphanumerics kept, spaces hyphenated, everything else
+/// (including `§`) dropped.
+pub fn slugify(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// Per-line comment context derived from the lexer's comment list.
+struct CommentMap {
+    /// Line → concatenated comment text touching that line.
+    by_line: BTreeMap<u32, String>,
+    /// Lines that hold comments and no code tokens at all.
+    comment_only: BTreeSet<u32>,
+}
+
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are rendered documentation:
+/// prose *about* the annotation grammar, never an annotation itself.
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/**/"))
+        || text.starts_with("/*!")
+}
+
+impl CommentMap {
+    fn build(comments: &[Comment], tokens: &[Token]) -> CommentMap {
+        let mut by_line: BTreeMap<u32, String> = BTreeMap::new();
+        for c in comments {
+            if is_doc_comment(&c.text) {
+                // Doc lines stay walkable as comment-only lines (below)
+                // but carry no annotation tags.
+                for line in c.line..=c.end_line {
+                    by_line.entry(line).or_default();
+                }
+                continue;
+            }
+            for line in c.line..=c.end_line {
+                by_line.entry(line).or_default().push_str(&c.text);
+            }
+        }
+        let mut token_lines = BTreeSet::new();
+        for t in tokens {
+            for line in t.line..=t.end_line {
+                token_lines.insert(line);
+            }
+        }
+        let comment_only = by_line
+            .keys()
+            .filter(|line| !token_lines.contains(line))
+            .copied()
+            .collect();
+        CommentMap { by_line, comment_only }
+    }
+
+    /// Does `line` carry (possibly trailing) comment text containing `tag`?
+    fn line_has(&self, line: u32, tag: &str) -> bool {
+        self.by_line.get(&line).is_some_and(|text| text.contains(tag))
+    }
+
+    /// Walk upward from `line - 1` over comment-only lines; the first of
+    /// them containing `tag`, if any. This is how a multi-line `// SAFETY:`
+    /// or `// audited:` block directly above its code qualifies.
+    fn block_above_find(&self, line: u32, tag: &str) -> Option<u32> {
+        let mut l = line.saturating_sub(1);
+        while l > 0 && self.comment_only.contains(&l) {
+            if self.line_has(l, tag) {
+                return Some(l);
+            }
+            l -= 1;
+        }
+        None
+    }
+
+    fn block_above_has(&self, line: u32, tag: &str) -> bool {
+        self.block_above_find(line, tag).is_some()
+    }
+}
+
+/// Keywords that can legally precede a `[` that is *not* an index
+/// expression (array/slice types, mostly).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Mark which token indices sit inside test-gated items (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]` — attribute first-ident `test`,
+/// or `cfg` whose argument tokens include `test`).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute `#[ … ]`, collecting its idents.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {
+                    if tokens[j].kind == TokenKind::Ident {
+                        idents.push(&tokens[j].text);
+                    }
+                }
+            }
+            j += 1;
+        }
+        let is_test_attr = match idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") => idents.contains(&"test"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Mark the attribute, any further attributes, and the item they
+        // decorate — up to the matching `}` of its body, or a `;` at
+        // bracket depth 0 for bodiless items (`mod tests;`, use decls).
+        let start = i;
+        let mut k = j;
+        loop {
+            // Further outer attributes on the same item.
+            if tokens.get(k).map(|t| t.text.as_str()) == Some("#")
+                && tokens.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+            {
+                let mut depth = 1usize;
+                k += 2;
+                while k < tokens.len() && depth > 0 {
+                    match tokens[k].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let mut round = 0usize; // () and [] nesting inside the signature
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" | "[" => round += 1,
+                ")" | "]" => round = round.saturating_sub(1),
+                ";" if round == 0 => {
+                    k += 1;
+                    break;
+                }
+                "{" => {
+                    let mut braces = 1usize;
+                    k += 1;
+                    while k < tokens.len() && braces > 0 {
+                        match tokens[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for slot in mask.iter_mut().take(k).skip(start) {
+            *slot = true;
+        }
+        i = k;
+    }
+    mask
+}
+
+/// All state needed to check one file.
+struct FileCheck<'a> {
+    class: &'a FileClass,
+    tokens: Vec<Token>,
+    in_test: Vec<bool>,
+    comments: CommentMap,
+    /// Line numbers of `// audited:` annotations that suppressed a finding.
+    used_audits: BTreeSet<u32>,
+    findings: Vec<Finding>,
+}
+
+impl FileCheck<'_> {
+    fn report(&mut self, line: u32, rule: Rule, message: String) {
+        self.findings.push(Finding {
+            file: self.class.rel_path.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    }
+
+    /// Is the finding at `line` excused by an `// audited: reason` on the
+    /// same line or in the comment block directly above? Records the use.
+    fn audited(&mut self, line: u32) -> bool {
+        if line > 0 && self.comments.line_has(line, "audited:") {
+            self.used_audits.insert(line);
+            return true;
+        }
+        if let Some(l) = self.comments.block_above_find(line, "audited:") {
+            self.used_audits.insert(l);
+            return true;
+        }
+        false
+    }
+
+    /// Report `rule` at `line` unless an audit annotation excuses it.
+    fn report_unless_audited(&mut self, line: u32, rule: Rule, message: String) {
+        if !self.audited(line) {
+            self.report(line, rule, message);
+        }
+    }
+
+    // --- rule 1: panic-surface -------------------------------------------
+
+    fn panic_surface(&mut self) {
+        if !self.class.boundary {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            if self.in_test[i] {
+                continue;
+            }
+            let line = self.tokens[i].line;
+            // `.unwrap()` / `.expect(`
+            if self.text(i) == "."
+                && (self.is_ident(i + 1, "unwrap") || self.is_ident(i + 1, "expect"))
+                && self.text(i + 2) == "("
+            {
+                let line = self.tokens[i + 1].line;
+                let what = self.tokens[i + 1].text.clone();
+                self.report_unless_audited(
+                    line,
+                    Rule::PanicSurface,
+                    format!(".{what}() in untrusted-input crate (annotate `// audited: <reason>` or return an error)"),
+                );
+                continue;
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if self.tokens[i].kind == TokenKind::Ident
+                && matches!(self.text(i), "panic" | "unreachable" | "todo" | "unimplemented")
+                && self.text(i + 1) == "!"
+            {
+                let what = self.tokens[i].text.clone();
+                self.report_unless_audited(
+                    line,
+                    Rule::PanicSurface,
+                    format!("{what}! in untrusted-input crate (annotate `// audited: <reason>` or return an error)"),
+                );
+                continue;
+            }
+            // Direct indexing `expr[…]`: a `[` whose preceding token ends
+            // an expression (non-keyword ident, `)`, `]`, or `?`).
+            if self.text(i) == "[" && i > 0 {
+                let prev = &self.tokens[i - 1];
+                let indexes = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                    _ => false,
+                };
+                if indexes {
+                    let target = if prev.kind == TokenKind::Ident {
+                        format!("`{}[…]`", prev.text)
+                    } else {
+                        "`[…]`".to_string()
+                    };
+                    self.report_unless_audited(
+                        line,
+                        Rule::PanicSurface,
+                        format!("direct slice indexing {target} in untrusted-input crate (annotate `// audited: <reason>` or use .get())"),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- rule 2: lock-poisoning ------------------------------------------
+
+    fn lock_poisoning(&mut self) {
+        for i in 0..self.tokens.len() {
+            if self.text(i) == "."
+                && (self.is_ident(i + 1, "lock")
+                    || self.is_ident(i + 1, "read")
+                    || self.is_ident(i + 1, "write"))
+                && self.text(i + 2) == "("
+                && self.text(i + 3) == ")"
+                && self.text(i + 4) == "."
+                && (self.is_ident(i + 5, "unwrap") || self.is_ident(i + 5, "expect"))
+                && self.text(i + 6) == "("
+            {
+                let line = self.tokens[i + 5].line;
+                let acquire = self.tokens[i + 1].text.clone();
+                let handle = self.tokens[i + 5].text.clone();
+                self.report_unless_audited(
+                    line,
+                    Rule::LockPoisoning,
+                    format!(".{acquire}().{handle}(…) propagates lock poisoning — use grepair_util::sync locks"),
+                );
+            }
+        }
+    }
+
+    // --- rule 3: unsafe-hygiene ------------------------------------------
+
+    fn unsafe_hygiene(&mut self) {
+        for i in 0..self.tokens.len() {
+            if !self.is_ident(i, "unsafe") {
+                continue;
+            }
+            let line = self.tokens[i].line;
+            if self.comments.line_has(line, "SAFETY:")
+                || self.comments.block_above_has(line, "SAFETY:")
+            {
+                continue;
+            }
+            self.report(
+                line,
+                Rule::UnsafeHygiene,
+                "unsafe without a `// SAFETY:` justification on the preceding lines".to_string(),
+            );
+        }
+    }
+
+    // --- rule 5: layering -------------------------------------------------
+
+    fn layering(&mut self) {
+        if self.class.bin_root {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            if self.in_test[i] {
+                continue;
+            }
+            let line = self.tokens[i].line;
+            if self.tokens[i].kind == TokenKind::Ident
+                && matches!(self.text(i), "println" | "eprintln" | "print" | "eprint")
+                && self.text(i + 1) == "!"
+            {
+                let what = self.tokens[i].text.clone();
+                self.report_unless_audited(
+                    line,
+                    Rule::Layering,
+                    format!("{what}! outside a binary root (libraries return data, binaries print)"),
+                );
+            }
+            if self.is_ident(i, "process")
+                && self.text(i + 1) == ":"
+                && self.text(i + 2) == ":"
+                && self.is_ident(i + 3, "exit")
+            {
+                self.report_unless_audited(
+                    line,
+                    Rule::Layering,
+                    "process::exit outside a binary root".to_string(),
+                );
+            }
+        }
+    }
+
+    // --- annotation hygiene ----------------------------------------------
+
+    fn annotation_hygiene(&mut self, comments: &[Comment]) {
+        // Line ranges covered by test items (whole spans, so comment-only
+        // lines inside a test body count too): audits inside tests are
+        // neither required nor policed.
+        let mut test_lines = BTreeSet::new();
+        let mut run: Option<(u32, u32)> = None;
+        for (t, &in_test) in self.tokens.iter().zip(&self.in_test) {
+            if in_test {
+                run = Some(match run {
+                    None => (t.line, t.end_line),
+                    Some((start, _)) => (start, t.end_line),
+                });
+            } else if let Some((start, end)) = run.take() {
+                test_lines.extend(start..=end);
+            }
+        }
+        if let Some((start, end)) = run {
+            test_lines.extend(start..=end);
+        }
+        for c in comments {
+            if is_doc_comment(&c.text) {
+                continue;
+            }
+            let Some(at) = c.text.find("audited:") else { continue };
+            if test_lines.contains(&c.line) {
+                continue;
+            }
+            let reason = c.text[at + "audited:".len()..].trim();
+            if reason.is_empty() {
+                self.report(
+                    c.line,
+                    Rule::Annotation,
+                    "`audited:` annotation with an empty reason".to_string(),
+                );
+            } else if !(c.line..=c.end_line.saturating_add(1))
+                .any(|line| self.used_audits.contains(&line))
+            {
+                self.report(
+                    c.line,
+                    Rule::Annotation,
+                    "`audited:` annotation that suppresses nothing — remove it".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Scan the raw text of any file (source or markdown) for doc anchors:
+/// `DESIGN.md §N` / bare `§N` references, `DESIGN.md#…` slug links, and
+/// `examples/*.rs` path mentions. `examples_root` is where path mentions
+/// resolve; pass `None` to skip the existence check (fixture tests).
+pub fn check_doc_anchors(
+    rel_path: &str,
+    text: &str,
+    anchors: &Anchors,
+    examples_root: Option<&std::path::Path>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        // `§N` and `§N.M` with Arabic digits — references into DESIGN.md.
+        // (Paper sections are cited with Roman numerals, so they never
+        // match.)
+        let mut rest = line;
+        while let Some(at) = rest.find('§') {
+            rest = &rest[at + '§'.len_utf8()..];
+            let number: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            let number = number.trim_end_matches('.').to_string();
+            if !number.is_empty() && !anchors.sections.contains(&number) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::DocAnchors,
+                    message: format!("reference to DESIGN.md §{number}, which has no such heading"),
+                });
+            }
+        }
+        // Markdown links into DESIGN.md headings by slug.
+        let mut rest = line;
+        while let Some(at) = rest.find("DESIGN.md#") {
+            rest = &rest[at + "DESIGN.md#".len()..];
+            let slug: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if !slug.is_empty() && !anchors.slugs.contains(&slug) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::DocAnchors,
+                    message: format!("link DESIGN.md#{slug} matches no DESIGN.md heading"),
+                });
+            }
+        }
+        // `examples/<name>.rs` path mentions.
+        let Some(root) = examples_root else { continue };
+        let mut rest = line;
+        while let Some(at) = rest.find("examples/") {
+            let tail = &rest[at..];
+            let path: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '_' | '-' | '.'))
+                .collect();
+            rest = &rest[at + "examples/".len()..];
+            if path.ends_with(".rs") && !root.join(&path).is_file() {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::DocAnchors,
+                    message: format!("reference to {path}, which does not exist"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Run every source rule over one Rust file. `anchors` feeds the
+/// doc-anchors rule, which also runs here (source comments cite DESIGN.md).
+pub fn check_source(
+    class: &FileClass,
+    source: &str,
+    anchors: &Anchors,
+    examples_root: Option<&std::path::Path>,
+) -> Vec<Finding> {
+    let lexed = lex(source);
+    let in_test = test_mask(&lexed.tokens);
+    let comments = CommentMap::build(&lexed.comments, &lexed.tokens);
+    let mut check = FileCheck {
+        class,
+        in_test,
+        comments,
+        tokens: lexed.tokens,
+        used_audits: BTreeSet::new(),
+        findings: Vec::new(),
+    };
+    check.panic_surface();
+    check.lock_poisoning();
+    check.unsafe_hygiene();
+    check.layering();
+    check.annotation_hygiene(&lexed.comments);
+    let mut findings = check.findings;
+    findings.extend(check_doc_anchors(&class.rel_path, source, anchors, examples_root));
+    findings.sort();
+    findings
+}

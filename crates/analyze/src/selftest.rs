@@ -1,0 +1,124 @@
+//! The embedded fixture corpus: known-bad snippets that must each fire
+//! their rule exactly once, alongside an annotated twin that must not
+//! (DESIGN.md §9). `grepair-analyze --self-test` runs this from the
+//! release binary in CI, and `tests/fixtures.rs` runs it under `cargo
+//! test` — one corpus, two harnesses.
+
+use crate::rules::{check_source, Anchors, FileClass, Finding, Rule};
+
+/// One fixture: a source file from `fixtures/`, the class it is checked
+/// under, and the single rule expected to fire `expected` times.
+pub struct Fixture {
+    pub name: &'static str,
+    pub source: &'static str,
+    /// Checked as a boundary-crate file? (panic-surface applies)
+    pub boundary: bool,
+    pub rule: Rule,
+    pub expected: usize,
+}
+
+/// The corpus. Expectation: for each entry, analysis yields exactly
+/// `expected` findings, all of rule `rule` — so the bad snippet is caught
+/// and the annotated twin is not.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "panic_unwrap.rs",
+        source: include_str!("../fixtures/panic_unwrap.rs"),
+        boundary: true,
+        rule: Rule::PanicSurface,
+        expected: 1,
+    },
+    Fixture {
+        name: "panic_expect.rs",
+        source: include_str!("../fixtures/panic_expect.rs"),
+        boundary: true,
+        rule: Rule::PanicSurface,
+        expected: 1,
+    },
+    Fixture {
+        name: "panic_macro.rs",
+        source: include_str!("../fixtures/panic_macro.rs"),
+        boundary: true,
+        rule: Rule::PanicSurface,
+        expected: 1,
+    },
+    Fixture {
+        name: "panic_index.rs",
+        source: include_str!("../fixtures/panic_index.rs"),
+        boundary: true,
+        rule: Rule::PanicSurface,
+        expected: 1,
+    },
+    Fixture {
+        name: "lock_poison.rs",
+        source: include_str!("../fixtures/lock_poison.rs"),
+        boundary: false,
+        rule: Rule::LockPoisoning,
+        expected: 1,
+    },
+    Fixture {
+        name: "unsafe_hygiene.rs",
+        source: include_str!("../fixtures/unsafe_hygiene.rs"),
+        boundary: false,
+        rule: Rule::UnsafeHygiene,
+        expected: 1,
+    },
+    Fixture {
+        name: "doc_anchor.rs",
+        source: include_str!("../fixtures/doc_anchor.rs"),
+        boundary: false,
+        rule: Rule::DocAnchors,
+        expected: 1,
+    },
+    Fixture {
+        name: "layering.rs",
+        source: include_str!("../fixtures/layering.rs"),
+        boundary: false,
+        rule: Rule::Layering,
+        expected: 1,
+    },
+    Fixture {
+        name: "test_exempt.rs",
+        source: include_str!("../fixtures/test_exempt.rs"),
+        boundary: true,
+        rule: Rule::PanicSurface,
+        expected: 0,
+    },
+];
+
+/// The anchor set fixtures resolve against: only sections 2 and 9 exist,
+/// so the corpus's dangling reference (to section 99) stays dangling.
+pub fn fixture_anchors() -> Anchors {
+    Anchors::from_design("## §2 Error-handling policy\n\n## §9 Static analysis\n")
+}
+
+/// Analyze one fixture under its class.
+pub fn check_fixture(fixture: &Fixture) -> Vec<Finding> {
+    let class = FileClass {
+        rel_path: format!("fixtures/{}", fixture.name),
+        boundary: fixture.boundary,
+        bin_root: false,
+    };
+    check_source(&class, fixture.source, &fixture_anchors(), None)
+}
+
+/// Run the whole corpus; `Ok` carries a one-line summary, `Err` the first
+/// mismatch, with its findings rendered for diagnosis.
+pub fn run() -> Result<String, String> {
+    for fixture in FIXTURES {
+        let findings = check_fixture(fixture);
+        let of_rule = findings.iter().filter(|f| f.rule == fixture.rule).count();
+        if of_rule != fixture.expected || findings.len() != fixture.expected {
+            let rendered: Vec<String> = findings.iter().map(|f| format!("  {f}")).collect();
+            return Err(format!(
+                "fixture {}: expected exactly {} {} finding(s), got {}:\n{}",
+                fixture.name,
+                fixture.expected,
+                fixture.rule.id(),
+                findings.len(),
+                rendered.join("\n")
+            ));
+        }
+    }
+    Ok(format!("self-test ok: {} fixtures, each rule fires exactly as expected", FIXTURES.len()))
+}

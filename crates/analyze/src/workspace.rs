@@ -1,0 +1,154 @@
+//! Workspace walking: find every source file the rules apply to, classify
+//! it, and aggregate findings (DESIGN.md §9).
+//!
+//! Scope:
+//!
+//! * `crates/*/src/**/*.rs` and the facade `src/**/*.rs` — all rules.
+//! * `crates/*/{tests,benches}/**/*.rs` and `examples/*.rs` — doc-anchors
+//!   only (tests panic on purpose; their DESIGN.md citations still must
+//!   resolve).
+//! * `README.md` and `DESIGN.md` — doc-anchors (section references, slug
+//!   links, example paths).
+//! * `vendor/` is out of scope: those are offline stand-ins for crates.io
+//!   dependencies, not this workspace's code.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::allow::Allowlist;
+use crate::rules::{
+    check_doc_anchors, check_source, Anchors, FileClass, Finding, BOUNDARY_CRATES,
+};
+
+/// Default allowlist location, relative to the workspace root.
+pub const ALLOWLIST_PATH: &str = "analyze.allow";
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for determinism).
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return out };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rs_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Analyze the workspace rooted at `root` with `allow` applied. Returns
+/// the surviving findings, sorted. Errors only on unreadable layout
+/// prerequisites (no `DESIGN.md`, no `crates/`).
+pub fn analyze_workspace(root: &Path, allow: &Allowlist) -> Result<Vec<Finding>, String> {
+    let design = read(&root.join("DESIGN.md"))?;
+    let anchors = Anchors::from_design(&design);
+    let mut findings = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        let has_lib = src.join("lib.rs").is_file();
+        let boundary = BOUNDARY_CRATES.contains(&name.as_str());
+        for path in rs_files(&src) {
+            let rel_path = rel(root, &path);
+            let bin_root = !has_lib
+                || rel_path.ends_with("/src/main.rs")
+                || rel_path.contains("/src/bin/");
+            let class = FileClass { rel_path, boundary, bin_root };
+            findings.extend(check_source(&class, &read(&path)?, &anchors, Some(root)));
+        }
+        // Doc-anchors-only surfaces of the crate.
+        for sub in ["tests", "benches", "examples"] {
+            for path in rs_files(&crate_dir.join(sub)) {
+                let rel_path = rel(root, &path);
+                findings.extend(check_doc_anchors(&rel_path, &read(&path)?, &anchors, Some(root)));
+            }
+        }
+    }
+
+    // The facade crate at the root (library-only, not a boundary crate).
+    for path in rs_files(&root.join("src")) {
+        let rel_path = rel(root, &path);
+        let class = FileClass { rel_path, boundary: false, bin_root: false };
+        findings.extend(check_source(&class, &read(&path)?, &anchors, Some(root)));
+    }
+    for path in rs_files(&root.join("examples")) {
+        let rel_path = rel(root, &path);
+        findings.extend(check_doc_anchors(&rel_path, &read(&path)?, &anchors, Some(root)));
+    }
+
+    // Prose: README's links and section citations, and DESIGN.md's own
+    // internal cross-references.
+    for name in ["README.md", "DESIGN.md"] {
+        let path = root.join(name);
+        if path.is_file() {
+            findings.extend(check_doc_anchors(name, &read(&path)?, &anchors, Some(root)));
+        }
+    }
+
+    Ok(allow.apply(ALLOWLIST_PATH, findings))
+}
+
+/// Walk upward from `start` to the first directory holding both a
+/// `Cargo.toml` and a `DESIGN.md` — the workspace root.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("DESIGN.md").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// A quick inventory line for `--ci` output: how many files each rule
+/// family scanned, so "0 findings" is visibly not "0 files".
+pub fn inventory(root: &Path) -> String {
+    let mut src_files = 0usize;
+    let mut doc_files = 0usize;
+    let mut crates = BTreeSet::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for crate_dir in entries.filter_map(Result::ok).map(|e| e.path()).filter(|p| p.is_dir()) {
+            if let Some(name) = crate_dir.file_name() {
+                crates.insert(name.to_string_lossy().into_owned());
+            }
+            src_files += rs_files(&crate_dir.join("src")).len();
+            for sub in ["tests", "benches", "examples"] {
+                doc_files += rs_files(&crate_dir.join(sub)).len();
+            }
+        }
+    }
+    src_files += rs_files(&root.join("src")).len();
+    doc_files += rs_files(&root.join("examples")).len() + 2; // README, DESIGN
+    format!(
+        "scanned {src_files} src files across {} crates (+facade), {doc_files} doc-anchor surfaces",
+        crates.len()
+    )
+}

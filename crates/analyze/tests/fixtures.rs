@@ -1,0 +1,145 @@
+//! The fixture corpus under `cargo test`: every known-bad snippet fires
+//! its rule exactly once, every annotated twin stays silent, and the
+//! finding lands on the right line (DESIGN.md §9).
+
+use grepair_analyze::rules::{check_source, FileClass, Rule};
+use grepair_analyze::selftest::{self, check_fixture, fixture_anchors, FIXTURES};
+
+#[test]
+fn corpus_passes_the_embedded_self_test() {
+    selftest::run().expect("the --self-test corpus must be green");
+}
+
+fn findings_for(name: &str) -> Vec<grepair_analyze::Finding> {
+    let fixture = FIXTURES
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no fixture named {name}"));
+    check_fixture(fixture)
+}
+
+/// Line of the unaudited bad snippet in each fixture, asserted exactly so
+/// a drifting lexer cannot silently re-anchor findings.
+#[test]
+fn findings_anchor_to_the_bad_line() {
+    for (name, line) in [
+        ("panic_unwrap.rs", 5),
+        ("panic_expect.rs", 6),
+        ("panic_macro.rs", 7),
+        ("panic_index.rs", 9),
+        ("lock_poison.rs", 8),
+        ("unsafe_hygiene.rs", 6),
+        ("doc_anchor.rs", 5),
+        ("layering.rs", 6),
+    ] {
+        let findings = findings_for(name);
+        assert_eq!(findings.len(), 1, "{name}: {findings:?}");
+        assert_eq!(findings[0].line, line, "{name}: {findings:?}");
+    }
+}
+
+#[test]
+fn panic_surface_only_applies_to_boundary_crates() {
+    let fixture = FIXTURES.iter().find(|f| f.name == "panic_unwrap.rs").unwrap();
+    let class = FileClass {
+        rel_path: "crates/hypergraph/src/free.rs".into(),
+        boundary: false,
+        bin_root: false,
+    };
+    let findings = check_source(&class, fixture.source, &fixture_anchors(), None);
+    // The `.unwrap()` is free outside the boundary — but the audited twin's
+    // annotation now suppresses nothing, which the annotation rule reports.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Annotation);
+    assert!(findings[0].message.contains("suppresses nothing"), "{findings:?}");
+}
+
+#[test]
+fn layering_is_free_in_binary_roots() {
+    let fixture = FIXTURES.iter().find(|f| f.name == "layering.rs").unwrap();
+    let class = FileClass {
+        rel_path: "crates/cli/src/main.rs".into(),
+        boundary: false,
+        bin_root: true,
+    };
+    let findings = check_source(&class, fixture.source, &fixture_anchors(), None);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Annotation, "twin audit now suppresses nothing");
+}
+
+#[test]
+fn empty_audit_reasons_are_rejected() {
+    let class = FileClass {
+        rel_path: "crates/store/src/x.rs".into(),
+        boundary: true,
+        bin_root: false,
+    };
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n    // audited:\n    v.unwrap()\n}\n";
+    let findings = check_source(&class, src, &fixture_anchors(), None);
+    // The empty reason is reported; the unwrap itself stays suppressed
+    // (the annotation is present, just unacceptable) so the fix is one
+    // edit, not two findings on one line.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Annotation);
+    assert!(findings[0].message.contains("empty reason"), "{findings:?}");
+}
+
+#[test]
+fn audit_block_may_span_several_comment_lines() {
+    let class = FileClass {
+        rel_path: "crates/store/src/x.rs".into(),
+        boundary: true,
+        bin_root: false,
+    };
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n    // audited: the caller checked is_some\n    // across a long-winded second line.\n    v.unwrap()\n}\n";
+    let findings = check_source(&class, src, &fixture_anchors(), None);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn safety_block_may_sit_several_comment_lines_above() {
+    let class = FileClass {
+        rel_path: "crates/server/src/x.rs".into(),
+        boundary: false,
+        bin_root: false,
+    };
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: the pointer is valid because\n    // the caller pinky-promised, at length,\n    // across several lines.\n    unsafe { *p }\n}\n";
+    let findings = check_source(&class, src, &fixture_anchors(), None);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_fn_items_need_safety_too() {
+    let class = FileClass {
+        rel_path: "crates/server/src/x.rs".into(),
+        boundary: false,
+        bin_root: false,
+    };
+    let src = "pub unsafe fn f() {}\n";
+    let findings = check_source(&class, src, &fixture_anchors(), None);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::UnsafeHygiene);
+}
+
+#[test]
+fn doc_anchor_slug_links_resolve_against_headings() {
+    let anchors = grepair_analyze::Anchors::from_design(
+        "# Design notes\n\n## §6 Wire protocol and serving topology\n",
+    );
+    let ok = "See [DESIGN.md §6](DESIGN.md#6-wire-protocol-and-serving-topology).";
+    let bad = "See [DESIGN.md §6](DESIGN.md#6-wire-protocol-gone).";
+    assert!(grepair_analyze::rules::check_doc_anchors("README.md", ok, &anchors, None).is_empty());
+    let findings = grepair_analyze::rules::check_doc_anchors("README.md", bad, &anchors, None);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::DocAnchors);
+}
+
+#[test]
+fn subsection_references_resolve_independently() {
+    let anchors =
+        grepair_analyze::Anchors::from_design("## §6 Wire\n\n### §6.1 Framing\n### §6.2 Query\n");
+    let text = "// §6.1 and §6.2 exist; §6.3 does not; §6 does.";
+    let findings = grepair_analyze::rules::check_doc_anchors("x.rs", text, &anchors, None);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("§6.3"), "{findings:?}");
+}

@@ -21,6 +21,8 @@
 //! panic — because the serving layer (`grepair-store`) now loads baseline
 //! containers as live query backends, not just as size counters.
 
+#![forbid(unsafe_code)]
+
 pub mod hn;
 pub mod k2;
 pub mod lm;

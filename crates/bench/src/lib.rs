@@ -7,6 +7,8 @@
 //! full reproduction runs in minutes on a laptop. Pass `Scale::Quick` to
 //! shrink everything by a further 4× for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use grepair_baselines::{hn, k2, lm};
 use grepair_codec::EncodedGrammar;
 use grepair_core::{compress, CompressedGraph, GRePairConfig};

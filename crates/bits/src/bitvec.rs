@@ -37,6 +37,7 @@ impl BitVec {
             self.words.push(0);
         }
         if bit {
+            // audited: word == words.len() was handled by the push just above
             self.words[word] |= 1u64 << (self.len % 64);
         }
         self.len += 1;
@@ -46,6 +47,7 @@ impl BitVec {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // audited: caller contract i < len (debug_assert); words holds ceil(len/64) words
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -55,8 +57,10 @@ impl BitVec {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % 64);
         if bit {
+            // audited: caller contract i < len (debug_assert), as in get()
             self.words[i / 64] |= mask;
         } else {
+            // audited: caller contract i < len (debug_assert), as in get()
             self.words[i / 64] &= !mask;
         }
     }
@@ -144,12 +148,15 @@ impl RankBitVec {
         let word = i / 64;
         let block = word / WORDS_PER_BLOCK;
         debug_assert!(block < self.superblocks.len());
+        // audited: rank1 contract i <= len; superblocks covers every block (see build)
         let mut count = self.superblocks[block] as usize;
         for w in (block * WORDS_PER_BLOCK)..word {
+            // audited: w < word <= len/64 < words.len() under the rank1 contract
             count += self.bits.words[w].count_ones() as usize;
         }
         let rem = i % 64;
         if rem > 0 {
+            // audited: word = i/64 with i <= len and rem > 0, so word indexes a real word
             count += (self.bits.words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
         }
         count

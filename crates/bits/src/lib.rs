@@ -11,6 +11,8 @@
 //! * [`bitvec`] — a plain growable bit vector plus [`bitvec::RankBitVec`],
 //!   a static bit vector with O(1) `rank1` used for k²-tree navigation.
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod codes;
 pub mod reader;

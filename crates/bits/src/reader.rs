@@ -43,6 +43,7 @@ impl<'a> BitReader<'a> {
         let byte = (self.pos / 8) as usize;
         let off = (self.pos % 8) as u32;
         self.pos += 1;
+        // audited: new() clamps bit_len to bytes.len()*8, and pos < bit_len here
         Ok((self.bytes[byte] >> (7 - off)) & 1 == 1)
     }
 

@@ -64,6 +64,7 @@ impl BitWriter {
         let byte = (idx / 8) as usize;
         let off = (idx % 8) as u8;
         if byte < self.bytes.len() {
+            // audited: guarded by the byte < bytes.len() branch
             (self.bytes[byte] >> (7 - off)) & 1 == 1
         } else {
             let local = (idx - self.bytes.len() as u64 * 8) as u8;

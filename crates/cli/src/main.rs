@@ -21,6 +21,8 @@
 //! shell over [`grepair_store::GraphStore`]): hostile `.g2g` bytes and
 //! out-of-range node ids exit with an error message, never a panic.
 
+#![forbid(unsafe_code)]
+
 use grepair_core::{compress, GRePairConfig};
 use grepair_hypergraph::order::NodeOrder;
 use grepair_hypergraph::{io, Hypergraph};

@@ -24,6 +24,8 @@
 //! ([`SizeBreakdown`]) used by the evaluation (the paper observes that >90 %
 //! of the output is usually the k²-tree of the start graph).
 
+#![forbid(unsafe_code)]
+
 mod decoder;
 mod encoder;
 pub mod perm;

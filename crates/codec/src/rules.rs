@@ -24,6 +24,7 @@ pub fn encode_rule(w: &mut BitWriter, rhs: &Hypergraph) {
     // format depends on both.
     debug_assert_eq!(rhs.num_nodes(), rhs.node_bound(), "rule nodes must be dense");
     debug_assert!(
+        // audited: windows(2) yields exactly two elements
         rhs.ext().windows(2).all(|w| w[0] < w[1]),
         "rule ext must be ascending"
     );
@@ -98,6 +99,7 @@ pub fn decode_rule(r: &mut BitReader<'_>) -> Result<Hypergraph, CodecError> {
     let mut rhs = Hypergraph::with_nodes(n);
     for e in edges {
         for (i, &v) in e.att.iter().enumerate() {
+            // audited: att[..i] with i from enumerate is always in bounds
             if e.att[..i].contains(&v) {
                 return Err(CodecError::Malformed("edge attaches a node twice".into()));
             }

@@ -36,6 +36,7 @@ pub fn dense_map(start: &Hypergraph) -> (Vec<NodeId>, usize) {
     let mut map = vec![NodeId::MAX; start.node_bound()];
     let mut next = 0;
     for v in start.node_ids() {
+        // audited: node_ids() yields v < node_bound == map.len()
         map[v as usize] = next;
         next += 1;
     }
@@ -48,6 +49,7 @@ pub fn dense_map(start: &Hypergraph) -> (Vec<NodeId>, usize) {
 pub fn plan_labels(start: &Hypergraph, dense: &[NodeId], dict: &mut PermDict) -> Vec<LabelPlan> {
     let mut plans: Vec<LabelPlan> = Vec::new();
     for e in start.edges() {
+        // audited: edge attachments are alive nodes < node_bound == dense.len()
         let att: Vec<NodeId> = e.att.iter().map(|&v| dense[v as usize]).collect();
         assert!(!att.is_empty(), "rank-0 edges are not encodable");
         match plans.last_mut() {
@@ -59,6 +61,7 @@ pub fn plan_labels(start: &Hypergraph, dense: &[NodeId], dict: &mut PermDict) ->
         let all_rank2 = plan.edges.iter().all(|a| a.len() == 2);
         // Edges arrive att-lexicographically sorted, so duplicates are
         // adjacent.
+        // audited: windows(2) yields exactly two elements
         let has_dupes = plan.edges.windows(2).any(|w| w[0] == w[1]);
         plan.mode = if all_rank2 && !has_dupes {
             LabelMode::Adjacency
@@ -86,6 +89,7 @@ pub fn encode_label(
         LabelMode::Adjacency => {
             w.push_bit(false);
             let points: Vec<(u32, u32)> =
+                // audited: Adjacency mode is only picked when every att has rank 2
                 plan.edges.iter().map(|att| (att[0], att[1])).collect();
             let tree = K2Tree::build(K, m as u32, m as u32, points);
             tree.encode(w);
@@ -108,6 +112,7 @@ pub fn encode_label(
                 let perm = perm_of(att);
                 let idx = dict
                     .index_of(&perm)
+                    // audited: planning interned every incidence permutation just above
                     .expect("permutation interned during planning");
                 dict.encode_index(w, idx);
             }
@@ -176,7 +181,11 @@ pub fn decode_label(
         }
         for sorted_att in atts {
             let idx = dict.decode_index(r)?;
-            let perm = dict.get(idx).unwrap();
+            // A fixed-width index can name up to 2^bits slots, more than the
+            // dict holds — a corrupt stream picks one of the ghosts.
+            let perm = dict.get(idx).ok_or_else(|| {
+                CodecError::Malformed(format!("permutation index {idx} out of range"))
+            })?;
             if perm.len() != sorted_att.len() {
                 return Err(CodecError::Malformed(format!(
                     "permutation length {} does not match edge rank {}",

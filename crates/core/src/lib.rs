@@ -35,6 +35,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compressor;
 pub mod digram;
 pub mod occurrences;

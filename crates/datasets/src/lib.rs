@@ -19,6 +19,8 @@
 //!
 //! All generators are deterministic in their seed.
 
+#![forbid(unsafe_code)]
+
 pub mod network;
 pub mod rdf;
 pub mod ttt;

@@ -15,6 +15,8 @@
 //! statistics, rule inlining ([`apply_rule`]), and the pruning arithmetic
 //! `handle`/`con` of §III-A3.
 
+#![forbid(unsafe_code)]
+
 pub mod derive;
 pub mod grammar;
 

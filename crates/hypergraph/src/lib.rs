@@ -16,6 +16,8 @@
 //!   and the ≅FP equivalence-class count reported in Tables I–III,
 //! * [`io`] — a plain-text edge-list format for graphs and triples.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod io;
 pub mod label;

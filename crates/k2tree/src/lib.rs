@@ -14,6 +14,8 @@
 //! (in-neighbor) retrieval, iteration over all 1-cells, and bit-exact
 //! serialization.
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod query;
 mod serialize;

@@ -14,6 +14,8 @@
 //! assert_eq!(grepair_lz::decompress(&packed).unwrap(), data);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod huffman;
 pub mod lz77;
 

@@ -20,6 +20,8 @@
 //! Every algorithm is differentially tested against the same query run on
 //! the decompressed graph.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod index;
 pub mod neighbors;

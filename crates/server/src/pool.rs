@@ -16,10 +16,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
 use grepair_store::BatchExecutor;
+use grepair_util::sync::{self, Mutex};
 
 /// A job after lifetime erasure, as shipped through the channel.
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -44,9 +45,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        let mut remaining = self.remaining.lock();
         while *remaining > 0 {
-            remaining = self.all_done.wait(remaining).expect("latch poisoned");
+            remaining = sync::wait(&self.all_done, remaining);
         }
     }
 }
@@ -57,7 +58,7 @@ struct LatchGuard(Arc<Latch>);
 
 impl Drop for LatchGuard {
     fn drop(&mut self) {
-        let mut remaining = self.0.remaining.lock().expect("latch poisoned");
+        let mut remaining = self.0.remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             self.0.all_done.notify_all();
@@ -111,7 +112,7 @@ impl WorkerPool {
                 .spawn(move || loop {
                     // Hold the receiver lock only for the dequeue, not
                     // while running the task.
-                    let task = receiver.lock().expect("pool receiver poisoned").recv();
+                    let task = receiver.lock().recv();
                     match task {
                         Ok(task) => task(),
                         Err(_) => break, // channel closed: pool dropped
@@ -120,6 +121,7 @@ impl WorkerPool {
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
+                    // audited: operator-visible capacity warning; stderr is the server's log surface
                     eprintln!("worker pool capped at {i} of {threads} threads: {e}");
                     break;
                 }
@@ -178,12 +180,15 @@ impl BatchExecutor for WorkerPool {
             });
             self.sender
                 .as_ref()
+                // audited: pool invariant: the sender is Some until Drop takes it
                 .expect("pool sender alive until drop")
                 .send(task)
+                // audited: pool invariant: workers keep the receiver alive until Drop
                 .expect("pool workers alive until drop");
         }
         latch.wait();
         if latch.panicked.load(Ordering::Relaxed) {
+            // audited: deliberate: re-raises a job panic to the caller after the pool absorbed it
             panic!("a worker-pool job panicked (the pool itself survived)");
         }
     }
@@ -250,13 +255,13 @@ mod tests {
             let jobs = jobs_from((0..4).map(|_| {
                 let seen = &seen;
                 Box::new(move || {
-                    seen.lock().unwrap().insert(std::thread::current().name().map(String::from));
+                    seen.lock().insert(std::thread::current().name().map(String::from));
                 }) as Box<dyn FnOnce() + Send + '_>
             }));
             pool.scope(jobs);
         }
         // 80 jobs over 20 scopes all landed on the same 2 resident threads.
-        let seen = seen.into_inner().unwrap();
+        let seen = seen.into_inner();
         assert!(seen.len() <= 2, "{seen:?}");
         assert!(seen.iter().all(|name| {
             name.as_deref().is_some_and(|n| n.starts_with("grepair-worker-"))

@@ -183,15 +183,18 @@ impl Server {
                     std::thread::sleep(Duration::from_millis(200));
                     if signal::take_hup() {
                         match registry.reload_from(&path) {
+                            // audited: operator log from the reload watcher; stderr is the server's log surface
                             Ok(store) => eprintln!(
                                 "SIGHUP: reloaded {path} as generation {}",
                                 store.generation()
                             ),
+                            // audited: operator log from the reload watcher; stderr is the server's log surface
                             Err(e) => eprintln!("SIGHUP: reload of {path} failed: {e}"),
                         }
                     }
                 }
             })
+            // audited: boot-time spawn; failing to start the SIGHUP watcher is fatal by design
             .expect("spawn sighup watcher");
     }
 
@@ -211,6 +214,7 @@ impl Server {
                     // must not take the server down — but a *persistent*
                     // one (fd exhaustion) would otherwise spin this loop
                     // at 100% CPU, so back off briefly before retrying.
+                    // audited: operator log from the accept loop; stderr is the server's log surface
                     eprintln!("accept failed: {e}");
                     std::thread::sleep(Duration::from_millis(50));
                     continue;
@@ -232,6 +236,7 @@ impl Server {
                     "error: connection limit reached ({} active)",
                     self.max_connections
                 );
+                // audited: operator log from the accept loop; stderr is the server's log surface
                 eprintln!("refusing {peer}: connection limit reached");
                 continue;
             }
@@ -248,6 +253,7 @@ impl Server {
                         // The peer vanishing mid-write is normal churn, not
                         // a server error; anything else is worth a line.
                         if e.kind() != std::io::ErrorKind::BrokenPipe {
+                            // audited: operator log from the accept loop; stderr is the server's log surface
                             eprintln!("session with {peer} ended: {e}");
                         }
                     }
@@ -257,6 +263,7 @@ impl Server {
                 // connection — the stream moved into the failed closure and
                 // drops closed — but must not take the server down: same
                 // contract as the accept-error branch above.
+                // audited: operator log from the accept loop; stderr is the server's log surface
                 eprintln!("refusing {peer}: cannot spawn session thread: {e}");
             }
         }
@@ -329,6 +336,7 @@ pub fn apply_tenancy_flags(registry: &StoreRegistry, flags: &[String]) -> Result
 /// parse the ephemeral port out of it), then serves until killed.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let g2g = args.first().ok_or("missing g2g file")?;
+    // audited: args.first() returned Some just above, so args is non-empty
     let flags = &args[1..];
     validate_value_flags(
         flags,
@@ -383,6 +391,7 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let store = registry.current();
+    // audited: documented contract: scripts parse the listening line off stdout
     println!(
         "listening {addr} proto={} namespaces={} generation={} nodes={} backend={}",
         crate::session::PROTO_VERSION,

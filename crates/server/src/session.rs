@@ -365,12 +365,14 @@ fn flush_pending(
         match registry.store(ns) {
             Err(e) => {
                 for &i in &indexes {
+                    // audited: indexes come from enumerating pending; replies has the same length
                     replies[i] = Some(Err(e.clone()));
                 }
             }
             Ok(store) => {
                 let queries: Vec<Query> = indexes
                     .iter()
+                    // audited: indexes filtered to parsed.is_ok() entries of pending just above
                     .map(|&i| pending[i].1.as_ref().cloned().expect("filtered to Ok"))
                     .collect();
                 let answers = if queries.len() >= INLINE_BATCH {
@@ -379,6 +381,7 @@ fn flush_pending(
                     store.query_batch(&queries)
                 };
                 for (&i, answer) in indexes.iter().zip(answers) {
+                    // audited: indexes come from enumerating pending; replies has the same length
                     replies[i] = Some(answer);
                 }
             }
@@ -388,6 +391,7 @@ fn flush_pending(
         summary.served += 1;
         let outcome = match entry {
             Err(e) => Err(e),
+            // audited: every parsed query's namespace was visited, filling its slot
             Ok(_) => reply.expect("every parsed query got a reply slot"),
         };
         match outcome {

@@ -36,6 +36,13 @@ mod imp {
     }
 
     pub fn install_hup_handler() {
+        // SAFETY: `signal(2)` is an FFI call into the platform C library,
+        // which every Linux binary already links. `SIGHUP` is a valid
+        // signal number on every POSIX target this compiles for (the
+        // module is `cfg(unix)`), and `on_hup` is an `extern "C" fn(i32)`
+        // matching the handler ABI `signal` expects; the handler itself
+        // only performs an async-signal-safe atomic store. Replacing a
+        // previous handler is the intended effect, not a hazard.
         unsafe {
             signal(SIGHUP, on_hup);
         }
@@ -47,6 +54,10 @@ mod imp {
 
     #[cfg(test)]
     pub fn raise_hup_for_test() {
+        // SAFETY: `raise(3)` is an FFI call with no memory preconditions;
+        // `SIGHUP` is a valid signal number, and the test installs
+        // `on_hup` first, so delivery runs our async-signal-safe handler
+        // rather than the default (which would terminate the process).
         unsafe {
             raise(SIGHUP);
         }

@@ -204,6 +204,7 @@ pub fn split_any_container(file: &[u8]) -> Result<(&str, u64, &[u8]), GrepairErr
         // Exactly the legacy errors: too short to say, or a foreign magic.
         return match parse_container(file) {
             Err(e) => Err(e),
+            // audited: parse_container rejects any file without the legacy magic, checked just above
             Ok(_) => unreachable!("legacy parse accepted bytes without the legacy magic"),
         };
     }
@@ -211,9 +212,12 @@ pub fn split_any_container(file: &[u8]) -> Result<(&str, u64, &[u8]), GrepairErr
     if file.len() < 6 {
         return Err(header("truncated header"));
     }
+    // audited: file.len() >= 6 was checked just above
     if file[4] != TAGGED_VERSION {
+        // audited: file.len() >= 6 was checked just above
         return Err(header(&format!("unsupported version {}", file[4])));
     }
+    // audited: file.len() >= 6 was checked just above
     let tag_len = file[5] as usize;
     if !(1..=16).contains(&tag_len) {
         return Err(header(&format!("backend tag length {tag_len} out of range")));
@@ -222,9 +226,12 @@ pub fn split_any_container(file: &[u8]) -> Result<(&str, u64, &[u8]), GrepairErr
     if file.len() < end {
         return Err(header("truncated header"));
     }
+    // audited: file.len() >= end == 6 + tag_len + 8 was checked just above
     let tag = std::str::from_utf8(&file[6..6 + tag_len])
         .map_err(|_| header("backend tag is not UTF-8"))?;
+    // audited: the slice is exactly end - (6 + tag_len) == 8 bytes, inside the checked end
     let bit_len = u64::from_le_bytes(file[6 + tag_len..end].try_into().expect("8 bytes"));
+    // audited: end <= file.len() was checked above
     Ok((tag, bit_len, &file[end..]))
 }
 
@@ -257,6 +264,7 @@ fn bfs_reachable(
         return true;
     }
     let mut visited = vec![false; n];
+    // audited: callers pass s < n (check_id)
     visited[s as usize] = true;
     let mut queue = VecDeque::from([s]);
     let mut buf = Vec::new();
@@ -267,7 +275,9 @@ fn bfs_reachable(
             if w == t {
                 return true;
             }
+            // audited: engine adjacency entries are validated < n at decode time
             if !visited[w as usize] {
+                // audited: engine adjacency entries are validated < n at decode time
                 visited[w as usize] = true;
                 queue.push_back(w);
             }
@@ -336,10 +346,14 @@ fn degree_extrema_of(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Optio
     }
     let mut deg = vec![0u64; n];
     for (a, b) in edges {
+        // audited: engine edge endpoints are validated < n at decode time
         deg[a as usize] += 1;
+        // audited: engine edge endpoints are validated < n at decode time
         deg[b as usize] += 1;
     }
+    // audited: deg is non-empty: n == 0 returned None above
     let lo = *deg.iter().min().expect("n > 0");
+    // audited: deg is non-empty: n == 0 returned None above
     let hi = *deg.iter().max().expect("n > 0");
     Some((lo, hi))
 }
@@ -443,6 +457,7 @@ impl AdjEngine {
         let mut ins: Vec<Vec<NodeId>> = vec![Vec::new(); out.len()];
         for (v, outs) in out.iter().enumerate() {
             for &w in outs {
+                // audited: out-list entries are validated < out.len() == ins.len() at decode time
                 ins[w as usize].push(v as NodeId);
             }
         }
@@ -470,11 +485,13 @@ impl QueryEngine for AdjEngine {
 
     fn out_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
         let v = check_id(v, self.total_nodes())?;
+        // audited: check_id just bounded v by total_nodes == out.len()
         Ok(self.out[v as usize].iter().map(|&w| w as u64).collect())
     }
 
     fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
         let v = check_id(v, self.total_nodes())?;
+        // audited: check_id just bounded v by total_nodes == ins.len()
         Ok(self.ins[v as usize].iter().map(|&w| w as u64).collect())
     }
 
@@ -482,6 +499,7 @@ impl QueryEngine for AdjEngine {
         let s = check_id(s, self.total_nodes())?;
         let t = check_id(t, self.total_nodes())?;
         Ok(bfs_reachable(self.out.len(), s, t, |v, buf| {
+            // audited: bfs visits only check_id-validated ids and decoder-validated neighbors
             buf.extend_from_slice(&self.out[v as usize])
         }))
     }
@@ -491,6 +509,7 @@ impl QueryEngine for AdjEngine {
         let t = check_id(t, self.total_nodes())?;
         let nfa = compile_pattern(pattern)?;
         Ok(product_rpq(&nfa, s, t, &[0], |v, _, buf| {
+            // audited: product_rpq visits only check_id-validated ids and decoder-validated neighbors
             buf.extend_from_slice(&self.out[v as usize])
         }))
     }

@@ -117,7 +117,9 @@ impl GrammarEngine {
                         continue;
                     }
                     let neighbor = match dir {
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
                         Direction::Out if att[0] == repr.node => att[1],
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
                         Direction::In if att[1] == repr.node => att[0],
                         _ => continue,
                     };
@@ -173,7 +175,9 @@ impl GrammarEngine {
                         continue;
                     }
                     let neighbor = match dir {
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
                         Direction::Out if att[0] == v => att[1],
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
                         Direction::In if att[1] == v => att[0],
                         _ => continue,
                     };

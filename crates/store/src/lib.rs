@@ -70,6 +70,8 @@
 //! assert!(store.query(&Query::OutNeighbors(1 << 40)).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 mod cache;
 mod engine;

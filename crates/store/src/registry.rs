@@ -39,7 +39,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
+
+use grepair_util::sync::{Mutex, RwLock};
 
 use crate::{GraphStore, GrepairError, StoreStats};
 
@@ -92,7 +94,7 @@ struct Namespace {
 
 impl Namespace {
     fn resident(&self) -> Option<Arc<GraphStore>> {
-        self.slot.read().expect("namespace slot poisoned").clone()
+        self.slot.read().clone()
     }
 }
 
@@ -210,6 +212,7 @@ impl StoreRegistry {
         let registry = Self::empty();
         registry
             .attach_store(DEFAULT_NAMESPACE, store)
+            // audited: a fresh empty registry cannot refuse its first namespace
             .expect("empty registry accepts the default namespace");
         registry
     }
@@ -230,7 +233,6 @@ impl StoreRegistry {
     fn lookup(&self, name: &str) -> Option<Arc<Namespace>> {
         self.namespaces
             .read()
-            .expect("store registry poisoned")
             .get(name)
             .cloned()
     }
@@ -264,7 +266,7 @@ impl StoreRegistry {
             generation: AtomicU64::new(generation),
             last_hit: AtomicU64::new(self.tick()),
         });
-        let mut map = self.namespaces.write().expect("store registry poisoned");
+        let mut map = self.namespaces.write();
         if map.contains_key(name) {
             return Err(GrepairError::BadRequest(format!(
                 "namespace {name:?} already attached"
@@ -314,7 +316,6 @@ impl StoreRegistry {
         let removed = self
             .namespaces
             .write()
-            .expect("store registry poisoned")
             .remove(name)
             .ok_or_else(|| unknown(name))?;
         if let Some(store) = removed.resident() {
@@ -327,7 +328,6 @@ impl StoreRegistry {
     pub fn contains(&self, name: &str) -> bool {
         self.namespaces
             .read()
-            .expect("store registry poisoned")
             .contains_key(name)
     }
 
@@ -335,7 +335,6 @@ impl StoreRegistry {
     pub fn list(&self) -> Vec<(String, bool, u64)> {
         self.namespaces
             .read()
-            .expect("store registry poisoned")
             .iter()
             .map(|(name, ns)| {
                 (
@@ -364,14 +363,13 @@ impl StoreRegistry {
         }
         // Cold: open under the slot's write lock so concurrent hits pay
         // one decode between them, not one each.
-        let mut slot = ns.slot.write().expect("namespace slot poisoned");
+        let mut slot = ns.slot.write();
         if let Some(store) = slot.clone() {
             return Ok(store);
         }
         let path = ns
             .path
             .lock()
-            .expect("namespace path poisoned")
             .clone()
             .ok_or_else(|| {
                 // Unreachable by construction (pathless tenants are
@@ -411,7 +409,7 @@ impl StoreRegistry {
     fn swap_in(&self, name: &str, store: GraphStore) -> Result<Arc<GraphStore>, GrepairError> {
         let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
         ns.last_hit.store(self.tick(), Ordering::Relaxed);
-        let mut slot = ns.slot.write().expect("namespace slot poisoned");
+        let mut slot = ns.slot.write();
         // Bump under the write lock: concurrent swaps serialize here, so
         // each store gets a distinct, strictly increasing generation.
         let generation = ns.generation.fetch_add(1, Ordering::Relaxed) + 1;
@@ -439,7 +437,6 @@ impl StoreRegistry {
             None => ns
                 .path
                 .lock()
-                .expect("namespace path poisoned")
                 .clone()
                 .ok_or_else(|| {
                     GrepairError::BadRequest(format!(
@@ -449,7 +446,7 @@ impl StoreRegistry {
         };
         let store = GraphStore::open(&target)?;
         if path.is_some() {
-            *ns.path.lock().expect("namespace path poisoned") = Some(target);
+            *ns.path.lock() = Some(target);
         }
         self.swap_in(name, store)
     }
@@ -477,7 +474,6 @@ impl StoreRegistry {
     pub fn resident_bytes(&self) -> u64 {
         self.namespaces
             .read()
-            .expect("store registry poisoned")
             .values()
             .filter_map(|ns| ns.resident())
             .map(|s| s.resident_bytes())
@@ -488,7 +484,6 @@ impl StoreRegistry {
     pub fn resident_count(&self) -> usize {
         self.namespaces
             .read()
-            .expect("store registry poisoned")
             .values()
             .filter(|ns| ns.resident().is_some())
             .count()
@@ -506,17 +501,17 @@ impl StoreRegistry {
         if budget == NO_BUDGET {
             return;
         }
-        let _serialize = self.budget_lock.lock().expect("budget lock poisoned");
+        let _serialize = self.budget_lock.lock();
         loop {
             // Snapshot resident sizes and LRU ranks outside any slot lock.
-            let map = self.namespaces.read().expect("store registry poisoned");
+            let map = self.namespaces.read();
             let mut total = 0u64;
             let mut victim: Option<(u64, Arc<Namespace>)> = None;
             for (name, ns) in map.iter() {
                 let Some(store) = ns.resident() else { continue };
                 total += store.resident_bytes();
                 let evictable =
-                    name != keep && ns.path.lock().expect("namespace path poisoned").is_some();
+                    name != keep && ns.path.lock().is_some();
                 if evictable {
                     let hit = ns.last_hit.load(Ordering::Relaxed);
                     if victim.as_ref().is_none_or(|(best, _)| hit < *best) {
@@ -529,11 +524,7 @@ impl StoreRegistry {
                 return;
             }
             let Some((_, ns)) = victim else { return };
-            let evicted = ns
-                .slot
-                .write()
-                .expect("namespace slot poisoned")
-                .take();
+            let evicted = ns.slot.write().take();
             if let Some(store) = evicted {
                 self.retire(&store);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -549,7 +540,7 @@ impl StoreRegistry {
     /// reply. Query/error totals include retired stores (evicted,
     /// detached, or replaced by a reload), so they are monotonic.
     pub fn aggregate_stats(&self) -> RegistryStats {
-        let map = self.namespaces.read().expect("store registry poisoned");
+        let map = self.namespaces.read();
         let mut resident = 0u64;
         let mut resident_bytes = 0u64;
         let mut queries = self.retired_queries.load(Ordering::Relaxed);
@@ -596,6 +587,7 @@ impl StoreRegistry {
     /// was detached — embedders using the single-store surface never do.
     pub fn current(&self) -> Arc<GraphStore> {
         self.store(DEFAULT_NAMESPACE)
+            // audited: documented single-store-surface contract: the default namespace stays attached
             .expect("default namespace must be resident for the single-store surface")
     }
 
@@ -616,6 +608,7 @@ impl StoreRegistry {
     /// already holds its `Arc`.
     pub fn swap(&self, store: GraphStore) -> u64 {
         self.swap_in(DEFAULT_NAMESPACE, store)
+            // audited: documented single-store-surface contract: the default namespace stays attached
             .expect("default namespace must exist for the single-store surface")
             .generation()
     }

@@ -35,10 +35,13 @@ pub fn parse_container(file: &[u8]) -> Result<(u64, &[u8]), GrepairError> {
             file.len()
         )));
     }
+    // audited: file.len() >= HEADER_LEN >= 4 was checked just above
     if &file[..4] != MAGIC {
         return Err(GrepairError::Container("bad magic".into()));
     }
+    // audited: 4..HEADER_LEN is exactly 8 bytes, inside the checked header
     let bit_len = u64::from_le_bytes(file[4..HEADER_LEN].try_into().expect("4..12 is 8 bytes"));
+    // audited: file.len() >= HEADER_LEN was checked just above
     Ok((bit_len, &file[HEADER_LEN..]))
 }
 
@@ -601,6 +604,7 @@ impl GraphStore {
         }
         slots
             .into_iter()
+            // audited: executor.scope runs every job before returning
             .map(|slot| slot.expect("executor must run every job to completion"))
             .collect()
     }

@@ -6,8 +6,11 @@
 //! crate set does not include `rustc-hash`, so we provide the same
 //! multiplicative hash here.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod fmt;
 pub mod fxhash;
+pub mod sync;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -48,6 +48,8 @@
 //! | [`grepair_datasets`] | seeded generators standing in for the paper's datasets |
 //! | [`grepair_k2tree`], [`grepair_bits`], [`grepair_lz`], [`grepair_util`] | substrates |
 
+#![forbid(unsafe_code)]
+
 pub use grepair_baselines as baselines;
 pub use grepair_bits as bits;
 pub use grepair_codec as codec;
