@@ -30,6 +30,13 @@ use grepair_bench::serving::{mixed_batch, probe_server, query_line};
 const USAGE: &str = "usage:
   serve-probe <addr> <queries.txt> [--namespace NAME]     stream a query file, replies to stdout
   serve-probe <addr> --throughput <N> [--namespace NAME]  drive N generated mixed queries, report q/s
+  serve-probe <addr> --chaos-report <N> [--namespace NAME]
+               drive N mixed queries through concurrent fault-tolerant
+               connections against a (possibly faulted) server, collect the
+               degradation numbers (busy sheds, error lines, dead
+               connections, breaker health from STATS), then SHUTDOWN the
+               server and time the drain; a JSON report goes to stdout.
+               Destructive: the probe ends the server.
 
   --namespace  prefix every query line with NAME: (admin lines go bare) to
                target one tenant of a multi-tenant server";
@@ -74,6 +81,17 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             throughput(addr, count, namespace.as_deref())
         }
+        Some("--chaos-report") => {
+            let count: u64 = rest
+                .get(2)
+                .ok_or("missing query count")?
+                .parse()
+                .map_err(|e| format!("bad query count: {e}"))?;
+            if let Some(extra) = rest.get(3) {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            chaos_report(addr, count, namespace.as_deref())
+        }
         Some(path) => {
             if let Some(extra) = rest.get(2) {
                 return Err(format!("unexpected argument {extra:?}"));
@@ -90,7 +108,10 @@ fn run(args: &[String]) -> Result<(), String> {
 fn is_admin_line(line: &str) -> bool {
     matches!(
         line.split_whitespace().next(),
-        Some("PING" | "INFO" | "STATS" | "USE" | "ATTACH" | "DETACH" | "LIST" | "RELOAD" | "QUIT")
+        Some(
+            "PING" | "INFO" | "STATS" | "USE" | "ATTACH" | "DETACH" | "LIST" | "RELOAD"
+                | "FAULTS" | "SHUTDOWN" | "QUIT"
+        )
     )
 }
 
@@ -129,6 +150,164 @@ fn stream_file(addr: &str, path: &str, namespace: Option<&str>) -> Result<(), St
             report.answers.len(),
             report.sent
         ));
+    }
+    Ok(())
+}
+
+/// One fault-tolerant pipelined connection: send everything, half-close,
+/// salvage whatever *complete* reply lines come back. A connection the
+/// server kills mid-stream (injected session faults, DESIGN.md §10) is the
+/// chaos working as designed, not a probe error — it reports `died = true`
+/// with however many whole lines it did get; a torn trailing fragment
+/// without `\n` is discarded.
+fn salvage(addr: &str, lines: &[String]) -> (Vec<String>, bool) {
+    use std::io::Read;
+    use std::net::{Shutdown, TcpStream};
+
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return (Vec::new(), true),
+    };
+    let payload: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let sent_ok = stream.write_all(payload.as_bytes()).is_ok();
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    let read_ok = stream.read_to_end(&mut raw).is_ok();
+    let text = String::from_utf8_lossy(&raw);
+    let torn = !text.is_empty() && !text.ends_with('\n');
+    let mut replies: Vec<String> = text.lines().map(str::to_string).collect();
+    if torn {
+        replies.pop();
+    }
+    let died = !sent_ok || !read_ok || torn || replies.len() < lines.len();
+    (replies, died)
+}
+
+/// One admin request, retried a few times — a fault schedule can kill the
+/// health probe's own connection, so ask again before giving up.
+fn health_line(addr: &str, request: &str) -> Option<String> {
+    for _ in 0..5 {
+        let (replies, _) = salvage(addr, std::slice::from_ref(&request.to_string()));
+        if let Some(line) = replies.into_iter().next() {
+            return Some(line);
+        }
+    }
+    None
+}
+
+/// Extract `key=<value>` from a space-separated reply line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace().find_map(|kv| kv.strip_prefix(key))
+}
+
+/// Render an optional reply line as a JSON string or `null`. Rust's
+/// `{:?}` escaping is JSON-compatible for the protocol's ASCII replies.
+fn json_opt(line: &Option<String>) -> String {
+    match line {
+        Some(l) => format!("{l:?}"),
+        None => "null".into(),
+    }
+}
+
+/// Chaos-report mode (DESIGN.md §10): drive a possibly-faulted server with
+/// the mixed workload over concurrent fault-tolerant connections, collect
+/// the degradation numbers (`busy` sheds, error lines, killed
+/// connections, breaker health out of `STATS`), then `SHUTDOWN` the server
+/// and time the drain until its listener is really gone. Destructive by
+/// design — CI runs it as the final step against a scratch server.
+fn chaos_report(addr: &str, count: u64, namespace: Option<&str>) -> Result<(), String> {
+    let stats_target = namespace.unwrap_or("default");
+    // Node count through INFO; if even INFO cannot survive the schedule,
+    // fall back to a single-node workload (ids are still valid requests).
+    let nodes = health_line(addr, "INFO")
+        .and_then(|info| field(&info, "nodes=").and_then(|v| v.parse::<u64>().ok()))
+        .unwrap_or(1);
+    let lines: Vec<String> = mixed_batch(nodes.max(1), count)
+        .iter()
+        .map(|q| prefixed(&query_line(q), namespace))
+        .collect();
+
+    // Fan the workload over four concurrent fault-tolerant connections.
+    let chunk = lines.len().div_ceil(4).max(1);
+    let t = std::time::Instant::now();
+    let (mut answered, mut busy, mut errors, mut dead_connections) = (0u64, 0u64, 0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            lines.chunks(chunk).map(|part| s.spawn(move || salvage(addr, part))).collect();
+        for h in handles {
+            let (replies, died) = h.join().expect("chaos client thread");
+            answered += replies.len() as u64;
+            busy += replies.iter().filter(|r| *r == "busy").count() as u64;
+            errors += replies.iter().filter(|r| r.starts_with("error: ")).count() as u64;
+            dead_connections += u64::from(died);
+        }
+    });
+    let elapsed_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let shed_rate = busy as f64 / answered.max(1) as f64;
+
+    // Health after the storm: the fault table and the target namespace's
+    // breaker counters (best effort — faults can kill these probes too).
+    let faults = health_line(addr, "FAULTS");
+    let stats = health_line(addr, &format!("STATS {stats_target}"));
+    let counter = |key: &str| -> u64 {
+        stats
+            .as_deref()
+            .and_then(|s| field(s, key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let open_failures = counter("open_failures=");
+    let reload_failures = counter("reload_failures=");
+    let breaker_trips = counter("breaker_trips=");
+    let breaker_open = stats
+        .as_deref()
+        .and_then(|s| field(s, "breaker_open="))
+        .is_some_and(|v| v == "true");
+
+    // Drain: SHUTDOWN, then poll until the listener is really gone. The
+    // `draining` ack may itself be killed by a lingering session fault, so
+    // EOF without it still counts as "sent".
+    let t = std::time::Instant::now();
+    let (replies, _) = salvage(addr, &["SHUTDOWN".to_string()]);
+    let shutdown_acknowledged = replies.first().is_some_and(|r| r == "draining");
+    let mut drained = false;
+    for _ in 0..400 {
+        if std::net::TcpStream::connect(addr).is_err() {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let drain_latency_ms = t.elapsed().as_nanos() as f64 / 1e6;
+
+    let mut out = String::new();
+    out.push_str("{\n  \"chaos_report\": {\n");
+    out.push_str(&format!("    \"sent\": {},\n", lines.len()));
+    out.push_str(&format!("    \"answered\": {answered},\n"));
+    out.push_str(&format!("    \"busy\": {busy},\n"));
+    out.push_str(&format!("    \"errors\": {errors},\n"));
+    out.push_str(&format!("    \"dead_connections\": {dead_connections},\n"));
+    out.push_str(&format!("    \"shed_rate\": {shed_rate:.4},\n"));
+    out.push_str(&format!("    \"elapsed_ms\": {elapsed_ms:.1},\n"));
+    out.push_str(&format!("    \"faults\": {},\n", json_opt(&faults)));
+    out.push_str(&format!("    \"stats\": {},\n", json_opt(&stats)));
+    out.push_str(&format!("    \"open_failures\": {open_failures},\n"));
+    out.push_str(&format!("    \"reload_failures\": {reload_failures},\n"));
+    out.push_str(&format!("    \"breaker_trips\": {breaker_trips},\n"));
+    out.push_str(&format!("    \"breaker_open\": {breaker_open},\n"));
+    out.push_str(&format!("    \"shutdown_acknowledged\": {shutdown_acknowledged},\n"));
+    out.push_str(&format!("    \"drained\": {drained},\n"));
+    out.push_str(&format!("    \"drain_latency_ms\": {drain_latency_ms:.1}\n"));
+    out.push_str("  }\n}\n");
+    print!("{out}");
+    std::io::stdout().flush().map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "chaos report: {answered}/{} answered, {busy} busy, {errors} errors, \
+         {dead_connections} dead connections, drain {drain_latency_ms:.1} ms",
+        lines.len()
+    );
+    if !drained {
+        return Err("server did not drain within 10 s of SHUTDOWN".into());
     }
     Ok(())
 }

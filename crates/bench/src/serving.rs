@@ -92,6 +92,42 @@ pub struct StoreBenchReport {
     pub backends: Vec<BackendBenchRow>,
     /// Multi-tenant hosting under a memory budget (schema 3).
     pub tenancy: TenancyReport,
+    /// Degradation-under-fault measurement (schema 4, DESIGN.md §10).
+    pub resilience: ResilienceReport,
+}
+
+/// The `resilience` block (schema 4): circuit-breaker trip, fast-fail and
+/// recovery, watermark load-shedding, and drain latency. Measured against
+/// the real registry and a real socket server using *honest* faults — a
+/// deleted container file, a one-deep watermark over a one-thread pool, a
+/// live `SHUTDOWN` — so the numbers exist in a default build where the
+/// `fail` feature's injected faults are compiled out (DESIGN.md §10).
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// Breaker trips recorded while the flaky tenant's container was gone.
+    pub breaker_trips: u64,
+    /// Mean ns per refused resolve while the breaker was open — the fast
+    /// per-line refusal that replaces hammering a dead disk.
+    pub breaker_fast_fail_ns: f64,
+    /// Whether the half-open probe re-admitted the tenant once its
+    /// container came back.
+    pub breaker_recovered: bool,
+    /// Query lines pushed at the deliberately overloaded server.
+    pub shed_sent: u64,
+    /// How many of those were answered `busy` (shed at the watermark).
+    pub shed_busy: u64,
+    /// Wall ns from writing `SHUTDOWN` to the accept loop fully drained.
+    pub drain_latency_ns: f64,
+}
+
+impl ResilienceReport {
+    /// Fraction of the overload workload shed with `busy` lines.
+    pub fn shed_rate(&self) -> f64 {
+        if self.shed_sent == 0 {
+            return 0.0;
+        }
+        self.shed_busy as f64 / self.shed_sent as f64
+    }
 }
 
 impl StoreBenchReport {
@@ -322,6 +358,142 @@ pub fn measure_multi_tenant(scale: Scale) -> TenancyReport {
     report
 }
 
+/// Measure the degradation machinery of DESIGN.md §10 with honest faults
+/// (no `fail` feature required):
+///
+/// 1. **Breaker** — attach a tenant cold, delete its container, resolve
+///    until the consecutive-failure threshold trips the breaker, time the
+///    open-breaker fast refusals, then restore the file and wait for the
+///    half-open probe to re-admit it.
+/// 2. **Shedding** — a real socket server with a one-thread pool and a
+///    shed watermark of one, hammered by four pipelined clients pushing
+///    whole-graph queries: most batches land while another is in flight
+///    and are answered with `busy` lines instead of queueing deeper.
+/// 3. **Drain** — `SHUTDOWN` over the wire, timed from the request write
+///    until the accept loop finishes its graceful exit.
+pub fn measure_resilience(scale: Scale) -> ResilienceReport {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    use grepair_server::{Server, ServerConfig};
+    use grepair_store::{StoreRegistry, BREAKER_COOLDOWN, BREAKER_THRESHOLD};
+
+    let reps = match scale {
+        Scale::Full => 1_024u32,
+        Scale::Quick => 256,
+    };
+    let (g, _) = Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|r| [(2 * r, 0u32, 2 * r + 1), (2 * r + 1, 1u32, 2 * r + 2)]),
+    );
+    let out = compress(&g, &GRePairConfig::default());
+    let enc = grepair_codec::encode(&out.grammar);
+    let container = write_container(&enc.bytes, enc.bit_len);
+
+    // 1. Breaker: the flaky tenant's container vanishes between the cold
+    // attach and the first resolve — the honest version of a dead disk.
+    let flaky_path = std::env::temp_dir()
+        .join(format!("grepair_bench_flaky_{}.g2g", std::process::id()));
+    std::fs::write(&flaky_path, &container).expect("bench scratch file writes");
+    let registry = StoreRegistry::new(
+        GraphStore::from_bytes(&container).expect("freshly compressed grammar loads"),
+    );
+    registry
+        .attach_cold("flaky", flaky_path.to_str().expect("temp paths are unicode"))
+        .expect("cold attach");
+    std::fs::remove_file(&flaky_path).expect("bench scratch file removes");
+    for _ in 0..BREAKER_THRESHOLD {
+        assert!(registry.store("flaky").is_err(), "the container is gone");
+    }
+    let open_probes = 100u64;
+    let breaker_fast_fail_ns = time_ns(|| {
+        for _ in 0..open_probes {
+            assert!(registry.store("flaky").is_err(), "an open breaker refuses fast");
+        }
+    }) / open_probes as f64;
+    let breaker_trips =
+        registry.health_of("flaky").expect("flaky is attached").breaker_trips;
+    std::fs::write(&flaky_path, &container).expect("bench scratch file writes");
+    std::thread::sleep(BREAKER_COOLDOWN);
+    let mut breaker_recovered = false;
+    for _ in 0..10 {
+        if registry.store("flaky").is_ok() {
+            breaker_recovered = true;
+            break;
+        }
+        std::thread::sleep(BREAKER_COOLDOWN / 5);
+    }
+    let _ = std::fs::remove_file(&flaky_path);
+
+    // 2. Shedding: two worker threads (one would make `query_batch_on`
+    // fall back to inline execution and never touch the pool), watermark
+    // one, small batches, four pipelined clients pushing whole-graph
+    // traversals — while one batch occupies the pool, every other
+    // session's flush is over the watermark and sheds.
+    let config = ServerConfig {
+        threads: 2,
+        batch: 32,
+        shed_watermark: 1,
+        ..ServerConfig::default()
+    };
+    let server_registry = Arc::new(StoreRegistry::new(
+        GraphStore::from_bytes(&container).expect("freshly compressed grammar loads"),
+    ));
+    let server =
+        Server::bind(&config, server_registry, None).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let run = std::thread::spawn(move || server.run());
+    let per_client = match scale {
+        Scale::Full => 600u64,
+        Scale::Quick => 200,
+    };
+    let (mut shed_sent, mut shed_busy) = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.as_str();
+                s.spawn(move || {
+                    let lines: Vec<String> =
+                        (0..per_client).map(|_| query_line(&Query::Components)).collect();
+                    let report =
+                        probe_server(addr, &lines).expect("probe the shedding server");
+                    let busy = report.answers.iter().filter(|a| *a == "busy").count();
+                    (report.sent as u64, busy as u64)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (sent, busy) = h.join().expect("shed client thread");
+            shed_sent += sent;
+            shed_busy += busy;
+        }
+    });
+
+    // 3. Drain: `SHUTDOWN` stops the accept loop and waits for in-flight
+    // sessions; the latency is request-write to `run()` returning.
+    let mut stream = TcpStream::connect(&addr).expect("connect for SHUTDOWN");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let t = Instant::now();
+    stream.write_all(b"SHUTDOWN\n").expect("send SHUTDOWN");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read the draining reply");
+    assert_eq!(reply, "draining\n", "SHUTDOWN acknowledges before draining");
+    run.join()
+        .expect("server thread")
+        .expect("drained accept loop exits cleanly");
+    let drain_latency_ns = t.elapsed().as_nanos() as f64;
+
+    ResilienceReport {
+        breaker_trips,
+        breaker_fast_fail_ns,
+        breaker_recovered,
+        shed_sent,
+        shed_busy,
+        drain_latency_ns,
+    }
+}
+
 /// Run the serving workload and collect every number the JSON records.
 pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
     let reps = match scale {
@@ -406,6 +578,7 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
         thread_scaling,
         backends: measure_backends(scale),
         tenancy: measure_multi_tenant(scale),
+        resilience: measure_resilience(scale),
     }
 }
 
@@ -496,8 +669,9 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     // Schema 2 added the per-backend comparison rows (PR 5); schema 3
-    // added the multi-tenant budget/eviction block (PR 6).
-    s.push_str("  \"schema\": 3,\n");
+    // added the multi-tenant budget/eviction block (PR 6); schema 4 added
+    // the resilience block (breaker / shed / drain, DESIGN.md §10).
+    s.push_str("  \"schema\": 4,\n");
     s.push_str("  \"bench\": \"store\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
     s.push_str(&format!("  \"threads_available\": {},\n", r.threads_available));
@@ -555,6 +729,16 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
         ));
     }
     s.push_str("    ]\n");
+    s.push_str("  },\n");
+    let res = &r.resilience;
+    s.push_str("  \"resilience\": {\n");
+    s.push_str(&format!("    \"breaker_trips\": {},\n", res.breaker_trips));
+    s.push_str(&format!("    \"breaker_fast_fail_ns\": {},\n", num(res.breaker_fast_fail_ns)));
+    s.push_str(&format!("    \"breaker_recovered\": {},\n", res.breaker_recovered));
+    s.push_str(&format!("    \"shed_sent\": {},\n", res.shed_sent));
+    s.push_str(&format!("    \"shed_busy\": {},\n", res.shed_busy));
+    s.push_str(&format!("    \"shed_rate\": {},\n", num(res.shed_rate())));
+    s.push_str(&format!("    \"drain_latency_ms\": {}\n", num(res.drain_latency_ns / 1e6)));
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -607,6 +791,14 @@ mod tests {
                     },
                 ],
             },
+            resilience: ResilienceReport {
+                breaker_trips: 1,
+                breaker_fast_fail_ns: 250.0,
+                breaker_recovered: true,
+                shed_sent: 800,
+                shed_busy: 600,
+                drain_latency_ns: 40_000_000.0,
+            },
         }
     }
 
@@ -615,6 +807,9 @@ mod tests {
         let r = sample();
         assert!((r.batch_speedup() - 3.0).abs() < 1e-9);
         assert!((r.scaling_factor() - 4.0).abs() < 1e-9);
+        assert!((r.resilience.shed_rate() - 0.75).abs() < 1e-9);
+        let none_sent = ResilienceReport { shed_sent: 0, shed_busy: 0, ..r.resilience };
+        assert_eq!(none_sent.shed_rate(), 0.0, "no workload, no rate");
     }
 
     #[test]
@@ -624,7 +819,7 @@ mod tests {
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         for key in [
-            "\"schema\": 3",
+            "\"schema\": 4",
             "\"bench\": \"store\"",
             "\"scale\": \"quick\"",
             "\"threads_available\": 8",
@@ -648,6 +843,14 @@ mod tests {
             "\"resident_bytes\": 1400",
             "\"name\": \"alpha\"",
             "\"cold_open_ns\": 52000.0",
+            "\"resilience\"",
+            "\"breaker_trips\": 1",
+            "\"breaker_fast_fail_ns\": 250.0",
+            "\"breaker_recovered\": true",
+            "\"shed_sent\": 800",
+            "\"shed_busy\": 600",
+            "\"shed_rate\": 0.8",
+            "\"drain_latency_ms\": 40.0",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -708,10 +911,24 @@ mod tests {
             by_name("grepair").container_bytes < by_name("k2").container_bytes,
             "grammar must beat k2 on the repetitive path"
         );
+        // The resilience block measured real degradation: the breaker
+        // tripped and recovered, the watermark shed at least one batch,
+        // and the drain finished inside the default deadline.
+        let res = &r.resilience;
+        assert!(res.breaker_trips >= 1, "{res:?}");
+        assert!(res.breaker_fast_fail_ns > 0.0, "{res:?}");
+        assert!(res.breaker_recovered, "{res:?}");
+        assert!(res.shed_sent > 0 && res.shed_busy > 0, "{res:?}");
+        assert!(res.shed_busy <= res.shed_sent, "{res:?}");
+        assert!(
+            res.drain_latency_ns > 0.0 && res.drain_latency_ns < 5e9,
+            "{res:?}"
+        );
         // The rendered form of a real measurement is also well-formed.
         let text = render_store_bench_json(&r);
-        assert!(text.contains("\"schema\": 3"));
+        assert!(text.contains("\"schema\": 4"));
         assert!(text.contains("\"name\": \"hn\""));
         assert!(text.contains("\"multi_tenant\""));
+        assert!(text.contains("\"resilience\""));
     }
 }

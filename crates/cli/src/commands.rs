@@ -275,8 +275,31 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
             let queries_path = args.get(2).ok_or("missing queries file")?;
             crate::validate_value_flags(
                 &args[3..],
-                &["--batch", "--threads", "--attach", "--memory-budget"],
+                &[
+                    "--batch",
+                    "--threads",
+                    "--attach",
+                    "--memory-budget",
+                    "--shed-watermark",
+                    "--failpoints",
+                    "--fail-seed",
+                ],
             )?;
+            // The chaos-twin surface (DESIGN.md §10): the same failpoint
+            // and shedding knobs as `store serve`, so a fault schedule
+            // replays identically through both front ends.
+            grepair_util::fail::init_from_env()?;
+            if let Some(seed) = crate::flag_value(&args[3..], "--fail-seed") {
+                let seed: u64 = seed.parse().map_err(|e| format!("bad --fail-seed: {e}"))?;
+                if !grepair_util::fail::enabled() {
+                    return Err(format!("--fail-seed: {}", grepair_util::fail::DISABLED));
+                }
+                grepair_util::fail::set_seed(seed);
+            }
+            if let Some(specs) = crate::flag_value(&args[3..], "--failpoints") {
+                grepair_util::fail::configure_list(&specs)
+                    .map_err(|e| format!("bad --failpoints: {e}"))?;
+            }
             let batch_size: usize = match crate::flag_value(&args[3..], "--batch") {
                 Some(raw) => raw.parse().map_err(|e| format!("bad --batch: {e}"))?,
                 None => 1024,
@@ -298,6 +321,11 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
             })?;
             grepair_server::apply_tenancy_flags(&registry, &args[3..])?;
             let pool = grepair_server::WorkerPool::new(threads);
+            if let Some(raw) = crate::flag_value(&args[3..], "--shed-watermark") {
+                let watermark: usize =
+                    raw.parse().map_err(|e| format!("bad --shed-watermark: {e}"))?;
+                pool.set_shed_watermark(watermark);
+            }
             let file = std::fs::File::open(queries_path)
                 .map_err(|e| format!("{queries_path}: {e}"))?;
             // Chaining one extra newline terminates an unterminated final

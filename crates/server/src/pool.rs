@@ -14,7 +14,7 @@
 //! stack; its soundness argument is spelled out at the call site.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
@@ -80,6 +80,27 @@ pub struct WorkerPool {
     /// workers' shutdown signal.
     sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet finished (queued + running), across every
+    /// concurrent `scope` call. This is the load signal the shed watermark
+    /// compares against (DESIGN.md §10).
+    inflight: Arc<AtomicUsize>,
+    /// Queue-depth watermark: once `inflight` reaches it, [`overloaded`]
+    /// reports true and sessions shed new batches with `busy` replies.
+    /// `0` disables shedding (the default).
+    shed_watermark: AtomicUsize,
+    /// Monotonic count of shed queries, bumped by the session layer via
+    /// [`note_shed`]; lives here so every session of a server shares it.
+    sheds: AtomicU64,
+}
+
+/// Decrements the pool's inflight counter on drop, so a job releases its
+/// load-signal slot whether it ran, panicked, or was dropped unexecuted.
+struct InflightGuard(Arc<AtomicUsize>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Hard ceiling on resident workers. Pool threads are CPU-bound query
@@ -127,12 +148,46 @@ impl WorkerPool {
                 }
             }
         }
-        Self { sender: Some(sender), workers }
+        Self {
+            sender: Some(sender),
+            workers,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            shed_watermark: AtomicUsize::new(0),
+            sheds: AtomicU64::new(0),
+        }
     }
 
     /// Number of resident worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently queued or running across all concurrent scopes.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Arm (or, with `0`, disarm) the shed watermark.
+    pub fn set_shed_watermark(&self, watermark: usize) {
+        self.shed_watermark.store(watermark, Ordering::Relaxed);
+    }
+
+    /// True when the queue is at or past the watermark — the session layer
+    /// answers `busy` instead of submitting more work (DESIGN.md §10).
+    pub fn overloaded(&self) -> bool {
+        let watermark = self.shed_watermark.load(Ordering::Relaxed);
+        watermark != 0 && self.inflight() >= watermark
+    }
+
+    /// Record `n` queries shed by a session; returns nothing — the running
+    /// total is [`Self::sheds`].
+    pub fn note_shed(&self, n: u64) {
+        self.sheds.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total queries shed at the watermark since the pool was built.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
     }
 }
 
@@ -151,7 +206,11 @@ impl BatchExecutor for WorkerPool {
         if self.workers.is_empty() {
             // Degraded pool (no thread could be spawned): run on the
             // submitting thread rather than parking forever on the latch.
+            // The jobs still count as inflight so the shed watermark sees
+            // the load.
             for job in jobs {
+                self.inflight.fetch_add(1, Ordering::Relaxed);
+                let _inflight = InflightGuard(Arc::clone(&self.inflight));
                 job();
             }
             return;
@@ -171,9 +230,12 @@ impl BatchExecutor for WorkerPool {
             // drops).
             let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
             let guard = LatchGuard(Arc::clone(&latch));
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+            let inflight = InflightGuard(Arc::clone(&self.inflight));
             let latch_for_task = Arc::clone(&latch);
             let task: Task = Box::new(move || {
                 let _guard = guard;
+                let _inflight = inflight;
                 if catch_unwind(AssertUnwindSafe(job)).is_err() {
                     latch_for_task.panicked.store(true, Ordering::Relaxed);
                 }
@@ -319,6 +381,41 @@ mod tests {
             }) as Box<dyn FnOnce() + Send + '_>
         })));
         assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn watermark_trips_under_load_and_clears_when_it_drains() {
+        let pool = Arc::new(WorkerPool::new(1));
+        assert!(!pool.overloaded(), "disarmed watermark never sheds");
+        pool.set_shed_watermark(1);
+        assert!(!pool.overloaded(), "idle pool is below any watermark");
+
+        // Park a job on the single worker so inflight stays at 1 while we
+        // probe the watermark from this thread.
+        let (release_tx, release_rx) = channel::<()>();
+        let (parked_tx, parked_rx) = channel::<()>();
+        let background = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                pool.scope(jobs_from([Box::new(move || {
+                    parked_tx.send(()).ok();
+                    release_rx.recv().ok();
+                }) as Box<dyn FnOnce() + Send + '_>]));
+            })
+        };
+        parked_rx.recv().expect("the parked job started");
+        assert_eq!(pool.inflight(), 1);
+        assert!(pool.overloaded(), "inflight at the watermark sheds");
+
+        release_tx.send(()).expect("the parked job is waiting");
+        background.join().expect("background scope finished");
+        assert_eq!(pool.inflight(), 0, "scope returned ⇒ load drained");
+        assert!(!pool.overloaded());
+
+        pool.set_shed_watermark(0);
+        pool.note_shed(3);
+        pool.note_shed(2);
+        assert_eq!(pool.sheds(), 5);
     }
 
     #[test]

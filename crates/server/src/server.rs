@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use grepair_store::StoreRegistry;
 use grepair_util::args::{flag_value, flag_values, validate_value_flags};
+use grepair_util::fail;
 
 use crate::pool::WorkerPool;
 use crate::session::{serve_session, SessionOpts, DEFAULT_BATCH, DEFAULT_MAX_LINE};
@@ -21,6 +22,21 @@ pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// Default cap on concurrently served connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// Default deadline for a graceful drain: sessions still running this long
+/// after `SHUTDOWN`/`SIGTERM` are abandoned (the process exits; the OS
+/// closes their sockets).
+pub const DEFAULT_DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Backoff before retrying a failed `accept(2)`, by consecutive-failure
+/// count (1-based). Exponential from 10 ms, capped at 1 s: one transient
+/// failure (aborted handshake) barely delays the next accept, while a
+/// persistent one (fd exhaustion) stops the loop from spinning at 100%
+/// CPU without ever giving up. Reset to zero by a successful accept.
+pub fn accept_backoff(consecutive_failures: u32) -> Duration {
+    let exp = consecutive_failures.saturating_sub(1).min(7);
+    Duration::from_millis((10u64 << exp).min(1_000))
+}
 
 /// Everything `grepair-server` / `grepair store serve` can tune.
 #[derive(Debug, Clone)]
@@ -45,6 +61,12 @@ pub struct ServerConfig {
     /// flood degrades into fast refusals instead of unbounded session
     /// threads.
     pub max_connections: usize,
+    /// Worker-pool queue-depth watermark past which sessions shed their
+    /// batches with `busy` replies; `0` disables shedding (DESIGN.md §10).
+    pub shed_watermark: usize,
+    /// How long a drain (`SHUTDOWN` / `SIGTERM`) waits for in-flight
+    /// sessions before giving up on them.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +78,8 @@ impl Default for ServerConfig {
             max_line: DEFAULT_MAX_LINE,
             read_timeout: Some(DEFAULT_READ_TIMEOUT),
             max_connections: DEFAULT_MAX_CONNECTIONS,
+            shed_watermark: 0,
+            drain_deadline: DEFAULT_DRAIN_DEADLINE,
         }
     }
 }
@@ -69,7 +93,12 @@ pub struct Server {
     opts: SessionOpts,
     read_timeout: Option<Duration>,
     max_connections: usize,
+    drain_deadline: Duration,
     stop: Arc<AtomicBool>,
+    /// Flipped by any session's `SHUTDOWN` (via [`SessionOpts::drain`]) or
+    /// by `SIGTERM`; the drain watcher turns it into a stop + graceful
+    /// wait (DESIGN.md §10).
+    drain: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
     active: Arc<AtomicU64>,
 }
@@ -129,18 +158,24 @@ impl Server {
         reload_path: Option<String>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        pool.set_shed_watermark(config.shed_watermark);
+        let drain = Arc::new(AtomicBool::new(false));
         Ok(Self {
             listener,
             registry,
-            pool: Arc::new(WorkerPool::new(config.threads)),
+            pool,
             opts: SessionOpts {
                 batch: config.batch.max(1),
                 max_line: config.max_line.max(1),
                 reload_path,
+                drain: Some(Arc::clone(&drain)),
             },
             read_timeout: config.read_timeout,
             max_connections: config.max_connections.max(1),
+            drain_deadline: config.drain_deadline,
             stop: Arc::new(AtomicBool::new(false)),
+            drain,
             connections: Arc::new(AtomicU64::new(0)),
             active: Arc::new(AtomicU64::new(0)),
         })
@@ -198,14 +233,81 @@ impl Server {
             .expect("spawn sighup watcher");
     }
 
-    /// Accept connections until [`ServerHandle::stop`] is called. Each
+    /// Accept connections until [`ServerHandle::stop`] is called or a
+    /// drain begins (`SHUTDOWN` from any session, or `SIGTERM`). Each
     /// connection gets its own session thread; batch evaluation runs on the
     /// shared pool, so the number of *query-crunching* threads stays fixed
     /// no matter how many clients connect.
+    ///
+    /// A drain is graceful (DESIGN.md §10): the listener stops accepting,
+    /// in-flight sessions finish their current batches and end, and only
+    /// once they all ended — or the drain deadline expired — does this
+    /// return.
     pub fn run(&self) -> std::io::Result<()> {
+        self.spawn_drain_watcher()?;
+        let result = self.accept_loop();
+        if self.drain.load(Ordering::Relaxed) {
+            self.await_drain();
+        }
+        result
+    }
+
+    /// Watch for a drain trigger — the shared flag (any session's
+    /// `SHUTDOWN`) or a delivered `SIGTERM` — and turn it into an
+    /// accept-loop stop. The thread exits with the server either way.
+    fn spawn_drain_watcher(&self) -> std::io::Result<()> {
+        signal::install_term_handler();
+        let handle = self.handle()?;
+        let drain = Arc::clone(&self.drain);
+        std::thread::Builder::new()
+            .name("grepair-drain".into())
+            .spawn(move || loop {
+                if signal::take_term() {
+                    drain.store(true, Ordering::Relaxed);
+                }
+                if drain.load(Ordering::Relaxed) {
+                    // stop() also unblocks the accept() the loop is
+                    // parked in (self-connect).
+                    handle.stop();
+                    return;
+                }
+                if handle.stop.load(Ordering::Relaxed) {
+                    return; // plain stop, no drain
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            })
+            .map(|_| ())
+    }
+
+    /// Block until every active session ended, up to the drain deadline.
+    fn await_drain(&self) {
+        // audited: operator log from the drain path; stderr is the server's log surface
+        eprintln!("draining: {} active sessions", self.connections_active());
+        let deadline = std::time::Instant::now() + self.drain_deadline;
+        while self.connections_active() > 0 {
+            if std::time::Instant::now() >= deadline {
+                // audited: operator log from the drain path; stderr is the server's log surface
+                eprintln!(
+                    "drain deadline reached with {} sessions still active",
+                    self.connections_active()
+                );
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn accept_loop(&self) -> std::io::Result<()> {
+        let mut accept_failures = 0u32;
         loop {
-            let (stream, peer) = match self.listener.accept() {
-                Ok(accepted) => accepted,
+            let accepted = fail::point("server.accept")
+                .map_err(std::io::Error::other)
+                .and_then(|()| self.listener.accept());
+            let (stream, peer) = match accepted {
+                Ok(accepted) => {
+                    accept_failures = 0;
+                    accepted
+                }
                 Err(e) => {
                     if self.stop.load(Ordering::Relaxed) {
                         return Ok(());
@@ -213,10 +315,12 @@ impl Server {
                     // Transient accept failures (EMFILE, aborted handshake)
                     // must not take the server down — but a *persistent*
                     // one (fd exhaustion) would otherwise spin this loop
-                    // at 100% CPU, so back off briefly before retrying.
+                    // at 100% CPU, so back off exponentially (reset by the
+                    // next successful accept) before retrying.
+                    accept_failures = accept_failures.saturating_add(1);
                     // audited: operator log from the accept loop; stderr is the server's log surface
                     eprintln!("accept failed: {e}");
-                    std::thread::sleep(Duration::from_millis(50));
+                    std::thread::sleep(accept_backoff(accept_failures));
                     continue;
                 }
             };
@@ -328,12 +432,17 @@ pub fn apply_tenancy_flags(registry: &StoreRegistry, flags: &[String]) -> Result
 /// `grepair store serve`:
 /// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
 /// [--read-timeout SECS] [--max-connections N]
-/// [--attach NAME=PATH]... [--memory-budget BYTES]`.
+/// [--attach NAME=PATH]... [--memory-budget BYTES]
+/// [--shed-watermark N] [--drain-deadline SECS]
+/// [--failpoints SPECS] [--fail-seed N]`.
 ///
 /// `--read-timeout 0` disables the idle cutoff. The positional container
 /// becomes the `default` namespace; each `--attach` adds a cold tenant.
-/// Prints one `listening ...` line to stdout once bound (CI and scripts
-/// parse the ephemeral port out of it), then serves until killed.
+/// `--failpoints` / `--fail-seed` (and their `GREPAIR_FAILPOINTS` /
+/// `GREPAIR_FAIL_SEED` env twins) error unless the build has the `fail`
+/// feature. Prints one `listening ...` line to stdout once bound (CI and
+/// scripts parse the ephemeral port out of it), then serves until killed
+/// or drained.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let g2g = args.first().ok_or("missing g2g file")?;
     // audited: args.first() returned Some just above, so args is non-empty
@@ -349,8 +458,23 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             "--max-connections",
             "--attach",
             "--memory-budget",
+            "--shed-watermark",
+            "--drain-deadline",
+            "--failpoints",
+            "--fail-seed",
         ],
     )?;
+    fail::init_from_env()?;
+    if let Some(seed) = flag_value(flags, "--fail-seed") {
+        let seed: u64 = seed.parse().map_err(|e| format!("bad --fail-seed: {e}"))?;
+        if !fail::enabled() {
+            return Err(format!("--fail-seed: {}", fail::DISABLED));
+        }
+        fail::set_seed(seed);
+    }
+    if let Some(specs) = flag_value(flags, "--failpoints") {
+        fail::configure_list(&specs).map_err(|e| format!("bad --failpoints: {e}"))?;
+    }
     let mut config = ServerConfig::default();
     if let Some(addr) = flag_value(flags, "--addr") {
         config.addr = addr;
@@ -380,6 +504,14 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         if config.max_connections == 0 {
             return Err("--max-connections must be at least 1".into());
         }
+    }
+    if let Some(raw) = flag_value(flags, "--shed-watermark") {
+        config.shed_watermark =
+            raw.parse().map_err(|e| format!("bad --shed-watermark: {e}"))?;
+    }
+    if let Some(raw) = flag_value(flags, "--drain-deadline") {
+        let secs: u64 = raw.parse().map_err(|e| format!("bad --drain-deadline: {e}"))?;
+        config.drain_deadline = Duration::from_secs(secs);
     }
 
     let registry = Arc::new(StoreRegistry::open(g2g).map_err(|e| match e {
@@ -426,6 +558,17 @@ mod tests {
         assert!(run_cli(&args(&["x.g2g", "--read-timeout", "soon"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--max-connections", "0"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--max-connections", "lots"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--shed-watermark", "deep"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--drain-deadline", "soon"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--fail-seed", "x"])).is_err());
+        // Without the `fail` feature the failpoint flags error loudly; with
+        // it, a malformed spec still must.
+        assert!(run_cli(&args(&["x.g2g", "--failpoints", "noequals"])).is_err());
+        if !fail::enabled() {
+            let err =
+                run_cli(&args(&["x.g2g", "--fail-seed", "7"])).unwrap_err();
+            assert!(err.contains("compiled out"), "{err}");
+        }
         // A good flag set still fails cleanly on a missing store file.
         let err = run_cli(&args(&["/nonexistent/x.g2g", "--threads", "2"])).unwrap_err();
         assert!(err.contains("/nonexistent/x.g2g"), "{err}");
@@ -469,5 +612,20 @@ mod tests {
         // concurrent-connection cap.
         assert_eq!(config.read_timeout, Some(DEFAULT_READ_TIMEOUT));
         assert_eq!(config.max_connections, DEFAULT_MAX_CONNECTIONS);
+        // Shedding is opt-in; a drain waits a finite default.
+        assert_eq!(config.shed_watermark, 0);
+        assert_eq!(config.drain_deadline, DEFAULT_DRAIN_DEADLINE);
+    }
+
+    #[test]
+    fn accept_backoff_schedule_doubles_to_a_cap_and_resets() {
+        let schedule: Vec<u64> =
+            (1..=9).map(|n| accept_backoff(n).as_millis() as u64).collect();
+        assert_eq!(schedule, [10, 20, 40, 80, 160, 320, 640, 1_000, 1_000]);
+        // "Reset" is the caller handing back failure count 1 — which must
+        // land at the bottom of the ladder again, even after saturation.
+        assert_eq!(accept_backoff(1), Duration::from_millis(10));
+        assert_eq!(accept_backoff(u32::MAX), Duration::from_millis(1_000));
+        assert_eq!(accept_backoff(0), Duration::from_millis(10), "0 is clamped, not panicking");
     }
 }

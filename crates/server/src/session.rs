@@ -8,8 +8,16 @@
 //! `name:` namespace prefix; unprefixed lines go to the session's current
 //! namespace (`default` until a `USE`). On top sits the admin plane:
 //! upper-case verbs (`PING`, `INFO`, `STATS [name]`, `USE`, `ATTACH`,
-//! `DETACH`, `LIST`, `RELOAD`, `QUIT`) that a query file can never collide
-//! with, because query verbs are lower-case.
+//! `DETACH`, `LIST`, `RELOAD`, `FAULTS`, `SHUTDOWN`, `QUIT`) that a query
+//! file can never collide with, because query verbs are lower-case.
+//!
+//! Overload and faults degrade per line, never per connection
+//! (DESIGN.md §10): when the shared pool is past its shed watermark the
+//! pending batch is answered with `busy` lines instead of queueing deeper,
+//! and a namespace whose circuit breaker is open answers fast
+//! `error: unavailable:` lines while healthy namespaces in the same batch
+//! serve normally. `SHUTDOWN` flips the server's drain flag, replies
+//! `draining`, and ends the session.
 //!
 //! Batching is adaptive: lines are parsed and buffered while more input is
 //! already waiting in the read buffer, and the pending batch is evaluated
@@ -21,11 +29,14 @@
 //! input order.
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use grepair_store::{
     error_reply, parse_query, valid_namespace, GrepairError, Query, StoreRegistry,
     DEFAULT_NAMESPACE,
 };
+use grepair_util::fail;
 
 use crate::pool::WorkerPool;
 
@@ -60,11 +71,17 @@ pub struct SessionOpts {
     /// registry has no recorded path for it (the path the server was
     /// started from); `None` leaves only the registry's own records.
     pub reload_path: Option<String>,
+    /// Set by a `SHUTDOWN` verb (any session) or SIGTERM; the socket server
+    /// watches it to stop accepting and drain (DESIGN.md §10). Sessions
+    /// also check it between batches so a streaming client cannot hold the
+    /// drain open forever. `None` (serve-file, tests) means `SHUTDOWN`
+    /// only ends the issuing session.
+    pub drain: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SessionOpts {
     fn default() -> Self {
-        Self { batch: DEFAULT_BATCH, max_line: DEFAULT_MAX_LINE, reload_path: None }
+        Self { batch: DEFAULT_BATCH, max_line: DEFAULT_MAX_LINE, reload_path: None, drain: None }
     }
 }
 
@@ -77,6 +94,8 @@ pub struct SessionSummary {
     pub errors: u64,
     /// Successful `RELOAD`s performed by this session.
     pub reloads: u64,
+    /// Lines answered `busy` because the pool was past its shed watermark.
+    pub sheds: u64,
 }
 
 /// A buffered byte source that can tell whether more input is *already*
@@ -170,6 +189,12 @@ enum Admin {
     Detach(String),
     /// One-line listing of every namespace with residency and generation.
     List,
+    /// Inspect or reconfigure the failpoint layer (`FAULTS`,
+    /// `FAULTS SET <name> <spec>`, `FAULTS CLEAR [name]`,
+    /// `FAULTS SEED <n>`). Errors when the `fail` feature is compiled out.
+    Faults(Vec<String>),
+    /// Flip the drain flag, reply `draining`, end the session.
+    Shutdown,
     Quit,
 }
 
@@ -199,6 +224,9 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
         "INFO" => no_args(Admin::Info, it),
         "LIST" => no_args(Admin::List, it),
         "QUIT" => no_args(Admin::Quit, it),
+        "SHUTDOWN" => no_args(Admin::Shutdown, it),
+        // Arity is checked per subcommand in `handle_faults`.
+        "FAULTS" => Ok(Admin::Faults(it.map(str::to_string).collect())),
         "USE" => one_arg(Admin::Use, "USE", it),
         "DETACH" => one_arg(Admin::Detach, "DETACH", it),
         "STATS" => {
@@ -254,6 +282,9 @@ pub fn serve_session(
     let mut pending: Vec<Pending> = Vec::new();
     let mut line = Vec::new();
     loop {
+        // A fired `session.read` fault is a transport error: the peer is
+        // treated as vanished, exactly like a real half-open TCP drop.
+        fail::point("session.read").map_err(std::io::Error::other)?;
         let event = read_limited_line(reader, &mut line, opts.max_line)?;
         match event {
             LineEvent::Eof | LineEvent::MidLineEof => {
@@ -289,13 +320,14 @@ pub fn serve_session(
                         // command first: replies stay in request order, and
                         // a RELOAD cannot retroactively change them.
                         flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
-                        let quit = matches!(admin, Ok(Admin::Quit));
+                        let quit = matches!(admin, Ok(Admin::Quit) | Ok(Admin::Shutdown));
                         let reply =
                             handle_admin(registry, admin, opts, &mut namespace, &mut summary);
                         summary.served += 1;
                         if reply.starts_with("error: ") {
                             summary.errors += 1;
                         }
+                        fail::point("session.write").map_err(std::io::Error::other)?;
                         writeln!(writer, "{reply}")?;
                         writer.flush()?;
                         if quit {
@@ -323,6 +355,14 @@ pub fn serve_session(
             flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
             writer.flush()?;
         }
+        // Between batches a draining server ends the session: in-flight
+        // batches were just answered; a streaming client must not be able
+        // to hold the drain open until the deadline kills it.
+        if opts.drain.as_ref().is_some_and(|d| d.load(Ordering::Relaxed)) {
+            flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+            writer.flush()?;
+            return Ok(summary);
+        }
     }
 }
 
@@ -342,6 +382,22 @@ fn flush_pending(
     summary: &mut SessionSummary,
 ) -> std::io::Result<()> {
     if pending.is_empty() {
+        return Ok(());
+    }
+    // Load shedding (DESIGN.md §10): past the pool's queue-depth watermark
+    // (or under an injected `pool.submit` fault) the whole pending batch is
+    // answered `busy` instead of queueing deeper. A shed is not an error —
+    // the client retries the same lines; nothing about its requests was
+    // wrong.
+    if pool.overloaded() || fail::point("pool.submit").is_err() {
+        let shed = pending.len() as u64;
+        pool.note_shed(shed);
+        summary.sheds += shed;
+        summary.served += shed;
+        fail::point("session.write").map_err(std::io::Error::other)?;
+        for _ in pending.drain(..) {
+            writeln!(writer, "busy")?;
+        }
         return Ok(());
     }
     let mut replies: Vec<Option<Result<std::sync::Arc<grepair_store::QueryAnswer>, GrepairError>>> =
@@ -387,6 +443,7 @@ fn flush_pending(
             }
         }
     }
+    fail::point("session.write").map_err(std::io::Error::other)?;
     for (reply, (_, entry)) in replies.into_iter().zip(pending.drain(..)) {
         summary.served += 1;
         let outcome = match entry {
@@ -419,16 +476,39 @@ fn handle_admin(
         Ok(Admin::Quit) => "bye".into(),
         Ok(Admin::Info) => match registry.store(namespace) {
             Err(e) => error_reply(e),
-            Ok(store) => format!(
-                "grepair proto={PROTO_VERSION} namespace={namespace} generation={} nodes={} backend={}",
-                store.generation(),
-                store.total_nodes(),
-                store.backend()
-            ),
+            Ok(store) => {
+                let reload_failures =
+                    registry.health_of(namespace).map_or(0, |h| h.reload_failures);
+                format!(
+                    "grepair proto={PROTO_VERSION} namespace={namespace} generation={} nodes={} backend={} reload_failures={reload_failures}",
+                    store.generation(),
+                    store.total_nodes(),
+                    store.backend()
+                )
+            }
         },
         Ok(Admin::Stats(None)) => registry.aggregate_stats().to_string(),
         Ok(Admin::Stats(Some(name))) => match registry.stats_for(&name) {
-            Ok(stats) => stats.to_string(),
+            Ok(stats) => {
+                // Per-namespace health rides along (DESIGN.md §10): the
+                // monotonic failure counters always render; the last error
+                // only once there is one (quoted — error strings contain
+                // spaces).
+                let mut reply = stats.to_string();
+                if let Ok(health) = registry.health_of(&name) {
+                    reply.push_str(&format!(
+                        " open_failures={} reload_failures={} breaker_trips={} breaker_open={}",
+                        health.open_failures,
+                        health.reload_failures,
+                        health.breaker_trips,
+                        health.breaker_open
+                    ));
+                    if let Some(last) = health.last_error {
+                        reply.push_str(&format!(" last_error={last:?}"));
+                    }
+                }
+                reply
+            }
             Err(e) => error_reply(e),
         },
         Ok(Admin::Use(name)) => {
@@ -484,6 +564,68 @@ fn handle_admin(
                 }
                 Err(e) => error_reply(e),
             }
+        }
+        Ok(Admin::Shutdown) => {
+            if let Some(drain) = &opts.drain {
+                drain.store(true, Ordering::Relaxed);
+            }
+            "draining".into()
+        }
+        Ok(Admin::Faults(args)) => handle_faults(&args),
+    }
+}
+
+/// Execute one `FAULTS` subcommand against the process-wide failpoint
+/// table (DESIGN.md §10). With the `fail` feature compiled out, mutating
+/// subcommands error (`grepair_util::fail::DISABLED`) and the bare listing
+/// reports `compiled=off` — so an operator can always tell which build
+/// they are talking to.
+fn handle_faults(args: &[String]) -> String {
+    let compiled = if fail::enabled() { "on" } else { "off" };
+    match args.first().map(String::as_str) {
+        None => {
+            let mut reply = format!("faults compiled={compiled}");
+            let points = fail::snapshot();
+            reply.push_str(&format!(" points={}", points.len()));
+            for p in points {
+                reply.push_str(&format!(" {}={}:calls={}:fired={}", p.name, p.spec, p.calls, p.fired));
+            }
+            reply
+        }
+        Some("SET") => match args {
+            [_, name, spec] => match fail::configure(name, spec) {
+                Ok(()) => format!("fault set {name}"),
+                Err(e) => error_reply(format_args!("bad request: {e}")),
+            },
+            _ => error_reply(format_args!("bad request: FAULTS SET needs a name and a spec")),
+        },
+        Some("CLEAR") => match args {
+            [_] => {
+                fail::clear_all();
+                "faults cleared".into()
+            }
+            [_, name] => {
+                if fail::clear(name) {
+                    format!("fault cleared {name}")
+                } else {
+                    error_reply(format_args!("bad request: no fault configured at {name:?}"))
+                }
+            }
+            _ => error_reply(format_args!("bad request: FAULTS CLEAR takes at most a name")),
+        },
+        Some("SEED") => match args {
+            [_, seed] => match seed.parse::<u64>() {
+                Ok(seed) if fail::enabled() => {
+                    fail::set_seed(seed);
+                    format!("fault seed {seed}")
+                }
+                Ok(_) => error_reply(format_args!("bad request: {}", fail::DISABLED)),
+                Err(_) => error_reply(format_args!("bad request: FAULTS SEED needs a u64")),
+            },
+            _ => error_reply(format_args!("bad request: FAULTS SEED needs a u64")),
+        },
+        Some(other) => {
+            error_reply(format_args!("bad request: unknown FAULTS subcommand {other:?}"))
         }
     }
 }
@@ -545,7 +687,7 @@ mod tests {
         assert_eq!(lines[0], "pong");
         assert_eq!(
             lines[1],
-            "grepair proto=2 namespace=default generation=1 nodes=17 backend=grepair"
+            "grepair proto=2 namespace=default generation=1 nodes=17 backend=grepair reload_failures=0"
         );
         assert!(lines[2].starts_with("namespaces=1 resident=1 "), "{out}");
         assert_eq!(lines[3], "bye");
@@ -560,7 +702,11 @@ mod tests {
         let (out, _) = run("out 0\nSTATS default\nSTATS nosuch\n");
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[1].starts_with("generation=1 loads=1 queries=1 "), "{out}");
-        assert!(lines[1].ends_with("backend=grepair"), "{out}");
+        assert!(lines[1].contains("backend=grepair"), "{out}");
+        assert!(
+            lines[1].ends_with("open_failures=0 reload_failures=0 breaker_trips=0 breaker_open=false"),
+            "{out}"
+        );
         assert!(lines[2].starts_with("error: bad request: unknown namespace"), "{out}");
     }
 
@@ -600,7 +746,7 @@ mod tests {
         assert_eq!(lines[4], out32, "{out}");
         assert_eq!(
             lines[5],
-            "grepair proto=2 namespace=big generation=1 nodes=33 backend=grepair"
+            "grepair proto=2 namespace=big generation=1 nodes=33 backend=grepair reload_failures=0"
         );
         // A prefix points back at default regardless of the session state.
         assert_eq!(lines[6], "1");
@@ -719,9 +865,12 @@ mod tests {
         let reloaded = GraphStore::from_bytes(&g2g(16)).unwrap();
         let expected = reloaded.query(&grepair_store::Query::InNeighbors(32)).unwrap();
         assert_eq!(lines[2], expected.to_string(), "{text}");
-        // A failed reload keeps generation 2 serving.
+        // A failed reload keeps generation 2 serving — and is recorded:
+        // STATS surfaces the monotonic count and the last error string.
         assert!(lines[3].starts_with("error:"), "{text}");
         assert!(lines[4].starts_with("generation=2 "), "{text}");
+        assert!(lines[4].contains("reload_failures=1"), "{text}");
+        assert!(lines[4].contains("last_error="), "{text}");
         assert_eq!(summary.reloads, 1);
         assert_eq!(registry.generation(), 2);
         let _ = std::fs::remove_file(&path);
@@ -745,7 +894,7 @@ mod tests {
         assert_eq!(lines[1], "reloaded generation=2 nodes=25");
         assert_eq!(
             lines[2],
-            "grepair proto=2 namespace=a generation=2 nodes=25 backend=grepair"
+            "grepair proto=2 namespace=a generation=2 nodes=25 backend=grepair reload_failures=0"
         );
         assert!(lines[3].starts_with("namespaces=2 resident=2 "), "{out}");
         assert_eq!(summary.reloads, 1);
@@ -753,6 +902,108 @@ mod tests {
         assert_eq!(registry.generation_of("a").unwrap(), 2);
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn overloaded_pool_sheds_with_busy_lines_and_recovers() {
+        let registry = registry(8);
+        let pool = WorkerPool::new(1);
+        pool.set_shed_watermark(1);
+        // Park a job so the pool sits at the watermark while the session
+        // flushes, then release it and serve again on the same registry.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (parked_tx, parked_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let pool_ref = &pool;
+            s.spawn(move || {
+                use grepair_store::BatchExecutor;
+                pool_ref.scope(vec![Box::new(move || {
+                    parked_tx.send(()).ok();
+                    release_rx.recv().ok();
+                }) as Box<dyn FnOnce() + Send + '_>]);
+            });
+            parked_rx.recv().expect("the parked job started");
+            let mut reader: &[u8] = b"out 0\nreach 0 16\n";
+            let mut out = Vec::new();
+            let summary =
+                serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default())
+                    .unwrap();
+            assert_eq!(String::from_utf8(out).unwrap(), "busy\nbusy\n");
+            assert_eq!(summary.sheds, 2);
+            assert_eq!(summary.served, 2);
+            assert_eq!(summary.errors, 0, "a shed is not the client's fault");
+            release_tx.send(()).expect("the parked job is waiting");
+        });
+        assert_eq!(pool.sheds(), 2);
+        // Load drained: the same lines now get real answers.
+        let mut reader: &[u8] = b"out 0\nreach 0 16\n";
+        let mut out = Vec::new();
+        let summary =
+            serve_session(&registry, &pool, &mut reader, &mut out, &SessionOpts::default())
+                .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "1\ntrue\n");
+        assert_eq!(summary.sheds, 0);
+    }
+
+    #[test]
+    fn shutdown_flips_the_drain_flag_and_ends_the_session() {
+        let registry = registry(8);
+        let pool = WorkerPool::new(1);
+        let drain = Arc::new(AtomicBool::new(false));
+        let opts = SessionOpts { drain: Some(Arc::clone(&drain)), ..SessionOpts::default() };
+        let mut reader: &[u8] = b"out 0\nSHUTDOWN\nout 0\n";
+        let mut out = Vec::new();
+        let summary = serve_session(&registry, &pool, &mut reader, &mut out, &opts).unwrap();
+        // The pre-SHUTDOWN batch is answered, `draining` is the last
+        // reply, and the line after it is never served.
+        assert_eq!(String::from_utf8(out).unwrap(), "1\ndraining\n");
+        assert_eq!(summary.served, 2);
+        assert!(drain.load(Ordering::Relaxed), "SHUTDOWN must flip the drain flag");
+    }
+
+    #[test]
+    fn shutdown_without_a_drain_flag_just_ends_the_session() {
+        // The serve-file twin: same bytes on the wire, no server to drain.
+        let (out, summary) = run("SHUTDOWN\nout 0\n");
+        assert_eq!(out, "draining\n");
+        assert_eq!(summary.served, 1);
+    }
+
+    #[test]
+    fn a_flagged_drain_ends_a_streaming_session_between_batches() {
+        let registry = registry(8);
+        let pool = WorkerPool::new(1);
+        let drain = Arc::new(AtomicBool::new(true)); // already draining
+        let opts = SessionOpts { drain: Some(Arc::clone(&drain)), ..SessionOpts::default() };
+        let mut reader: &[u8] = b"out 0\nout 0\nout 0\n";
+        let mut out = Vec::new();
+        let summary = serve_session(&registry, &pool, &mut reader, &mut out, &opts).unwrap();
+        // The first batch is answered (lines were already buffered), then
+        // the session ends instead of reading forever.
+        assert!(summary.served >= 1, "{summary:?}");
+        assert!(String::from_utf8(out).unwrap().starts_with("1\n"));
+    }
+
+    #[test]
+    fn faults_verb_lists_and_rejects_by_build() {
+        let (out, _) = run("FAULTS\nFAULTS BOGUS\nFAULTS SET\nFAULTS SEED x\nout 0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        if fail::enabled() {
+            assert!(lines[0].starts_with("faults compiled=on points="), "{out}");
+        } else {
+            assert_eq!(lines[0], "faults compiled=off points=0");
+        }
+        assert!(lines[1].starts_with("error: bad request: unknown FAULTS subcommand"), "{out}");
+        assert!(lines[2].starts_with("error: bad request: FAULTS SET needs"), "{out}");
+        assert!(lines[3].starts_with("error: bad request: FAULTS SEED needs"), "{out}");
+        assert_eq!(lines[4], "1");
+    }
+
+    #[cfg(not(feature = "fail"))]
+    #[test]
+    fn faults_set_errors_when_compiled_out() {
+        let (out, _) = run("FAULTS SET store.open.read always:err\n");
+        assert!(out.contains("compiled out"), "{out}");
     }
 
     #[test]

@@ -67,7 +67,8 @@ impl Drop for TestServer {
 
 /// Fire-and-drain client: send everything, half-close, read every reply
 /// byte until the server is done. This is the shape a pipelined batch
-/// client has.
+/// client has. (Not every test binary including this module uses it.)
+#[allow(dead_code)]
 pub fn send_and_drain(addr: SocketAddr, input: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.write_all(input).expect("send");

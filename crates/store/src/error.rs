@@ -39,6 +39,11 @@ pub enum GrepairError {
     /// The operation is outside the chosen backend's model (hyperedges for
     /// a matrix format, labels for an unlabeled-only format).
     Unsupported(String),
+    /// The target is temporarily refusing work — a namespace whose
+    /// circuit breaker is open after repeated open failures
+    /// (DESIGN.md §10). Unlike [`GrepairError::Io`] this is a *fast*
+    /// failure: nothing was attempted, the caller should retry later.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for GrepairError {
@@ -52,6 +57,7 @@ impl std::fmt::Display for GrepairError {
             GrepairError::Query(e) => write!(f, "{e}"),
             GrepairError::BadRequest(what) => write!(f, "bad request: {what}"),
             GrepairError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            GrepairError::Unavailable(what) => write!(f, "unavailable: {what}"),
         }
     }
 }

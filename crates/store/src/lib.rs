@@ -88,7 +88,9 @@ pub use engine::GrammarEngine;
 pub use error::GrepairError;
 pub use query::{compile_pattern, error_reply, parse_pattern, parse_query, Query, QueryAnswer};
 pub use registry::{
-    valid_namespace, RegistryStats, StoreRegistry, DEFAULT_NAMESPACE, MAX_NAMESPACE_LEN,
+    retry_backoff, valid_namespace, NamespaceHealth, RegistryStats, StoreRegistry,
+    BREAKER_COOLDOWN, BREAKER_THRESHOLD, COLD_OPEN_ATTEMPTS, DEFAULT_NAMESPACE,
+    MAX_NAMESPACE_LEN,
 };
 pub use store::{
     parse_container, write_container, BatchExecutor, GraphStore, StoreStats, HEADER_LEN, MAGIC,

@@ -40,10 +40,35 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use grepair_util::sync::{Mutex, RwLock};
 
 use crate::{GraphStore, GrepairError, StoreStats};
+
+/// Open attempts one cold resolution makes before giving up: the initial
+/// try plus retries with exponential backoff ([`retry_backoff`]). Only
+/// I/O-shaped failures are retried — a container that *decodes* wrong is
+/// deterministically bad and fails fast (DESIGN.md §10).
+pub const COLD_OPEN_ATTEMPTS: u32 = 3;
+
+/// Consecutive failed cold opens after which a namespace's circuit
+/// breaker trips: further resolutions answer a fast
+/// [`GrepairError::Unavailable`] instead of hammering the disk.
+pub const BREAKER_THRESHOLD: u64 = 3;
+
+/// How long an open breaker refuses before letting one half-open probe
+/// attempt a real open again. A failed probe re-arms the cooldown; a
+/// successful one closes the breaker.
+pub const BREAKER_COOLDOWN: Duration = Duration::from_millis(250);
+
+/// Backoff slept before cold-open retry `retry` (1-based): exponential
+/// from 1 ms, capped at 50 ms — bounded so a failing tenant delays its own
+/// requests by at most ~100 ms total, never a healthy tenant's.
+pub fn retry_backoff(retry: u32) -> Duration {
+    let ms = 1u64 << retry.saturating_sub(1).min(10);
+    Duration::from_millis(ms.min(50))
+}
 
 /// The namespace addressed by the back-compat single-store methods and by
 /// wire-protocol sessions that never issued `USE` (DESIGN.md §8).
@@ -90,11 +115,95 @@ struct Namespace {
     generation: AtomicU64,
     /// Registry clock value of the most recent hit — the LRU key.
     last_hit: AtomicU64,
+    /// Operational health: failure counters and the circuit breaker.
+    health: Health,
+}
+
+/// Per-namespace failure bookkeeping (DESIGN.md §10). All fields are
+/// updated under the namespace's slot write lock (opens) or without any
+/// lock (reload failure counts), and read lock-free by `STATS`/`INFO`.
+#[derive(Debug, Default)]
+struct Health {
+    /// Consecutive failed open attempts — the breaker input; reset to 0
+    /// by any successful open.
+    consecutive_open_failures: AtomicU64,
+    /// Monotonic count of failed cold opens (retries exhausted).
+    open_failures: AtomicU64,
+    /// Monotonic count of failed reloads.
+    reload_failures: AtomicU64,
+    /// Millis on the registry clock before which the breaker refuses.
+    open_until_ms: AtomicU64,
+    /// Monotonic count of breaker trips (including failed half-open
+    /// probes re-arming the cooldown).
+    trips: AtomicU64,
+    /// The most recent open/reload failure, rendered.
+    last_error: Mutex<Option<String>>,
+}
+
+/// One namespace's operational health, as surfaced by `STATS <name>` and
+/// [`StoreRegistry::health_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceHealth {
+    /// Failed cold opens (monotonic; retries already exhausted).
+    pub open_failures: u64,
+    /// Failed reloads (monotonic) — a wedged `RELOAD`/`SIGHUP` shows here.
+    pub reload_failures: u64,
+    /// Is the circuit breaker currently refusing resolutions?
+    pub breaker_open: bool,
+    /// Breaker trips so far (monotonic).
+    pub breaker_trips: u64,
+    /// The most recent open/reload failure, rendered; `None` if the
+    /// namespace never failed.
+    pub last_error: Option<String>,
 }
 
 impl Namespace {
     fn resident(&self) -> Option<Arc<GraphStore>> {
         self.slot.read().clone()
+    }
+
+    /// Record a failed open/reload and trip the breaker once the
+    /// consecutive-failure threshold is reached (or re-arm it on a failed
+    /// half-open probe). Returns the new consecutive count.
+    fn note_failure(&self, now_ms: u64, reload: bool, error: &GrepairError) -> u64 {
+        let counter =
+            if reload { &self.health.reload_failures } else { &self.health.open_failures };
+        counter.fetch_add(1, Ordering::Relaxed);
+        *self.health.last_error.lock() = Some(error.to_string());
+        let consecutive =
+            self.health.consecutive_open_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if consecutive >= BREAKER_THRESHOLD {
+            self.health.trips.fetch_add(1, Ordering::Relaxed);
+            self.health
+                .open_until_ms
+                .store(now_ms + BREAKER_COOLDOWN.as_millis() as u64, Ordering::Relaxed);
+        }
+        consecutive
+    }
+
+    /// A successful open closes the breaker and clears the streak (the
+    /// monotonic counters and last error stay, for operators).
+    fn note_success(&self) {
+        self.health.consecutive_open_failures.store(0, Ordering::Relaxed);
+        self.health.open_until_ms.store(0, Ordering::Relaxed);
+    }
+
+    /// Is the breaker refusing at `now_ms`? Once the cooldown elapses the
+    /// breaker is half-open: this returns `false` and the caller's next
+    /// real open attempt is the probe.
+    fn breaker_refuses(&self, now_ms: u64) -> bool {
+        self.health.consecutive_open_failures.load(Ordering::Relaxed) >= BREAKER_THRESHOLD
+            && now_ms < self.health.open_until_ms.load(Ordering::Relaxed)
+    }
+
+    fn health(&self, now_ms: u64) -> NamespaceHealth {
+        NamespaceHealth {
+            open_failures: self.health.open_failures.load(Ordering::Relaxed),
+            reload_failures: self.health.reload_failures.load(Ordering::Relaxed),
+            breaker_open: self.breaker_refuses(now_ms),
+            breaker_trips: self.health.trips.load(Ordering::Relaxed),
+            last_error: self.health.last_error.lock().clone(),
+        }
     }
 }
 
@@ -120,13 +229,16 @@ pub struct RegistryStats {
     pub queries: u64,
     /// Query errors, summed the same way.
     pub errors: u64,
+    /// Circuit-breaker trips across every namespace, detached ones
+    /// included (DESIGN.md §10).
+    pub breaker_trips: u64,
 }
 
 impl std::fmt::Display for RegistryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "namespaces={} resident={} resident_bytes={} budget={} evictions={} cold_opens={} queries={} errors={}",
+            "namespaces={} resident={} resident_bytes={} budget={} evictions={} cold_opens={} queries={} errors={} breaker_trips={}",
             self.namespaces,
             self.resident,
             self.resident_bytes,
@@ -138,6 +250,7 @@ impl std::fmt::Display for RegistryStats {
             self.cold_opens,
             self.queries,
             self.errors,
+            self.breaker_trips,
         )
     }
 }
@@ -189,6 +302,11 @@ pub struct StoreRegistry {
     /// replaced), so the aggregate stays monotonic across their lifetimes.
     retired_queries: AtomicU64,
     retired_errors: AtomicU64,
+    /// Breaker trips folded in from detached namespaces, so the aggregate
+    /// stays monotonic across their lifetimes.
+    retired_trips: AtomicU64,
+    /// Epoch for the breaker's millisecond clock ([`Self::now_ms`]).
+    started: Instant,
 }
 
 impl StoreRegistry {
@@ -202,7 +320,14 @@ impl StoreRegistry {
             cold_opens: AtomicU64::new(0),
             retired_queries: AtomicU64::new(0),
             retired_errors: AtomicU64::new(0),
+            retired_trips: AtomicU64::new(0),
+            started: Instant::now(),
         }
+    }
+
+    /// Milliseconds since this registry was created — the breaker's clock.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     /// Register `store` as the [`DEFAULT_NAMESPACE`], generation 1. The
@@ -265,6 +390,7 @@ impl StoreRegistry {
             slot: RwLock::new(store),
             generation: AtomicU64::new(generation),
             last_hit: AtomicU64::new(self.tick()),
+            health: Health::default(),
         });
         let mut map = self.namespaces.write();
         if map.contains_key(name) {
@@ -321,6 +447,8 @@ impl StoreRegistry {
         if let Some(store) = removed.resident() {
             self.retire(&store);
         }
+        self.retired_trips
+            .fetch_add(removed.health.trips.load(Ordering::Relaxed), Ordering::Relaxed);
         Ok(())
     }
 
@@ -377,7 +505,28 @@ impl StoreRegistry {
                 // path must degrade to an error line, never a panic.
                 GrepairError::BadRequest(format!("namespace {name:?} has no container path"))
             })?;
-        let store = GraphStore::open(&path)?;
+        // Circuit breaker (DESIGN.md §10): a namespace whose container
+        // keeps failing answers fast instead of hammering the disk on
+        // every request. Once the cooldown elapses, the breaker is
+        // half-open and this request becomes the probe. Checked under the
+        // slot write lock, so a concurrent successful probe is never
+        // overruled.
+        if ns.breaker_refuses(self.now_ms()) {
+            let health = ns.health(self.now_ms());
+            return Err(GrepairError::Unavailable(format!(
+                "namespace {name:?} circuit open after {} failed opens (last: {})",
+                health.open_failures,
+                health.last_error.as_deref().unwrap_or("unknown"),
+            )));
+        }
+        let store = match self.open_with_retry(&path) {
+            Ok(store) => store,
+            Err(e) => {
+                ns.note_failure(self.now_ms(), false, &e);
+                return Err(e);
+            }
+        };
+        ns.note_success();
         // First-ever open moves the namespace to generation 1; a reopen
         // after eviction re-stamps the *unchanged* generation, so clients
         // cannot tell an evicted store from one that stayed resident.
@@ -395,6 +544,34 @@ impl StoreRegistry {
         self.cold_opens.fetch_add(1, Ordering::Relaxed);
         self.enforce_budget(name);
         Ok(store)
+    }
+
+    /// Open `path` with up to [`COLD_OPEN_ATTEMPTS`] tries, sleeping
+    /// [`retry_backoff`] between them. Only I/O failures retry — a
+    /// container that decodes wrong fails the same way every time. The
+    /// `registry.cold_open` failpoint fires per attempt, so `first(N):err`
+    /// exercises the retry path end to end (DESIGN.md §10).
+    fn open_with_retry(&self, path: &str) -> Result<GraphStore, GrepairError> {
+        let mut retry = 0u32;
+        loop {
+            let attempt = grepair_util::fail::point("registry.cold_open")
+                .map_err(|error| GrepairError::Io { path: path.into(), error })
+                .and_then(|()| GraphStore::open(path));
+            match attempt {
+                Ok(store) => return Ok(store),
+                Err(GrepairError::Io { .. }) if retry + 1 < COLD_OPEN_ATTEMPTS => {
+                    retry += 1;
+                    std::thread::sleep(retry_backoff(retry));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One namespace's failure counters and breaker state.
+    pub fn health_of(&self, name: &str) -> Result<NamespaceHealth, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        Ok(ns.health(self.now_ms()))
     }
 
     // ------------------------------------------------------------------
@@ -444,7 +621,24 @@ impl StoreRegistry {
                     ))
                 })?,
         };
-        let store = GraphStore::open(&target)?;
+        // Failpoint `reload.swap` injects a failure between the successful
+        // decode and the swap — the window a real deploy can die in. A
+        // failed reload (either way) leaves the old store serving and is
+        // recorded per namespace, so `STATS <name>`/`INFO` surface a
+        // wedged reload instead of it only reaching stderr.
+        let opened = GraphStore::open(&target).and_then(|store| {
+            grepair_util::fail::point("reload.swap")
+                .map_err(|error| GrepairError::Io { path: target.clone(), error })
+                .map(|()| store)
+        });
+        let store = match opened {
+            Ok(store) => store,
+            Err(e) => {
+                ns.note_failure(self.now_ms(), true, &e);
+                return Err(e);
+            }
+        };
+        ns.note_success();
         if path.is_some() {
             *ns.path.lock() = Some(target);
         }
@@ -524,6 +718,12 @@ impl StoreRegistry {
                 return;
             }
             let Some((_, ns)) = victim else { return };
+            // Failpoint `registry.evict` widens the eviction-vs-cold-open
+            // race window deterministically (delay); an `err` spec skips
+            // this round — eviction itself cannot fail.
+            if grepair_util::fail::point("registry.evict").is_err() {
+                return;
+            }
             let evicted = ns.slot.write().take();
             if let Some(store) = evicted {
                 self.retire(&store);
@@ -545,8 +745,10 @@ impl StoreRegistry {
         let mut resident_bytes = 0u64;
         let mut queries = self.retired_queries.load(Ordering::Relaxed);
         let mut errors = self.retired_errors.load(Ordering::Relaxed);
+        let mut breaker_trips = self.retired_trips.load(Ordering::Relaxed);
         let namespaces = map.len() as u64;
         for ns in map.values() {
+            breaker_trips += ns.health.trips.load(Ordering::Relaxed);
             if let Some(store) = ns.resident() {
                 let stats = store.stats();
                 resident += 1;
@@ -564,6 +766,7 @@ impl StoreRegistry {
             cold_opens: self.cold_opens.load(Ordering::Relaxed),
             queries,
             errors,
+            breaker_trips,
         }
     }
 

@@ -383,6 +383,11 @@ impl GraphStore {
 
     /// Load a container file and build the store.
     pub fn open(path: &str) -> Result<Self, GrepairError> {
+        // Failpoint `store.open.read` (DESIGN.md §10): injects an I/O
+        // failure before the real read — a no-op unless the `fail`
+        // feature armed it.
+        grepair_util::fail::point("store.open.read")
+            .map_err(|error| GrepairError::Io { path: path.into(), error })?;
         let file = std::fs::read(path)
             .map_err(|e| GrepairError::Io { path: path.into(), error: e.to_string() })?;
         Self::from_bytes(&file)

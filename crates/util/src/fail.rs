@@ -1,0 +1,454 @@
+//! Named failpoints: deterministic fault injection for the serving stack
+//! (DESIGN.md §10).
+//!
+//! A failpoint is a named site in production code — `store.open.read`,
+//! `registry.cold_open`, `reload.swap`, `session.write`, `pool.submit`, … —
+//! that the code consults via [`point`]. In a default build the whole
+//! module compiles to a no-op ([`point`] is an inline `Ok(())` with no
+//! registry behind it, so the optimizer deletes the call); with the `fail`
+//! cargo feature enabled, each point can be armed with a *spec* describing
+//! when it fires and what happens:
+//!
+//! ```text
+//! spec     := [ trigger ":" ] actions
+//! trigger  := "always" | "first(N)" | "nth(N)" | "1in(N)"
+//! actions  := action { "+" action }
+//! action   := "err" | "delay(MS)"
+//! ```
+//!
+//! * `always` (the default when no trigger is given) fires on every call,
+//!   `first(N)` on calls 1..=N, `nth(N)` on call N exactly, and `1in(N)`
+//!   with probability 1/N from a *seeded* per-point PRNG — so a chaos run
+//!   replays bit-identically from its seed.
+//! * `err` makes [`point`] return an injected-fault error (the call site
+//!   maps it into its own error type — an I/O failure, a refused submit);
+//!   `delay(MS)` sleeps the calling thread, which is how race windows
+//!   (cold open vs eviction) are widened deterministically.
+//!
+//! Points are configured from the `GREPAIR_FAILPOINTS` environment
+//! variable (`name=spec;name=spec`, seed from `GREPAIR_FAIL_SEED`), from
+//! the server's `--failpoints`/`--fail-seed` flags, or live over the wire
+//! protocol's `FAULTS` admin verb. All of those funnel into [`configure`].
+
+/// Longest accepted `delay(MS)` — a misconfigured point must not wedge a
+/// server for minutes.
+pub const MAX_DELAY_MS: u64 = 10_000;
+
+/// The error every configuration call returns in a build without the
+/// `fail` feature.
+pub const DISABLED: &str = "failpoints compiled out (rebuild with --features fail)";
+
+/// One configured point's observable state, as reported by [`snapshot`]
+/// (the `FAULTS` admin verb's listing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointStatus {
+    /// The failpoint name.
+    pub name: String,
+    /// The spec it was configured with, normalized.
+    pub spec: String,
+    /// Times [`point`] was evaluated for this name since configuration.
+    pub calls: u64,
+    /// Times it fired (ran its actions).
+    pub fired: u64,
+}
+
+#[cfg(feature = "fail")]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    use crate::sync::{Mutex, RwLock};
+
+    use super::{PointStatus, MAX_DELAY_MS};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Trigger {
+        Always,
+        First(u64),
+        Nth(u64),
+        OneIn(u64),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Action {
+        Err,
+        Delay(u64),
+    }
+
+    #[derive(Debug)]
+    struct Point {
+        spec: String,
+        trigger: Trigger,
+        actions: Vec<Action>,
+        calls: AtomicU64,
+        fired: AtomicU64,
+        /// xorshift64* state for `1in(N)`; seeded from the global seed and
+        /// the point's name, so runs replay deterministically.
+        rng: Mutex<u64>,
+    }
+
+    static POINTS: OnceLock<RwLock<BTreeMap<String, Arc<Point>>>> = OnceLock::new();
+    static SEED: AtomicU64 = AtomicU64::new(0);
+
+    fn registry() -> &'static RwLock<BTreeMap<String, Arc<Point>>> {
+        POINTS.get_or_init(|| RwLock::new(BTreeMap::new()))
+    }
+
+    /// splitmix64 — stirs the seed and name hash into a full-entropy,
+    /// never-zero xorshift state.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn point_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        splitmix64(SEED.load(Ordering::Relaxed) ^ h) | 1
+    }
+
+    fn next_rand(state: &Mutex<u64>) -> u64 {
+        let mut s = state.lock();
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn parse_count(text: &str, inside: &str) -> Result<u64, String> {
+        let body = inside
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| format!("bad failpoint spec {text:?}: want NAME(N)"))?;
+        let n: u64 = body
+            .parse()
+            .map_err(|e| format!("bad failpoint spec {text:?}: {e}"))?;
+        if n == 0 {
+            return Err(format!("bad failpoint spec {text:?}: count must be >= 1"));
+        }
+        Ok(n)
+    }
+
+    fn parse_trigger(text: &str) -> Result<Trigger, String> {
+        if text == "always" {
+            Ok(Trigger::Always)
+        } else if let Some(rest) = text.strip_prefix("first") {
+            Ok(Trigger::First(parse_count(text, rest)?))
+        } else if let Some(rest) = text.strip_prefix("nth") {
+            Ok(Trigger::Nth(parse_count(text, rest)?))
+        } else if let Some(rest) = text.strip_prefix("1in") {
+            Ok(Trigger::OneIn(parse_count(text, rest)?))
+        } else {
+            Err(format!(
+                "bad failpoint trigger {text:?}: want always, first(N), nth(N), or 1in(N)"
+            ))
+        }
+    }
+
+    fn parse_actions(text: &str) -> Result<Vec<Action>, String> {
+        text.split('+')
+            .map(|a| {
+                if a == "err" {
+                    Ok(Action::Err)
+                } else if let Some(rest) = a.strip_prefix("delay") {
+                    let ms = parse_count(a, rest)?;
+                    if ms > MAX_DELAY_MS {
+                        return Err(format!(
+                            "bad failpoint action {a:?}: delay capped at {MAX_DELAY_MS} ms"
+                        ));
+                    }
+                    Ok(Action::Delay(ms))
+                } else {
+                    Err(format!("bad failpoint action {a:?}: want err or delay(MS)"))
+                }
+            })
+            .collect()
+    }
+
+    fn parse_spec(spec: &str) -> Result<(Trigger, Vec<Action>), String> {
+        let (trigger, actions) = match spec.split_once(':') {
+            Some((t, a)) => (parse_trigger(t)?, a),
+            None => (Trigger::Always, spec),
+        };
+        Ok((trigger, parse_actions(actions)?))
+    }
+
+    pub fn enabled() -> bool {
+        true
+    }
+
+    pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+        if name.is_empty() || name.contains(|c: char| c.is_whitespace() || c == '=' || c == ';') {
+            return Err(format!("bad failpoint name {name:?}"));
+        }
+        let (trigger, actions) = parse_spec(spec)?;
+        let point = Arc::new(Point {
+            spec: spec.to_string(),
+            trigger,
+            actions,
+            calls: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            rng: Mutex::new(point_seed(name)),
+        });
+        registry().write().insert(name.to_string(), point);
+        Ok(())
+    }
+
+    pub fn configure_list(specs: &str) -> Result<(), String> {
+        for entry in specs.split(';').filter(|e| !e.trim().is_empty()) {
+            let (name, spec) = entry
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| format!("bad failpoint entry {entry:?}: want NAME=SPEC"))?;
+            configure(name, spec)?;
+        }
+        Ok(())
+    }
+
+    pub fn set_seed(seed: u64) {
+        SEED.store(seed, Ordering::Relaxed);
+    }
+
+    pub fn clear(name: &str) -> bool {
+        registry().write().remove(name).is_some()
+    }
+
+    pub fn clear_all() {
+        registry().write().clear();
+    }
+
+    pub fn snapshot() -> Vec<PointStatus> {
+        registry()
+            .read()
+            .iter()
+            .map(|(name, p)| PointStatus {
+                name: name.clone(),
+                spec: p.spec.clone(),
+                calls: p.calls.load(Ordering::Relaxed),
+                fired: p.fired.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    pub fn point(name: &str) -> Result<(), String> {
+        // Unarmed (the overwhelmingly common case, even in a fail build):
+        // one read-locked map probe, no state change.
+        let Some(p) = registry().read().get(name).cloned() else {
+            return Ok(());
+        };
+        let ordinal = p.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match p.trigger {
+            Trigger::Always => true,
+            Trigger::First(n) => ordinal <= n,
+            Trigger::Nth(n) => ordinal == n,
+            Trigger::OneIn(n) => next_rand(&p.rng).is_multiple_of(n),
+        };
+        if !fire {
+            return Ok(());
+        }
+        p.fired.fetch_add(1, Ordering::Relaxed);
+        let mut outcome = Ok(());
+        for action in &p.actions {
+            match action {
+                Action::Delay(ms) => {
+                    std::thread::sleep(std::time::Duration::from_millis(*ms))
+                }
+                Action::Err => outcome = Err(format!("injected fault at failpoint {name}")),
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(not(feature = "fail"))]
+mod imp {
+    use super::{PointStatus, DISABLED};
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn configure(_name: &str, _spec: &str) -> Result<(), String> {
+        Err(DISABLED.into())
+    }
+
+    pub fn configure_list(_specs: &str) -> Result<(), String> {
+        Err(DISABLED.into())
+    }
+
+    pub fn set_seed(_seed: u64) {}
+
+    pub fn clear(_name: &str) -> bool {
+        false
+    }
+
+    pub fn clear_all() {}
+
+    pub fn snapshot() -> Vec<PointStatus> {
+        Vec::new()
+    }
+
+    /// The whole fault layer in a default build: an inline `Ok(())` the
+    /// optimizer deletes, so armed-path costs exist only behind `--features
+    /// fail` (the release CI step checks the symbol is gone).
+    #[inline(always)]
+    pub fn point(_name: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub use imp::{clear, clear_all, configure, configure_list, enabled, point, set_seed, snapshot};
+
+/// Environment variable holding `name=spec;name=spec` failpoint configs.
+pub const ENV_FAILPOINTS: &str = "GREPAIR_FAILPOINTS";
+
+/// Environment variable holding the deterministic seed for `1in(N)`.
+pub const ENV_SEED: &str = "GREPAIR_FAIL_SEED";
+
+/// Arm failpoints from `GREPAIR_FAILPOINTS` / `GREPAIR_FAIL_SEED`.
+/// Returns `Err` if the env vars are set but unusable — present in a
+/// build without the `fail` feature, or malformed. With neither variable
+/// set this is a no-op `Ok`.
+pub fn init_from_env() -> Result<(), String> {
+    if let Ok(seed) = std::env::var(ENV_SEED) {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|e| format!("bad {ENV_SEED}: {e}"))?;
+        if !enabled() {
+            return Err(format!("{ENV_SEED} set but {DISABLED}"));
+        }
+        set_seed(seed);
+    }
+    if let Ok(specs) = std::env::var(ENV_FAILPOINTS) {
+        if !enabled() {
+            return Err(format!("{ENV_FAILPOINTS} set but {DISABLED}"));
+        }
+        configure_list(&specs).map_err(|e| format!("bad {ENV_FAILPOINTS}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fail"))]
+mod tests {
+    use super::*;
+
+    /// Tests share one process-global registry, so every test uses its own
+    /// point names and never calls `clear_all`.
+    #[test]
+    fn unarmed_points_pass() {
+        assert_eq!(point("test.never.configured"), Ok(()));
+    }
+
+    #[test]
+    fn always_err_fires_every_call() {
+        configure("test.always", "err").unwrap();
+        for _ in 0..3 {
+            assert!(point("test.always").is_err());
+        }
+        let status = snapshot()
+            .into_iter()
+            .find(|s| s.name == "test.always")
+            .unwrap();
+        assert_eq!((status.calls, status.fired), (3, 3));
+        assert_eq!(status.spec, "err");
+        assert!(clear("test.always"));
+        assert_eq!(point("test.always"), Ok(()));
+    }
+
+    #[test]
+    fn first_n_fires_then_heals() {
+        configure("test.first", "first(2):err").unwrap();
+        assert!(point("test.first").is_err());
+        assert!(point("test.first").is_err());
+        assert!(point("test.first").is_ok(), "third call heals");
+        assert!(point("test.first").is_ok());
+        clear("test.first");
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        configure("test.nth", "nth(3):err").unwrap();
+        assert!(point("test.nth").is_ok());
+        assert!(point("test.nth").is_ok());
+        assert!(point("test.nth").is_err());
+        assert!(point("test.nth").is_ok());
+        clear("test.nth");
+    }
+
+    #[test]
+    fn one_in_n_is_seeded_and_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            set_seed(seed);
+            configure("test.onein", "1in(3):err").unwrap();
+            let fired = (0..64).map(|_| point("test.onein").is_err()).collect();
+            clear("test.onein");
+            fired
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed replays bit-identically");
+        assert_ne!(a, c, "a different seed gives a different schedule");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(hits > 4 && hits < 50, "roughly 1 in 3 of 64: {hits}");
+        set_seed(0);
+    }
+
+    #[test]
+    fn delay_sleeps_and_composes_with_err() {
+        configure("test.delay", "delay(20)+err").unwrap();
+        let start = std::time::Instant::now();
+        assert!(point("test.delay").is_err());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+        clear("test.delay");
+    }
+
+    #[test]
+    fn list_configuration_arms_many_points() {
+        configure_list("test.list.a=err; test.list.b=first(1):delay(1)").unwrap();
+        assert!(point("test.list.a").is_err());
+        assert!(point("test.list.b").is_ok());
+        clear("test.list.a");
+        clear("test.list.b");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "first:err",
+            "first(0):err",
+            "1in():err",
+            "boom",
+            "delay(999999999)",
+            "nth(two):err",
+            "",
+        ] {
+            assert!(configure("test.bad", bad).is_err(), "{bad:?}");
+        }
+        assert!(configure_list("noequals").is_err());
+        assert!(configure("has space", "err").is_err());
+        assert_eq!(point("test.bad"), Ok(()), "a rejected spec arms nothing");
+    }
+}
+
+#[cfg(all(test, not(feature = "fail")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_compiles_failpoints_out() {
+        assert!(!enabled());
+        assert_eq!(point("store.open.read"), Ok(()));
+        assert_eq!(configure("store.open.read", "err"), Err(DISABLED.into()));
+        assert_eq!(configure_list("a=err"), Err(DISABLED.into()));
+        assert!(snapshot().is_empty());
+        assert!(!clear("store.open.read"));
+    }
+}

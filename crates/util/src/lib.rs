@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod fail;
 pub mod fmt;
 pub mod fxhash;
 pub mod sync;
