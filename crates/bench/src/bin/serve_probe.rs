@@ -38,8 +38,18 @@ const USAGE: &str = "usage:
                server and time the drain; a JSON report goes to stdout.
                Destructive: the probe ends the server.
 
+  serve-probe <addr> --connections <N> [--threads-of PID]
+               park N idle connections, assert they are all live sessions
+               (PING sample), drive a throughput burst on a fresh
+               connection while they stay parked, and — when --threads-of
+               names the server process — assert its thread count stayed
+               flat (the epoll front end's contract, DESIGN.md §11); a
+               JSON report goes to stdout.
+
   --namespace  prefix every query line with NAME: (admin lines go bare) to
-               target one tenant of a multi-tenant server";
+               target one tenant of a multi-tenant server
+  --threads-of read /proc/PID/status Threads: around the connection soak
+               and fail unless the count stays flat (linux only)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,12 +68,20 @@ fn run(args: &[String]) -> Result<(), String> {
     // Split off the one optional flag so the positional grammar below
     // stays simple.
     let mut namespace = None;
+    let mut threads_of = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--namespace" {
             let name = it.next().ok_or("--namespace needs a value")?;
             namespace = Some(name.clone());
+        } else if a == "--threads-of" {
+            let pid: u32 = it
+                .next()
+                .ok_or("--threads-of needs a PID")?
+                .parse()
+                .map_err(|e| format!("bad --threads-of PID: {e}"))?;
+            threads_of = Some(pid);
         } else {
             rest.push(a.clone());
         }
@@ -80,6 +98,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!("unexpected argument {extra:?}"));
             }
             throughput(addr, count, namespace.as_deref())
+        }
+        Some("--connections") => {
+            let count: usize = rest
+                .get(2)
+                .ok_or("missing connection count")?
+                .parse()
+                .map_err(|e| format!("bad connection count: {e}"))?;
+            if let Some(extra) = rest.get(3) {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            connections(addr, count, threads_of)
         }
         Some("--chaos-report") => {
             let count: u64 = rest
@@ -308,6 +337,149 @@ fn chaos_report(addr: &str, count: u64, namespace: Option<&str>) -> Result<(), S
     );
     if !drained {
         return Err("server did not drain within 10 s of SHUTDOWN".into());
+    }
+    Ok(())
+}
+
+/// `Threads:` from `/proc/PID/status` — the server's thread count, when
+/// the caller told us its PID and we are on Linux.
+fn thread_count_of(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
+}
+
+/// Render an optional count as JSON.
+fn json_count(n: &Option<u64>) -> String {
+    match n {
+        Some(n) => n.to_string(),
+        None => "null".into(),
+    }
+}
+
+/// Connection-scale mode (DESIGN.md §11): park `count` idle connections,
+/// verify a sample of them are live sessions (`PING` → `pong`), run a
+/// throughput burst on a fresh connection while they stay parked, and —
+/// given `--threads-of` — assert the server's thread count stayed flat
+/// across the soak. This is the wire-level proof of the epoll front end's
+/// scaling contract: idle clients cost a buffer, not a thread.
+fn connections(addr: &str, count: usize, threads_of: Option<u32>) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+
+    if count == 0 {
+        return Err("--connections needs at least 1 connection".into());
+    }
+    // Warm the server's lazily-spawned threads (pool workers, drain
+    // watcher) and learn the node count before taking the baseline.
+    let info = probe_server(addr, &["INFO".to_string()]).map_err(|e| format!("{addr}: {e}"))?;
+    let info_line = info.answers.first().ok_or("server sent no INFO reply")?.clone();
+    let nodes: u64 = info_line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("nodes="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let threads_base = threads_of.and_then(thread_count_of);
+    if threads_of.is_some() && threads_base.is_none() {
+        return Err("--threads-of: cannot read Threads: from /proc (linux only, live PID)".into());
+    }
+
+    // Park the idle herd.
+    let t = std::time::Instant::now();
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(count);
+    for i in 0..count {
+        match TcpStream::connect(addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => {
+                return Err(format!(
+                    "connect {i}/{count} failed: {e} (fd limit too low? raise ulimit -n)"
+                ))
+            }
+        }
+    }
+    let connect_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    // Let the reactor accept the tail of the burst before measuring.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let threads_during = threads_of.and_then(thread_count_of);
+
+    // Liveness sample: parked connections must be real sessions, not just
+    // accepted fds. Spread the sample across the herd.
+    let sample = 32usize.min(count);
+    let mut live = 0usize;
+    for s in 0..sample {
+        let i = s * count / sample;
+        let stream = &mut idle[i];
+        stream
+            .write_all(b"PING\n")
+            .map_err(|e| format!("conn {i}: ping send failed: {e}"))?;
+        let mut reader = BufReader::new(
+            stream.try_clone().map_err(|e| format!("conn {i}: clone failed: {e}"))?,
+        );
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("conn {i}: ping reply failed: {e}"))?;
+        if line != "pong\n" {
+            return Err(format!("conn {i}: expected pong, got {line:?}"));
+        }
+        live += 1;
+    }
+
+    // Throughput burst on a fresh connection while the herd stays parked:
+    // the reactor must keep serving at full speed with `count` registered
+    // sockets it is not reading from.
+    let burst = 2_000u64;
+    let lines: Vec<String> = mixed_batch(nodes.max(1), burst).iter().map(query_line).collect();
+    let report = probe_server(addr, &lines).map_err(|e| format!("{addr}: {e}"))?;
+    if report.answers.len() != report.sent {
+        return Err(format!(
+            "burst answered {} of {} requests — connection cut short?",
+            report.answers.len(),
+            report.sent
+        ));
+    }
+    let threads_after = threads_of.and_then(thread_count_of);
+
+    // Flat means: no per-connection threads appeared. The +2 headroom
+    // absorbs incidental runtime threads, nothing proportional to `count`.
+    let flat = match (threads_base, threads_during, threads_after) {
+        (Some(base), Some(during), Some(after)) => during <= base + 2 && after <= base + 2,
+        _ => true, // not measured; the JSON carries nulls
+    };
+    // Drop the herd politely so the server's close path, not process exit,
+    // reaps them.
+    for mut stream in idle {
+        let _ = stream.write_all(b"QUIT\n");
+        let mut sink = Vec::new();
+        let _ = stream.take(64).read_to_end(&mut sink);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"connections_probe\": {\n");
+    out.push_str(&format!("    \"connections\": {count},\n"));
+    out.push_str(&format!("    \"connect_ms\": {connect_ms:.1},\n"));
+    out.push_str(&format!("    \"live_sampled\": {live},\n"));
+    out.push_str(&format!("    \"threads_base\": {},\n", json_count(&threads_base)));
+    out.push_str(&format!("    \"threads_during\": {},\n", json_count(&threads_during)));
+    out.push_str(&format!("    \"threads_after\": {},\n", json_count(&threads_after)));
+    out.push_str(&format!("    \"burst_queries\": {},\n", report.sent));
+    out.push_str(&format!("    \"burst_qps\": {:.1},\n", report.throughput_qps()));
+    out.push_str(&format!("    \"flat\": {flat}\n"));
+    out.push_str("  }\n}\n");
+    print!("{out}");
+    std::io::stdout().flush().map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "connections: {count} parked in {connect_ms:.1} ms, {live}/{sample} sampled live, \
+         burst {:.1} q/s, threads {}/{}/{}",
+        report.throughput_qps(),
+        json_count(&threads_base),
+        json_count(&threads_during),
+        json_count(&threads_after),
+    );
+    if !flat {
+        return Err(format!(
+            "thread count not flat across {count} connections: base={} during={} after={}",
+            json_count(&threads_base),
+            json_count(&threads_during),
+            json_count(&threads_after),
+        ));
     }
     Ok(())
 }

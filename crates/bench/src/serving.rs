@@ -94,6 +94,47 @@ pub struct StoreBenchReport {
     pub tenancy: TenancyReport,
     /// Degradation-under-fault measurement (schema 4, DESIGN.md §10).
     pub resilience: ResilienceReport,
+    /// Connection-scale measurement of the epoll front end (schema 5,
+    /// DESIGN.md §11).
+    pub connections: ConnectionsReport,
+}
+
+/// The `connections` block (schema 5): how many idle connections one
+/// server holds on a flat thread count, and what serving costs while they
+/// are parked — the epoll front end's scaling contract (DESIGN.md §11).
+/// `threads_*` come from `/proc/self/status` (the measuring server runs
+/// in-process), so they are zero on platforms without procfs, where the
+/// flatness claim is vacuous.
+#[derive(Debug, Clone)]
+pub struct ConnectionsReport {
+    /// Front end measured: `"epoll"` on Linux, `"threads"` elsewhere.
+    pub io: &'static str,
+    /// Idle connections actually parked (the scale target clamped to the
+    /// process fd limit — each loopback connection costs two fds here).
+    pub connections: u64,
+    /// Process thread count before the herd connected.
+    pub threads_base: u64,
+    /// Process thread count with the whole herd parked.
+    pub threads_during: u64,
+    /// Process thread count after the throughput burst, herd still parked.
+    pub threads_after: u64,
+    /// Parked connections proven live (`PING` → `pong`) by sampling.
+    pub live_sampled: u64,
+    /// Queries in the saturated burst driven over a fresh connection
+    /// while the herd stayed parked.
+    pub burst_queries: u64,
+    /// Client-observed throughput of that burst, queries/second.
+    pub burst_qps: f64,
+}
+
+impl ConnectionsReport {
+    /// Did the thread count stay flat across the soak? Headroom of two
+    /// absorbs incidental runtime threads — nothing proportional to the
+    /// herd. Vacuously true where procfs is unavailable (all zeros).
+    pub fn flat(&self) -> bool {
+        self.threads_during <= self.threads_base + 2
+            && self.threads_after <= self.threads_base + 2
+    }
 }
 
 /// The `resilience` block (schema 4): circuit-breaker trip, fast-fail and
@@ -494,6 +535,136 @@ pub fn measure_resilience(scale: Scale) -> ResilienceReport {
     }
 }
 
+/// `Threads:` from this process's `/proc/self/status`, or zero where
+/// procfs does not exist.
+fn self_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The soft fd limit from `/proc/self/limits`, or a conservative default.
+/// Each parked loopback connection costs this process two fds (client end
+/// plus server end), so the herd is clamped to fit with headroom.
+fn fd_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits
+                .lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|soft| soft.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
+/// Measure connection scale (DESIGN.md §11): an in-process server on the
+/// epoll front end (Linux; the thread front end elsewhere), a herd of idle
+/// connections parked against it, the process thread count sampled around
+/// the soak, a `PING` liveness check across the herd, and a saturated
+/// mixed-workload burst on a fresh connection while the herd stays parked.
+/// At full scale the herd target is 10 000 connections — raise the fd
+/// limit to at least ~20 128 to measure it unclamped.
+pub fn measure_connections(scale: Scale) -> ConnectionsReport {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    use grepair_server::{IoMode, Server, ServerConfig};
+    use grepair_store::StoreRegistry;
+
+    let (target, burst) = match scale {
+        Scale::Full => (10_000usize, 10_000u64),
+        Scale::Quick => (256, 2_000),
+    };
+    let n = target.min(fd_limit().saturating_sub(128) / 2).max(8);
+    let io = if cfg!(target_os = "linux") { IoMode::Epoll } else { IoMode::Threads };
+
+    let reps = match scale {
+        Scale::Full => 1_024u32,
+        Scale::Quick => 256,
+    };
+    let (g, _) = Hypergraph::from_simple_edges(
+        (2 * reps + 1) as usize,
+        (0..reps).flat_map(|r| [(2 * r, 0u32, 2 * r + 1), (2 * r + 1, 1u32, 2 * r + 2)]),
+    );
+    let out = compress(&g, &GRePairConfig::default());
+    let enc = grepair_codec::encode(&out.grammar);
+    let container = write_container(&enc.bytes, enc.bit_len);
+    let registry = Arc::new(StoreRegistry::new(
+        GraphStore::from_bytes(&container).expect("freshly compressed grammar loads"),
+    ));
+    let nodes = registry.store("default").expect("default resolves").total_nodes();
+    let config = ServerConfig { io, threads: 2, max_connections: n + 64, ..ServerConfig::default() };
+    let server = Server::bind(&config, registry, None).expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.handle().expect("server handle");
+    let run = std::thread::spawn(move || server.run());
+
+    // Warm every lazily-spawned thread (pool workers, drain watcher)
+    // before taking the baseline.
+    let _ = probe_server(&addr, &["PING".to_string()]).expect("warmup probe");
+    let threads_base = self_threads();
+
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(n);
+    for i in 0..n {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => panic!("connect {i}/{n} failed: {e} (raise ulimit -n for full scale)"),
+        }
+    }
+    // Let the reactor accept the tail of the burst before sampling.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let threads_during = self_threads();
+
+    // Liveness sample spread across the herd: parked connections must be
+    // real sessions, not just accepted fds.
+    let sample = 32usize.min(n);
+    let mut live = 0u64;
+    for s in 0..sample {
+        let i = s * n / sample;
+        let stream = &mut idle[i];
+        stream.write_all(b"PING\n").expect("ping a parked connection");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone parked stream"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("parked connection answers");
+        assert_eq!(line, "pong\n", "parked connection {i} is not a live session");
+        live += 1;
+    }
+
+    // Saturated burst on a fresh connection while the herd stays parked:
+    // the front end must serve at full speed with `n` registered sockets
+    // it is not reading from.
+    let lines: Vec<String> = mixed_batch(nodes, burst).iter().map(query_line).collect();
+    let report = probe_server(&addr, &lines).expect("burst probe");
+    assert_eq!(report.answers.len(), report.sent, "burst cut short");
+    let threads_after = self_threads();
+
+    drop(idle);
+    handle.stop();
+    run.join().expect("server thread").expect("server exits cleanly");
+
+    ConnectionsReport {
+        io: match io {
+            IoMode::Epoll => "epoll",
+            IoMode::Threads => "threads",
+        },
+        connections: n as u64,
+        threads_base,
+        threads_during,
+        threads_after,
+        live_sampled: live,
+        burst_queries: report.sent as u64,
+        burst_qps: report.throughput_qps(),
+    }
+}
+
 /// Run the serving workload and collect every number the JSON records.
 pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
     let reps = match scale {
@@ -579,6 +750,7 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
         backends: measure_backends(scale),
         tenancy: measure_multi_tenant(scale),
         resilience: measure_resilience(scale),
+        connections: measure_connections(scale),
     }
 }
 
@@ -670,8 +842,10 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     s.push_str("{\n");
     // Schema 2 added the per-backend comparison rows (PR 5); schema 3
     // added the multi-tenant budget/eviction block (PR 6); schema 4 added
-    // the resilience block (breaker / shed / drain, DESIGN.md §10).
-    s.push_str("  \"schema\": 4,\n");
+    // the resilience block (breaker / shed / drain, DESIGN.md §10);
+    // schema 5 added the connections block (epoll connection scale,
+    // DESIGN.md §11).
+    s.push_str("  \"schema\": 5,\n");
     s.push_str("  \"bench\": \"store\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
     s.push_str(&format!("  \"threads_available\": {},\n", r.threads_available));
@@ -739,6 +913,18 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     s.push_str(&format!("    \"shed_busy\": {},\n", res.shed_busy));
     s.push_str(&format!("    \"shed_rate\": {},\n", num(res.shed_rate())));
     s.push_str(&format!("    \"drain_latency_ms\": {}\n", num(res.drain_latency_ns / 1e6)));
+    s.push_str("  },\n");
+    let c = &r.connections;
+    s.push_str("  \"connections\": {\n");
+    s.push_str(&format!("    \"io\": \"{}\",\n", c.io));
+    s.push_str(&format!("    \"connections\": {},\n", c.connections));
+    s.push_str(&format!("    \"threads_base\": {},\n", c.threads_base));
+    s.push_str(&format!("    \"threads_during\": {},\n", c.threads_during));
+    s.push_str(&format!("    \"threads_after\": {},\n", c.threads_after));
+    s.push_str(&format!("    \"live_sampled\": {},\n", c.live_sampled));
+    s.push_str(&format!("    \"burst_queries\": {},\n", c.burst_queries));
+    s.push_str(&format!("    \"burst_qps\": {},\n", num(c.burst_qps)));
+    s.push_str(&format!("    \"flat\": {}\n", c.flat()));
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -799,6 +985,16 @@ mod tests {
                 shed_busy: 600,
                 drain_latency_ns: 40_000_000.0,
             },
+            connections: ConnectionsReport {
+                io: "epoll",
+                connections: 10_000,
+                threads_base: 5,
+                threads_during: 5,
+                threads_after: 5,
+                live_sampled: 32,
+                burst_queries: 10_000,
+                burst_qps: 250_000.0,
+            },
         }
     }
 
@@ -810,6 +1006,16 @@ mod tests {
         assert!((r.resilience.shed_rate() - 0.75).abs() < 1e-9);
         let none_sent = ResilienceReport { shed_sent: 0, shed_busy: 0, ..r.resilience };
         assert_eq!(none_sent.shed_rate(), 0.0, "no workload, no rate");
+        assert!(r.connections.flat());
+        let grew = ConnectionsReport { threads_during: 8, ..r.connections.clone() };
+        assert!(!grew.flat(), "a thread per shard of the herd is not flat");
+        let unmeasured = ConnectionsReport {
+            threads_base: 0,
+            threads_during: 0,
+            threads_after: 0,
+            ..r.connections
+        };
+        assert!(unmeasured.flat(), "no procfs, vacuously flat");
     }
 
     #[test]
@@ -819,7 +1025,7 @@ mod tests {
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         for key in [
-            "\"schema\": 4",
+            "\"schema\": 5",
             "\"bench\": \"store\"",
             "\"scale\": \"quick\"",
             "\"threads_available\": 8",
@@ -851,6 +1057,16 @@ mod tests {
             "\"shed_busy\": 600",
             "\"shed_rate\": 0.8",
             "\"drain_latency_ms\": 40.0",
+            "\"connections\"",
+            "\"io\": \"epoll\"",
+            "\"connections\": 10000",
+            "\"threads_base\": 5",
+            "\"threads_during\": 5",
+            "\"threads_after\": 5",
+            "\"live_sampled\": 32",
+            "\"burst_queries\": 10000",
+            "\"burst_qps\": 250000.0",
+            "\"flat\": true",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -924,11 +1140,23 @@ mod tests {
             res.drain_latency_ns > 0.0 && res.drain_latency_ns < 5e9,
             "{res:?}"
         );
+        // The connections block parked a real herd on a flat thread count
+        // and proved the parked sockets were live sessions.
+        let c = &r.connections;
+        assert!(c.connections >= 8, "{c:?}");
+        assert!(c.live_sampled > 0 && c.live_sampled <= c.connections, "{c:?}");
+        assert!(c.burst_queries > 0 && c.burst_qps > 0.0, "{c:?}");
+        if cfg!(target_os = "linux") {
+            assert_eq!(c.io, "epoll");
+            assert!(c.threads_base > 0, "procfs must be readable here: {c:?}");
+            assert!(c.flat(), "thread count grew with the herd: {c:?}");
+        }
         // The rendered form of a real measurement is also well-formed.
         let text = render_store_bench_json(&r);
-        assert!(text.contains("\"schema\": 4"));
+        assert!(text.contains("\"schema\": 5"));
         assert!(text.contains("\"name\": \"hn\""));
         assert!(text.contains("\"multi_tenant\""));
         assert!(text.contains("\"resilience\""));
+        assert!(text.contains("\"connections\""));
     }
 }

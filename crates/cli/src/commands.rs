@@ -242,7 +242,8 @@ fn count_request_lines(reader: &mut impl std::io::BufRead) -> std::io::Result<u6
 /// (the TCP front end).
 ///
 /// `serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N]
-/// [--max-line N] [--attach NAME=PATH]... [--memory-budget BYTES]`
+/// [--max-line N] [--attach NAME=PATH]... [--memory-budget BYTES]
+/// [--io epoll|threads]`
 /// delegates to `grepair-server`: it binds, prints one
 /// `listening <addr> ...` line, and speaks the wire protocol of DESIGN.md
 /// §6/§8 (the serve-file query plane plus the `PING`/`INFO`/`STATS`/

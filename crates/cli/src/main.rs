@@ -81,7 +81,7 @@ const USAGE: &str = "usage:
   grepair decompress <in.g2g> -o <graph.txt> [--map FILE]
   grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
   grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
-  grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N] [--read-timeout SECS] [--max-connections N]
+  grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N] [--read-timeout SECS] [--max-connections N] [--io epoll|threads]
   grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)
 backends: grepair (default), k2, lm, hn — every one loads and serves through `query` / `store`";
 

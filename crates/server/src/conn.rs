@@ -1,0 +1,422 @@
+//! Per-connection state for the epoll front end (DESIGN.md §11).
+//!
+//! A [`Conn`] owns one client socket plus the two buffers that replace the
+//! blocking mode's `BufReader`/`BufWriter`: bytes arrive into `inbuf` when
+//! the socket is readable, complete lines are framed out of it and fed to
+//! the *same* [`SessionState`] engine the thread-per-connection path uses,
+//! and replies accumulate in `outbuf` until the socket is writable. The
+//! framing rules here mirror `read_limited_line` exactly — content up to
+//! `max_line` bytes (CR included) is a line, longer is one `Oversized`
+//! error reply with the rest of the line discarded up to the next newline,
+//! and a partial line at EOF is dropped silently — which is what keeps the
+//! two io modes byte-identical on every input.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use grepair_store::StoreRegistry;
+use grepair_util::fail;
+
+use crate::pool::WorkerPool;
+use crate::session::{SessionOpts, SessionState, Step};
+
+/// Read at most this many bytes per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Read at most this many chunks per readiness wakeup. The loop is
+/// level-triggered, so a client with more buffered data just gets another
+/// wakeup; capping the burst keeps one firehose client from starving the
+/// rest of the event batch.
+const MAX_CHUNKS_PER_WAKEUP: usize = 4;
+
+/// Stop reading from a connection whose unsent replies exceed this many
+/// bytes; reading resumes once the client drains its side. Bounds memory
+/// per slow-reader connection (DESIGN.md §11 backpressure).
+pub(crate) const OUTBUF_BACKPRESSURE: usize = 1 << 20;
+
+/// One epoll-managed client connection.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) peer: SocketAddr,
+    session: SessionState,
+    /// Received-but-unframed bytes. For a well-behaved client this holds at
+    /// most one partial line; oversized lines switch to `discarding` before
+    /// it can grow past `max_line` + one read chunk.
+    inbuf: Vec<u8>,
+    /// Framed replies not yet written to the socket. `outpos` marks how far
+    /// the socket write has progressed; the buffer compacts when drained.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Inside an oversized line: swallow bytes up to the next newline
+    /// (the `Oversized` reply was already queued at detection).
+    discarding: bool,
+    /// Set on EOF, `QUIT`/`SHUTDOWN`, or drain: no more reads; the
+    /// connection closes once `outbuf` drains.
+    pub(crate) closing: bool,
+    pub(crate) last_activity: Instant,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, peer: SocketAddr) -> Self {
+        Self {
+            stream,
+            peer,
+            session: SessionState::new(),
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            discarding: false,
+            closing: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Unsent reply bytes exist — the reactor should watch for writability.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// Too many unsent bytes: stop reading until the client drains them.
+    pub(crate) fn backpressured(&self) -> bool {
+        self.outbuf.len() - self.outpos > OUTBUF_BACKPRESSURE
+    }
+
+    /// Everything said and sent — the reactor can drop the connection.
+    pub(crate) fn finished(&self) -> bool {
+        self.closing && !self.wants_write()
+    }
+
+    /// The socket reported readable: read a burst, frame complete lines,
+    /// feed them to the session, queue replies. An `Err` means the
+    /// connection is dead (transport error or a fired `conn.read` fault)
+    /// and must be dropped without a goodbye.
+    pub(crate) fn handle_readable(
+        &mut self,
+        registry: &StoreRegistry,
+        pool: &WorkerPool,
+        opts: &SessionOpts,
+    ) -> io::Result<()> {
+        // A fired `conn.read` fault is a transport error on this one
+        // connection, exactly like `session.read` in blocking mode.
+        fail::point("conn.read").map_err(io::Error::other)?;
+        let mut eof = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..MAX_CHUNKS_PER_WAKEUP {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    // audited: `read` contract: n <= chunk.len()
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                    if n < chunk.len() {
+                        break; // socket buffer drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.pump(registry, pool, opts)?;
+        if eof && !self.closing {
+            // A partial line at EOF is discarded silently (`MidLineEof`);
+            // an oversized line at EOF already queued its reply.
+            self.session.flush(registry, pool, &mut self.outbuf)?;
+            self.closing = true;
+            self.inbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Frame every complete line currently buffered and feed it to the
+    /// session engine; flush the pending batch when it fills and once the
+    /// burst is consumed (the non-blocking analogue of "the client has
+    /// nothing more buffered").
+    fn pump(
+        &mut self,
+        registry: &StoreRegistry,
+        pool: &WorkerPool,
+        opts: &SessionOpts,
+    ) -> io::Result<()> {
+        let mut start = 0;
+        while start < self.inbuf.len() && !self.closing {
+            // audited: loop guard: start < inbuf.len()
+            match self.inbuf[start..].iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.discarding {
+                        // Tail of an oversized line: swallowed, no event.
+                        self.discarding = false;
+                    } else if pos > opts.max_line {
+                        self.session.push_oversized(opts.max_line);
+                    } else {
+                        // audited: `pos` is an index into `inbuf[start..]`
+                        let mut line = &self.inbuf[start..start + pos];
+                        if line.last() == Some(&b'\r') {
+                            // audited: `last()` was Some, so the line is non-empty
+                            line = &line[..line.len() - 1]; // tolerate CRLF
+                        }
+                        // The borrow of `inbuf` ends before the consume
+                        // below; `on_line` writes replies into a scratch
+                        // split off so the borrows don't overlap.
+                        let line = line.to_vec();
+                        let step =
+                            self.session.on_line(registry, pool, &line, &mut self.outbuf, opts)?;
+                        if step == Step::Quit {
+                            // Input after QUIT is never served (the
+                            // blocking loop returns here); replies already
+                            // queued still drain before close.
+                            self.closing = true;
+                            self.inbuf.clear();
+                            return Ok(());
+                        }
+                    }
+                    start += pos + 1;
+                }
+                None => {
+                    let rest = self.inbuf.len() - start;
+                    if self.discarding {
+                        // Still inside the oversized line: drop the bytes.
+                        self.inbuf.clear();
+                        start = 0;
+                    } else if rest > opts.max_line {
+                        // Longer than max with no terminator yet: queue the
+                        // error now and discard until the newline arrives.
+                        // Blocking mode queues it after the swallow, but no
+                        // reply can be emitted in between, so the reply
+                        // stream is identical.
+                        self.session.push_oversized(opts.max_line);
+                        self.discarding = true;
+                        self.inbuf.clear();
+                        start = 0;
+                    }
+                    break;
+                }
+            }
+            if self.session.pending_len() >= opts.batch {
+                self.session.flush(registry, pool, &mut self.outbuf)?;
+            }
+        }
+        self.inbuf.drain(..start);
+        if self.session.pending_len() > 0 {
+            self.session.flush(registry, pool, &mut self.outbuf)?;
+        }
+        Ok(())
+    }
+
+    /// The socket reported writable (or we try optimistically): push as
+    /// much of `outbuf` as the kernel will take. An `Err` means the
+    /// connection is dead and must be dropped.
+    pub(crate) fn handle_writable(&mut self) -> io::Result<()> {
+        if !self.wants_write() {
+            return Ok(());
+        }
+        // A fired `conn.write` fault is a transport error on this one
+        // connection, exactly like `session.write` in blocking mode.
+        fail::point("conn.write").map_err(io::Error::other)?;
+        while self.outpos < self.outbuf.len() {
+            // audited: loop guard: outpos < outbuf.len()
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.outpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Drain: answer everything pending and mark the connection closing;
+    /// it drops once the queued replies reach the socket (or the drain
+    /// deadline force-closes it).
+    pub(crate) fn begin_close(
+        &mut self,
+        registry: &StoreRegistry,
+        pool: &WorkerPool,
+    ) -> io::Result<()> {
+        if !self.closing {
+            self.session.flush(registry, pool, &mut self.outbuf)?;
+            self.closing = true;
+            self.inbuf.clear();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::serve_session;
+    use grepair_core::{compress, GRePairConfig};
+    use grepair_hypergraph::Hypergraph;
+    use grepair_store::{write_container, GraphStore};
+    use std::io::BufReader;
+    use std::net::TcpListener;
+
+    fn dummy_stream() -> (TcpStream, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stream = TcpStream::connect(addr).expect("connect");
+        let (_accepted, peer) = listener.accept().expect("accept");
+        (stream, peer)
+    }
+
+    fn fixture() -> (StoreRegistry, WorkerPool, SessionOpts) {
+        let (g, _) = Hypergraph::from_simple_edges(
+            17,
+            (0..8u32).flat_map(|i| [(2 * i, 0u32, 2 * i + 1), (2 * i + 1, 1u32, 2 * i + 2)]),
+        );
+        let out = compress(&g, &GRePairConfig::default());
+        let enc = grepair_codec::encode(&out.grammar);
+        let bytes = write_container(&enc.bytes, enc.bit_len);
+        let registry = StoreRegistry::new(GraphStore::from_bytes(&bytes).expect("container"));
+        let pool = WorkerPool::new(2);
+        let opts = SessionOpts { max_line: 64, ..SessionOpts::default() };
+        (registry, pool, opts)
+    }
+
+    /// Feed `input` through a Conn in the given chunk sizes and return its
+    /// reply bytes.
+    fn conn_replies(input: &[u8], chunks: &[usize], opts: &SessionOpts) -> Vec<u8> {
+        let (registry, pool, _) = fixture();
+        let (stream, peer) = dummy_stream();
+        let mut conn = Conn::new(stream, peer);
+        let mut fed = 0;
+        for &len in chunks {
+            let end = (fed + len).min(input.len());
+            conn.inbuf.extend_from_slice(&input[fed..end]);
+            fed = end;
+            conn.pump(&registry, &pool, opts).expect("pump");
+            if conn.closing {
+                break;
+            }
+        }
+        if fed < input.len() && !conn.closing {
+            conn.inbuf.extend_from_slice(&input[fed..]);
+            conn.pump(&registry, &pool, opts).expect("pump");
+        }
+        if !conn.closing {
+            // EOF path, minus the socket read.
+            conn.session.flush(&registry, &pool, &mut conn.outbuf).expect("flush");
+            conn.closing = true;
+        }
+        conn.outbuf.clone()
+    }
+
+    /// Ground truth: the blocking engine over the same bytes.
+    fn blocking_replies(input: &[u8], opts: &SessionOpts) -> Vec<u8> {
+        let (registry, pool, _) = fixture();
+        let mut reader = BufReader::new(input);
+        let mut out = Vec::new();
+        serve_session(&registry, &pool, &mut reader, &mut out, opts).expect("serve");
+        out
+    }
+
+    fn assert_identical(input: &[u8], chunks: &[usize]) {
+        let (_, _, opts) = fixture();
+        let framed = conn_replies(input, chunks, &opts);
+        let blocking = blocking_replies(input, &opts);
+        assert_eq!(
+            String::from_utf8_lossy(&framed),
+            String::from_utf8_lossy(&blocking),
+            "chunking {chunks:?} of {:?} diverged from blocking mode",
+            String::from_utf8_lossy(input),
+        );
+    }
+
+    #[test]
+    fn whole_lines_match_blocking_mode() {
+        let input = b"out 0\nPING\ndegrees\nreach 0 4\nbogus 9\nout 3\n";
+        assert_identical(input, &[input.len()]);
+    }
+
+    #[test]
+    fn one_byte_dribble_matches_blocking_mode() {
+        let input = b"out 0\ndegrees\nt9:out 0\nreach 0 2\n";
+        let chunks: Vec<usize> = input.iter().map(|_| 1).collect();
+        assert_identical(input, &chunks);
+    }
+
+    #[test]
+    fn oversized_line_is_one_error_and_next_line_parses() {
+        let long = vec![b'x'; 200];
+        let mut input = long.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"out 0\n");
+        // Split mid-oversized-line so discard mode spans pumps.
+        assert_identical(&input, &[50, 100, input.len() - 150]);
+    }
+
+    #[test]
+    fn oversized_line_without_newline_still_errors_at_eof() {
+        let input = vec![b'y'; 300];
+        assert_identical(&input, &[128, 128, 44]);
+    }
+
+    #[test]
+    fn partial_line_at_eof_is_discarded_silently() {
+        let input = b"out 0\ndegre"; // no trailing newline
+        assert_identical(input, &[6, 5]);
+    }
+
+    #[test]
+    fn mid_utf8_split_matches_blocking_mode() {
+        // A multi-byte char split across reads must reassemble (valid line
+        // that fails to parse) — and a torn one must yield the UTF-8 error.
+        let input = "caf\u{e9} out\nout 0\n".as_bytes();
+        for split in 1..input.len() {
+            assert_identical(input, &[split, input.len() - split]);
+        }
+    }
+
+    #[test]
+    fn crlf_lines_match_blocking_mode() {
+        let input = b"out 0\r\nPING\r\ndegrees\r\n";
+        assert_identical(input, &[3, 3, 3, 3, 3, 8]);
+    }
+
+    #[test]
+    fn input_after_quit_is_never_served() {
+        let input = b"out 0\nQUIT\nout 1\ndegrees\n";
+        assert_identical(input, &[input.len()]);
+        let (_, _, opts) = fixture();
+        let framed = conn_replies(input, &[input.len()], &opts);
+        let text = String::from_utf8(framed).expect("utf8");
+        assert_eq!(text.lines().count(), 2, "replies after QUIT leaked: {text}");
+    }
+
+    #[test]
+    fn exact_max_line_is_served_and_one_more_byte_is_oversized() {
+        let (_, _, opts) = fixture();
+        let at_limit = vec![b'z'; opts.max_line];
+        let mut input = at_limit.clone();
+        input.push(b'\n');
+        input.extend_from_slice(&vec![b'z'; opts.max_line + 1]);
+        input.push(b'\n');
+        input.extend_from_slice(b"out 0\n");
+        assert_identical(&input, &[1; 4]);
+        assert_identical(&input, &[input.len()]);
+    }
+
+    #[test]
+    fn backpressure_flag_tracks_outbuf() {
+        let (stream, peer) = dummy_stream();
+        let mut conn = Conn::new(stream, peer);
+        assert!(!conn.backpressured());
+        conn.outbuf = vec![0u8; OUTBUF_BACKPRESSURE + 1];
+        assert!(conn.backpressured());
+        assert!(conn.wants_write());
+    }
+}

@@ -52,15 +52,17 @@
 //! server.run().unwrap();
 //! ```
 
+mod conn;
 mod pool;
+mod reactor;
 mod server;
 mod session;
 mod signal;
 
 pub use pool::{WorkerPool, MAX_POOL_THREADS};
 pub use server::{
-    apply_tenancy_flags, run_cli, Server, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS,
-    DEFAULT_READ_TIMEOUT,
+    apply_tenancy_flags, run_cli, IoMode, Server, ServerConfig, ServerHandle,
+    DEFAULT_MAX_CONNECTIONS, DEFAULT_READ_TIMEOUT,
 };
 pub use session::{
     serve_session, LineSource, SessionOpts, SessionSummary, DEFAULT_BATCH, DEFAULT_MAX_LINE,

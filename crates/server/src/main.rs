@@ -20,14 +20,17 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   grepair-server <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
-                 [--attach NAME=PATH]... [--memory-budget BYTES]
+                 [--attach NAME=PATH]... [--memory-budget BYTES] [--io epoll|threads]
 
   --addr           bind address (default 127.0.0.1:0 — ephemeral port, printed on stdout)
   --threads        worker-pool size (default 0 = one per core)
   --batch          per-connection batch cap in lines (default 1024)
   --max-line       longest accepted request line in bytes (default 65536)
   --attach         register another namespace (repeatable; opened on first query)
-  --memory-budget  resident container-byte cap; least-recently-hit stores evict";
+  --memory-budget  resident container-byte cap; least-recently-hit stores evict
+  --io             socket front end: threads (default, one session thread per
+                   connection) or epoll (one readiness loop, flat thread count;
+                   linux only)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

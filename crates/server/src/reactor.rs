@@ -1,0 +1,429 @@
+//! The epoll front end: one readiness loop owning every client socket
+//! (DESIGN.md §11).
+//!
+//! Bound via raw `epoll_create1`/`epoll_ctl`/`epoll_wait` syscalls in the
+//! same no-libc-crate spirit as `signal.rs`: the C library is already
+//! linked (std links it), so `extern "C"` declarations are all the binding
+//! needs — no new dependency, which matters in this offline build.
+//!
+//! The loop is level-triggered. Each wakeup: accept a burst of new
+//! connections (token 0), then for each ready connection read a bounded
+//! burst into its [`Conn`] buffers, frame complete lines through the shared
+//! [`SessionState`](crate::session) engine, and opportunistically flush its
+//! reply buffer. Query evaluation itself still runs on the shared
+//! [`WorkerPool`](crate::pool::WorkerPool) — the reactor thread only moves
+//! bytes, so the process thread count stays flat no matter how many clients
+//! connect (the property `serve-probe --connections` measures).
+//!
+//! Drain (`SHUTDOWN`/`SIGTERM`) deregisters the listener, answers every
+//! pending batch, and closes each connection as its replies reach the
+//! socket; the drain deadline force-closes stragglers, mirroring the
+//! thread-per-connection `await_drain`.
+
+use crate::server::Server;
+
+/// Run the reactor until stop or drain completes. On non-Linux targets the
+/// epoll syscalls do not exist; `--io epoll` is rejected at flag-parse
+/// time, and this stub keeps the crate compiling there.
+pub(crate) fn run(server: &Server) -> std::io::Result<()> {
+    imp::run(server)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::collections::HashMap;
+    use std::io::{self, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+
+    use grepair_util::fail;
+
+    use crate::conn::Conn;
+    use crate::server::{accept_backoff, Server};
+
+    // epoll_ctl ops (uapi/linux/eventpoll.h).
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    // Event bits.
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    /// Peer shut down its write side — drain what it already sent.
+    const EPOLLRDHUP: u32 = 0x2000;
+    /// `EPOLL_CLOEXEC`: same value as `O_CLOEXEC`.
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// Kernel event record. x86-64 declares it packed (the 32-bit layout,
+    /// kept for binary compatibility); other architectures use natural
+    /// alignment. Fields are only ever read by copy, never borrowed, so
+    /// the unaligned layout is safe to use from Rust.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Owned epoll instance; closed on drop.
+    struct Epoll(RawFd);
+
+    impl Epoll {
+        fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes no pointers; it returns a new fd
+            // or -1, and we check for -1 before using the result.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self(fd))
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask, data: token };
+            // SAFETY: `ev` is a live stack value for the duration of the
+            // call; the kernel copies it (ADD/MOD) or ignores it (DEL) and
+            // never retains the pointer past the syscall.
+            let rc = unsafe { epoll_ctl(self.0, op, fd, &mut ev) };
+            if rc == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn add(&self, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, mask, token)
+        }
+
+        fn modify(&self, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, mask, token)
+        }
+
+        /// Best-effort deregistration: the fd is about to be closed, which
+        /// deregisters it anyway, so errors are ignored.
+        fn del(&self, fd: RawFd) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        /// Wait up to `timeout_ms` for ready fds; `Ok(n)` events filled.
+        fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `events` is a live, writable slice; `maxevents` is
+            // its exact length, so the kernel writes only within bounds.
+            let n = unsafe {
+                epoll_wait(self.0, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+            };
+            if n == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: self.0 is the fd epoll_create1 returned and nothing
+            // else closes it; double-close is impossible because Drop runs
+            // once.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    /// The listener's token; connection tokens start above it.
+    const LISTENER: u64 = 0;
+    /// Events fetched per `epoll_wait` call.
+    const MAX_EVENTS: usize = 256;
+    /// Idle tick: bounds how stale a stop/drain check can get when no
+    /// socket is ready (the stop self-connect also wakes the listener).
+    const TICK_MS: i32 = 100;
+    /// How often the idle sweep checks `read_timeout` expiries.
+    const SWEEP_EVERY: Duration = Duration::from_millis(250);
+
+    /// A registered connection plus the event mask epoll currently has for
+    /// it (so re-registration happens only when interest changes).
+    struct Slot {
+        conn: Conn,
+        mask: u32,
+    }
+
+    fn desired_mask(conn: &Conn) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if !conn.closing && !conn.backpressured() {
+            mask |= EPOLLIN;
+        }
+        if conn.wants_write() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    pub(crate) fn run(server: &Server) -> io::Result<()> {
+        server.listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        epoll.add(server.listener.as_raw_fd(), EPOLLIN, LISTENER)?;
+        let mut conns: HashMap<u64, Slot> = HashMap::new();
+        let mut next_token: u64 = LISTENER + 1;
+        let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let mut accept_failures = 0u32;
+        let mut drain_deadline: Option<Instant> = None;
+        let mut last_sweep = Instant::now();
+        loop {
+            // A drain takes precedence over the plain stop the drain
+            // watcher also sets: deregister the listener, answer every
+            // pending batch, then let each connection close as its replies
+            // reach the socket.
+            if server.drain.load(Ordering::Relaxed) && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + server.drain_deadline);
+                epoll.del(server.listener.as_raw_fd());
+                // audited: operator log from the drain path; stderr is the server's log surface
+                eprintln!("draining: {} active sessions", conns.len());
+                for slot in conns.values_mut() {
+                    let _ = slot.conn.begin_close(&server.registry, &server.pool);
+                    let _ = slot.conn.handle_writable();
+                }
+                conns.retain(|_, slot| {
+                    let done = slot.conn.finished();
+                    if done {
+                        epoll.del(slot.conn.stream.as_raw_fd());
+                        server.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    !done
+                });
+            }
+            match drain_deadline {
+                Some(deadline) => {
+                    if conns.is_empty() {
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        // audited: operator log from the drain path; stderr is the server's log surface
+                        eprintln!(
+                            "drain deadline reached with {} sessions still active",
+                            conns.len()
+                        );
+                        for slot in conns.values() {
+                            server.active.fetch_sub(1, Ordering::Relaxed);
+                            let _ = slot;
+                        }
+                        return Ok(());
+                    }
+                }
+                None => {
+                    if server.stop.load(Ordering::Relaxed) {
+                        // Plain stop (tests, ServerHandle): drop everything;
+                        // the OS closes the sockets.
+                        server.active.fetch_sub(conns.len() as u64, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                }
+            }
+            // A fired `reactor.wait` fault is a transient readiness-loop
+            // failure: log, back off, keep serving — the same
+            // degrade-don't-die contract as the accept loop.
+            if let Err(e) = fail::point("reactor.wait") {
+                // audited: operator log from the reactor; stderr is the server's log surface
+                eprintln!("reactor wait failed: {e}");
+                std::thread::sleep(accept_backoff(1));
+                continue;
+            }
+            let n = match epoll.wait(&mut events, TICK_MS) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            // audited: `wait` contract: n <= events.len() (clamped to maxevents)
+            for ev in &events[..n] {
+                // Copy out of the (possibly packed) kernel record; packed
+                // fields must not be borrowed.
+                let token = ev.data;
+                let bits = ev.events;
+                if token == LISTENER {
+                    if drain_deadline.is_none() {
+                        accept_burst(
+                            server,
+                            &epoll,
+                            &mut conns,
+                            &mut next_token,
+                            &mut accept_failures,
+                        );
+                    }
+                    continue;
+                }
+                let Some(slot) = conns.get_mut(&token) else {
+                    continue; // already dropped this wakeup
+                };
+                let result = handle_conn_event(server, slot, bits);
+                finish_or_rearm(server, &epoll, &mut conns, token, result);
+            }
+            // Idle sweep: enforce read_timeout on parked connections, the
+            // reactor's analogue of the blocking mode's SO_RCVTIMEO cutoff
+            // (silent there, silent here). Also reaps draining stragglers
+            // whose replies flushed between wakeups.
+            if last_sweep.elapsed() >= SWEEP_EVERY {
+                last_sweep = Instant::now();
+                let timeout = server.read_timeout;
+                conns.retain(|_, slot| {
+                    let idle = timeout
+                        .is_some_and(|t| !slot.conn.closing && slot.conn.last_activity.elapsed() >= t);
+                    let done = slot.conn.finished() || idle;
+                    if done {
+                        epoll.del(slot.conn.stream.as_raw_fd());
+                        server.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    !done
+                });
+                if drain_deadline.is_some() && conns.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Accept until the backlog is empty. Mirrors the thread-mode accept
+    /// loop: same failpoint, same counters, same refusal line over the cap,
+    /// same log lines — only the session transport differs.
+    fn accept_burst(
+        server: &Server,
+        epoll: &Epoll,
+        conns: &mut HashMap<u64, Slot>,
+        next_token: &mut u64,
+        accept_failures: &mut u32,
+    ) {
+        loop {
+            let accepted = fail::point("server.accept")
+                .map_err(io::Error::other)
+                .and_then(|()| server.listener.accept());
+            let (stream, peer) = match accepted {
+                Ok(accepted) => {
+                    *accept_failures = 0;
+                    accepted
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    // Transient accept failures must not take the server
+                    // down; back off briefly so a persistent failure does
+                    // not spin the reactor at 100% CPU.
+                    *accept_failures = accept_failures.saturating_add(1);
+                    // audited: operator log from the accept path; stderr is the server's log surface
+                    eprintln!("accept failed: {e}");
+                    std::thread::sleep(accept_backoff(*accept_failures));
+                    return;
+                }
+            };
+            server.connections.fetch_add(1, Ordering::Relaxed);
+            if conns.len() >= server.max_connections {
+                let mut stream = stream;
+                let _ = writeln!(
+                    stream,
+                    "error: connection limit reached ({} active)",
+                    server.max_connections
+                );
+                // audited: operator log from the accept path; stderr is the server's log surface
+                eprintln!("refusing {peer}: connection limit reached");
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue; // stream is unusable; drop it
+            }
+            // Request/reply over one stream: latency over coalescing, same
+            // as the blocking front end.
+            let _ = stream.set_nodelay(true);
+            let token = *next_token;
+            *next_token += 1;
+            let conn = Conn::new(stream, peer);
+            let mask = desired_mask(&conn);
+            if epoll.add(conn.stream.as_raw_fd(), mask, token).is_err() {
+                continue; // cannot watch it; drop the connection
+            }
+            server.active.fetch_add(1, Ordering::Relaxed);
+            conns.insert(token, Slot { conn, mask });
+        }
+    }
+
+    /// Drive one connection through its ready events. `Err` means the
+    /// connection died and must be dropped.
+    fn handle_conn_event(server: &Server, slot: &mut Slot, bits: u32) -> io::Result<()> {
+        if bits & EPOLLERR != 0 {
+            // Fetch the real error (read on an errored socket returns it).
+            let mut scratch = [0u8; 1];
+            let err = match io::Read::read(&mut slot.conn.stream, &mut scratch) {
+                Err(e) => e,
+                Ok(_) => io::Error::other("socket error event"),
+            };
+            return Err(err);
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0
+            && !slot.conn.closing
+            && !slot.conn.backpressured()
+        {
+            slot.conn.handle_readable(&server.registry, &server.pool, &server.opts)?;
+        }
+        // Optimistic flush: the kernel send buffer almost always has room,
+        // so replies usually leave without waiting for an EPOLLOUT round
+        // trip.
+        slot.conn.handle_writable()
+    }
+
+    /// Apply the outcome of an event: drop a dead or finished connection
+    /// (logging real errors, like the thread-mode session reaper) or
+    /// re-register changed interest.
+    fn finish_or_rearm(
+        server: &Server,
+        epoll: &Epoll,
+        conns: &mut HashMap<u64, Slot>,
+        token: u64,
+        result: io::Result<()>,
+    ) {
+        let Some(slot) = conns.get_mut(&token) else { return };
+        match result {
+            Err(e) => {
+                // The peer vanishing mid-write is normal churn, not a
+                // server error; anything else is worth a line.
+                if e.kind() != io::ErrorKind::BrokenPipe {
+                    // audited: operator log from the reactor; stderr is the server's log surface
+                    eprintln!("session with {} ended: {e}", slot.conn.peer);
+                }
+                epoll.del(slot.conn.stream.as_raw_fd());
+                server.active.fetch_sub(1, Ordering::Relaxed);
+                conns.remove(&token);
+            }
+            Ok(()) => {
+                if slot.conn.finished() {
+                    epoll.del(slot.conn.stream.as_raw_fd());
+                    server.active.fetch_sub(1, Ordering::Relaxed);
+                    conns.remove(&token);
+                    return;
+                }
+                let want = desired_mask(&slot.conn);
+                if want != slot.mask
+                    && epoll.modify(slot.conn.stream.as_raw_fd(), want, token).is_ok()
+                {
+                    slot.mask = want;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use crate::server::Server;
+
+    pub(crate) fn run(_server: &Server) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll io mode requires linux",
+        ))
+    }
+}

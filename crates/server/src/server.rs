@@ -38,6 +38,30 @@ pub fn accept_backoff(consecutive_failures: u32) -> Duration {
     Duration::from_millis((10u64 << exp).min(1_000))
 }
 
+/// Which front end owns the client sockets (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Thread-per-connection: each accepted socket gets a blocking session
+    /// thread. Simple, portable, and the fallback everywhere.
+    #[default]
+    Threads,
+    /// One epoll readiness loop owns every client socket; only the worker
+    /// pool crunches queries, so the thread count stays flat no matter how
+    /// many clients connect. Linux only.
+    Epoll,
+}
+
+impl IoMode {
+    /// Parse the `--io` flag value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "threads" => Ok(Self::Threads),
+            "epoll" => Ok(Self::Epoll),
+            other => Err(format!("bad --io {other:?}: want epoll or threads")),
+        }
+    }
+}
+
 /// Everything `grepair-server` / `grepair store serve` can tune.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -67,6 +91,9 @@ pub struct ServerConfig {
     /// How long a drain (`SHUTDOWN` / `SIGTERM`) waits for in-flight
     /// sessions before giving up on them.
     pub drain_deadline: Duration,
+    /// Socket front end: thread-per-connection (default) or the epoll
+    /// readiness loop (`--io epoll`, DESIGN.md §11).
+    pub io: IoMode,
 }
 
 impl Default for ServerConfig {
@@ -80,27 +107,34 @@ impl Default for ServerConfig {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             shed_watermark: 0,
             drain_deadline: DEFAULT_DRAIN_DEADLINE,
+            io: IoMode::default(),
         }
     }
 }
 
 /// A bound (but not yet running) server.
+///
+/// Fields are `pub(crate)` so the epoll reactor (`reactor.rs`) can drive
+/// the same listener, registry, pool, counters, and drain flag the
+/// thread-per-connection loop uses — one server, two interchangeable
+/// front ends.
 #[derive(Debug)]
 pub struct Server {
-    listener: TcpListener,
-    registry: Arc<StoreRegistry>,
-    pool: Arc<WorkerPool>,
-    opts: SessionOpts,
-    read_timeout: Option<Duration>,
-    max_connections: usize,
-    drain_deadline: Duration,
-    stop: Arc<AtomicBool>,
+    pub(crate) listener: TcpListener,
+    pub(crate) registry: Arc<StoreRegistry>,
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) opts: SessionOpts,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) max_connections: usize,
+    pub(crate) drain_deadline: Duration,
+    pub(crate) stop: Arc<AtomicBool>,
     /// Flipped by any session's `SHUTDOWN` (via [`SessionOpts::drain`]) or
     /// by `SIGTERM`; the drain watcher turns it into a stop + graceful
     /// wait (DESIGN.md §10).
-    drain: Arc<AtomicBool>,
-    connections: Arc<AtomicU64>,
-    active: Arc<AtomicU64>,
+    pub(crate) drain: Arc<AtomicBool>,
+    pub(crate) connections: Arc<AtomicU64>,
+    pub(crate) active: Arc<AtomicU64>,
+    io: IoMode,
 }
 
 /// Decrements the active-connection count when a session ends, however it
@@ -178,6 +212,7 @@ impl Server {
             drain,
             connections: Arc::new(AtomicU64::new(0)),
             active: Arc::new(AtomicU64::new(0)),
+            io: config.io,
         })
     }
 
@@ -245,11 +280,19 @@ impl Server {
     /// return.
     pub fn run(&self) -> std::io::Result<()> {
         self.spawn_drain_watcher()?;
-        let result = self.accept_loop();
-        if self.drain.load(Ordering::Relaxed) {
-            self.await_drain();
+        match self.io {
+            IoMode::Threads => {
+                let result = self.accept_loop();
+                if self.drain.load(Ordering::Relaxed) {
+                    self.await_drain();
+                }
+                result
+            }
+            // The reactor owns its own drain sequencing (every connection
+            // lives on the reactor thread, so it flushes and closes them
+            // itself instead of waiting on session threads).
+            IoMode::Epoll => crate::reactor::run(self),
         }
-        result
     }
 
     /// Watch for a drain trigger — the shared flag (any session's
@@ -433,7 +476,7 @@ pub fn apply_tenancy_flags(registry: &StoreRegistry, flags: &[String]) -> Result
 /// `<g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
 /// [--read-timeout SECS] [--max-connections N]
 /// [--attach NAME=PATH]... [--memory-budget BYTES]
-/// [--shed-watermark N] [--drain-deadline SECS]
+/// [--shed-watermark N] [--drain-deadline SECS] [--io epoll|threads]
 /// [--failpoints SPECS] [--fail-seed N]`.
 ///
 /// `--read-timeout 0` disables the idle cutoff. The positional container
@@ -460,6 +503,7 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             "--memory-budget",
             "--shed-watermark",
             "--drain-deadline",
+            "--io",
             "--failpoints",
             "--fail-seed",
         ],
@@ -513,6 +557,12 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         let secs: u64 = raw.parse().map_err(|e| format!("bad --drain-deadline: {e}"))?;
         config.drain_deadline = Duration::from_secs(secs);
     }
+    if let Some(raw) = flag_value(flags, "--io") {
+        config.io = IoMode::parse(&raw)?;
+        if config.io == IoMode::Epoll && !cfg!(target_os = "linux") {
+            return Err("--io epoll requires linux".into());
+        }
+    }
 
     let registry = Arc::new(StoreRegistry::open(g2g).map_err(|e| match e {
         grepair_store::GrepairError::Io { .. } => e.to_string(),
@@ -560,6 +610,7 @@ mod tests {
         assert!(run_cli(&args(&["x.g2g", "--max-connections", "lots"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--shed-watermark", "deep"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--drain-deadline", "soon"])).is_err());
+        assert!(run_cli(&args(&["x.g2g", "--io", "uring"])).is_err());
         assert!(run_cli(&args(&["x.g2g", "--fail-seed", "x"])).is_err());
         // Without the `fail` feature the failpoint flags error loudly; with
         // it, a malformed spec still must.
@@ -615,6 +666,16 @@ mod tests {
         // Shedding is opt-in; a drain waits a finite default.
         assert_eq!(config.shed_watermark, 0);
         assert_eq!(config.drain_deadline, DEFAULT_DRAIN_DEADLINE);
+        // Thread-per-connection stays the portable default front end.
+        assert_eq!(config.io, IoMode::Threads);
+    }
+
+    #[test]
+    fn io_mode_parses_both_names_and_rejects_others() {
+        assert_eq!(IoMode::parse("threads"), Ok(IoMode::Threads));
+        assert_eq!(IoMode::parse("epoll"), Ok(IoMode::Epoll));
+        assert!(IoMode::parse("uring").is_err());
+        assert!(IoMode::parse("Epoll").is_err(), "flag values are case-sensitive");
     }
 
     #[test]

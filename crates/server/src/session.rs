@@ -262,6 +262,124 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
 /// outcome.
 type Pending = (String, Result<Query, GrepairError>);
 
+/// What handling one complete line asks the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Keep feeding lines.
+    Continue,
+    /// `QUIT`/`SHUTDOWN` was answered — end the session; any input after
+    /// it is never served.
+    Quit,
+}
+
+/// The per-connection protocol state machine, factored out of the blocking
+/// loop so both front ends drive the *same* engine: [`serve_session`]
+/// feeds it from a blocking [`LineSource`], the epoll reactor
+/// (DESIGN.md §11) from non-blocking per-connection frame buffers. One
+/// engine is what makes the two modes byte-identical by construction —
+/// there is no second protocol implementation to drift.
+///
+/// The driver owns framing (turning bytes into complete lines) and the
+/// batching *decision* ("the client paused"); the state owns everything
+/// protocol: the current namespace, the pending batch, and the summary.
+#[derive(Debug)]
+pub(crate) struct SessionState {
+    namespace: String,
+    pending: Vec<Pending>,
+    pub(crate) summary: SessionSummary,
+}
+
+impl SessionState {
+    pub(crate) fn new() -> Self {
+        Self {
+            namespace: DEFAULT_NAMESPACE.to_string(),
+            pending: Vec::new(),
+            summary: SessionSummary::default(),
+        }
+    }
+
+    /// Lines buffered but not yet answered.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Record one line that exceeded `max_line`: an error *reply* queued in
+    /// request order; the driver has already discarded the line's bytes.
+    pub(crate) fn push_oversized(&mut self, max_line: usize) {
+        self.pending.push((
+            self.namespace.clone(),
+            Err(GrepairError::BadRequest(format!("line exceeds {max_line} bytes"))),
+        ));
+    }
+
+    /// Feed one complete line (terminator and any trailing `\r` already
+    /// stripped). Admin verbs are answered immediately (after flushing the
+    /// pending batch, so replies stay in request order); query lines are
+    /// buffered into the pending batch for the driver to flush.
+    pub(crate) fn on_line(
+        &mut self,
+        registry: &StoreRegistry,
+        pool: &WorkerPool,
+        line: &[u8],
+        writer: &mut impl Write,
+        opts: &SessionOpts,
+    ) -> std::io::Result<Step> {
+        let Ok(text) = std::str::from_utf8(line) else {
+            self.pending.push((
+                self.namespace.clone(),
+                Err(GrepairError::BadRequest("line is not valid UTF-8".into())),
+            ));
+            return Ok(Step::Continue);
+        };
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            // Skipped without a reply — exactly like serve-file, which
+            // keeps the front ends byte-identical.
+            return Ok(Step::Continue);
+        }
+        if let Some(admin) = parse_admin(text) {
+            // Answer everything that came before the admin command first:
+            // replies stay in request order, and a RELOAD cannot
+            // retroactively change them.
+            self.flush(registry, pool, writer)?;
+            let quit = matches!(admin, Ok(Admin::Quit) | Ok(Admin::Shutdown));
+            let reply = handle_admin(registry, admin, opts, &mut self.namespace, &mut self.summary);
+            self.summary.served += 1;
+            if reply.starts_with("error: ") {
+                self.summary.errors += 1;
+            }
+            fail::point("session.write").map_err(std::io::Error::other)?;
+            writeln!(writer, "{reply}")?;
+            writer.flush()?;
+            return Ok(if quit { Step::Quit } else { Step::Continue });
+        }
+        // A `name:` prefix addresses one line at another namespace;
+        // anything else (including a `:` deeper in the line after a
+        // non-name prefix) parses as a plain query against the session's
+        // namespace.
+        let (target, query_text) = match text.split_once(':') {
+            Some((prefix, rest)) if valid_namespace(prefix) => {
+                (prefix.to_string(), rest.trim_start())
+            }
+            _ => (self.namespace.clone(), text),
+        };
+        self.pending.push((target, parse_query(query_text)));
+        Ok(Step::Continue)
+    }
+
+    /// Evaluate the pending batch and write one reply line each, in input
+    /// order (see [`flush_pending`]). Does not flush the writer — the
+    /// driver decides when buffered replies hit the transport.
+    pub(crate) fn flush(
+        &mut self,
+        registry: &StoreRegistry,
+        pool: &WorkerPool,
+        writer: &mut impl Write,
+    ) -> std::io::Result<()> {
+        flush_pending(registry, pool, &mut self.pending, writer, &mut self.summary)
+    }
+}
+
 /// Serve one connection (or any line stream) to completion.
 ///
 /// `reader`/`writer` are the two halves of the connection; the function
@@ -277,9 +395,7 @@ pub fn serve_session(
     writer: &mut impl Write,
     opts: &SessionOpts,
 ) -> std::io::Result<SessionSummary> {
-    let mut summary = SessionSummary::default();
-    let mut namespace = DEFAULT_NAMESPACE.to_string();
-    let mut pending: Vec<Pending> = Vec::new();
+    let mut state = SessionState::new();
     let mut line = Vec::new();
     loop {
         // A fired `session.read` fault is a transport error: the peer is
@@ -290,78 +406,30 @@ pub fn serve_session(
             LineEvent::Eof | LineEvent::MidLineEof => {
                 // A partial line cannot be answered (the client is gone and
                 // the request is incomplete); answer what was complete.
-                flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+                state.flush(registry, pool, writer)?;
                 writer.flush()?;
-                return Ok(summary);
+                return Ok(state.summary);
             }
-            LineEvent::Oversized => {
-                pending.push((
-                    namespace.clone(),
-                    Err(GrepairError::BadRequest(format!(
-                        "line exceeds {} bytes",
-                        opts.max_line
-                    ))),
-                ));
+            LineEvent::Oversized => state.push_oversized(opts.max_line),
+            LineEvent::Line => {
+                if state.on_line(registry, pool, &line, writer, opts)? == Step::Quit {
+                    return Ok(state.summary);
+                }
             }
-            LineEvent::Line => match std::str::from_utf8(&line) {
-                Err(_) => {
-                    pending.push((
-                        namespace.clone(),
-                        Err(GrepairError::BadRequest("line is not valid UTF-8".into())),
-                    ));
-                }
-                Ok(text) => {
-                    let text = text.trim();
-                    if text.is_empty() || text.starts_with('#') {
-                        // Skipped without a reply — exactly like serve-file,
-                        // which keeps the two outputs byte-identical.
-                    } else if let Some(admin) = parse_admin(text) {
-                        // Answer everything that came before the admin
-                        // command first: replies stay in request order, and
-                        // a RELOAD cannot retroactively change them.
-                        flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
-                        let quit = matches!(admin, Ok(Admin::Quit) | Ok(Admin::Shutdown));
-                        let reply =
-                            handle_admin(registry, admin, opts, &mut namespace, &mut summary);
-                        summary.served += 1;
-                        if reply.starts_with("error: ") {
-                            summary.errors += 1;
-                        }
-                        fail::point("session.write").map_err(std::io::Error::other)?;
-                        writeln!(writer, "{reply}")?;
-                        writer.flush()?;
-                        if quit {
-                            return Ok(summary);
-                        }
-                    } else {
-                        // A `name:` prefix addresses one line at another
-                        // namespace; anything else (including a `:` deeper
-                        // in the line after a non-name prefix) parses as a
-                        // plain query against the session's namespace.
-                        let (target, query_text) = match text.split_once(':') {
-                            Some((prefix, rest)) if valid_namespace(prefix) => {
-                                (prefix.to_string(), rest.trim_start())
-                            }
-                            _ => (namespace.clone(), text),
-                        };
-                        pending.push((target, parse_query(query_text)));
-                    }
-                }
-            },
         }
         // Adaptive batching: evaluate once the batch is full or the client
         // has nothing more already buffered.
-        if pending.len() >= opts.batch || (!pending.is_empty() && !reader.buffered()) {
-            flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+        if state.pending_len() >= opts.batch || (state.pending_len() > 0 && !reader.buffered()) {
+            state.flush(registry, pool, writer)?;
             writer.flush()?;
         }
         // Between batches a draining server ends the session: in-flight
         // batches were just answered; a streaming client must not be able
         // to hold the drain open until the deadline kills it.
         if opts.drain.as_ref().is_some_and(|d| d.load(Ordering::Relaxed)) {
-            flush_pending(registry, pool, &mut pending, writer, &mut summary)?;
+            state.flush(registry, pool, writer)?;
             writer.flush()?;
-            return Ok(summary);
+            return Ok(state.summary);
         }
     }
 }

@@ -8,9 +8,12 @@
 //! watcher thread (see [`crate::Server::spawn_sighup_watcher`] and the
 //! drain watcher in [`crate::Server::run`]) turns the flag into a
 //! [`grepair_store::StoreRegistry::reload_from`] call or a drain at its
-//! leisure. On non-Unix targets the module compiles to a no-op: `RELOAD`
-//! and `SHUTDOWN` over the socket are the portable paths; the signals are
-//! a Unix convenience.
+//! leisure. The drain watcher's `stop()` self-connect doubles as the
+//! wakeup for *both* front ends: it unblocks the thread-mode `accept(2)`
+//! and makes the epoll reactor's listener readable, so a `SIGTERM` drain
+//! reaches either loop within one tick (DESIGN.md §10/§11). On non-Unix
+//! targets the module compiles to a no-op: `RELOAD` and `SHUTDOWN` over
+//! the socket are the portable paths; the signals are a Unix convenience.
 
 #[cfg(unix)]
 mod imp {

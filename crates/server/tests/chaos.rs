@@ -20,17 +20,12 @@ mod common;
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::OnceLock;
 
 use common::{g2g, LineClient, TestServer};
 use grepair_util::fail;
-use grepair_util::sync::Mutex;
 
-/// Failpoints are process-global; tests in this file must not interleave.
-fn fail_lock() -> &'static Mutex<()> {
-    static FAIL_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    FAIL_LOCK.get_or_init(|| Mutex::new(()))
-}
+#[cfg(target_os = "linux")]
+use grepair_server::{IoMode, ServerConfig};
 
 /// xorshift64* — deterministic schedules from the seed alone.
 struct Rng(u64);
@@ -100,8 +95,7 @@ fn send_and_salvage(addr: SocketAddr, input: &str) -> (Vec<String>, bool) {
 
 #[test]
 fn seeded_socket_chaos_no_torn_replies_then_byte_identical_recovery() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     let seed = 0x5eed_cafe;
     fail::set_seed(seed);
     let mut rng = Rng::new(seed);
@@ -202,10 +196,194 @@ fn seeded_socket_chaos_no_torn_replies_then_byte_identical_recovery() {
     let _ = std::fs::remove_file(&tenant_path);
 }
 
+/// The epoll twin of the seeded chaos run above: same degradation
+/// contract, driven through the reactor's own failpoints —
+/// `reactor.wait` (readiness-loop hiccups: log, back off, keep serving),
+/// `conn.read` / `conn.write` (per-connection transport death), plus
+/// `pool.submit` and `store.open.read` so the store-side chaos the other
+/// suite exercises in-process is also covered through the epoll path.
+/// Linux-only, like the reactor.
+#[cfg(target_os = "linux")]
+#[test]
+fn seeded_epoll_chaos_no_torn_replies_then_byte_identical_recovery() {
+    let _faults = fail::scoped();
+    let seed = 0xe9011_5eed;
+    fail::set_seed(seed);
+    let mut rng = Rng::new(seed);
+
+    let server = TestServer::start_with(
+        8,
+        None,
+        ServerConfig { io: IoMode::Epoll, ..ServerConfig::default() },
+    );
+    let tenant_path = std::env::temp_dir()
+        .join(format!("grepair_chaos_epoll_{}.g2g", std::process::id()));
+    std::fs::write(&tenant_path, g2g(16)).unwrap();
+    server.registry.attach_cold("t1", tenant_path.to_str().unwrap()).unwrap();
+    let script = script(16);
+    let input: String = script.iter().map(|(q, _)| format!("{q}\n")).collect();
+
+    let (clean, torn) = send_and_salvage(server.addr, &input);
+    assert!(!torn);
+    let expected: Vec<&str> = script.iter().map(|(_, a)| a.as_str()).collect();
+    assert_eq!(clean, expected, "healthy epoll baseline");
+
+    for round in 0..6u64 {
+        fail::set_seed(seed ^ round);
+        let menu = [
+            ("reactor.wait", ["1in(8):err", "1in(6):delay(5)", "nth(2):err"]),
+            ("conn.read", ["1in(6):err", "1in(4):err", "nth(3):err"]),
+            ("conn.write", ["1in(6):err", "1in(5):err", "nth(2):err"]),
+            ("pool.submit", ["1in(3):err", "1in(2):err", "first(1):err"]),
+            ("store.open.read", ["1in(4):err", "1in(3):err", "nth(1):err"]),
+        ];
+        for (name, options) in menu {
+            if rng.below(3) < 2 {
+                let spec = options[rng.below(options.len() as u64) as usize];
+                fail::configure(name, spec).expect("valid spec");
+            }
+        }
+
+        // Several concurrent clients against one reactor thread: replies
+        // must stay whole lines, one per request, in request order — a
+        // fault on one connection (conn.read/conn.write) may end *that*
+        // stream early but must never corrupt another's.
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let input = &input;
+                let script = &script;
+                let addr = server.addr;
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        let (lines, _torn) = send_and_salvage(addr, input);
+                        assert!(lines.len() <= script.len(), "more replies than requests");
+                        for (i, line) in lines.iter().enumerate() {
+                            let (query, answer) = &script[i];
+                            assert!(
+                                line == answer
+                                    || line == "busy"
+                                    || line.starts_with("error: "),
+                                "torn/reordered reply to {query:?}: {line:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        fail::clear_all();
+        // Recovery must be byte-identical to the healthy baseline; ride
+        // out the tenant breaker's cooldown like the thread-mode test.
+        let mut recovered = Vec::new();
+        for _ in 0..20 {
+            let (lines, torn) = send_and_salvage(server.addr, &input);
+            assert!(!torn, "no faults, no torn replies");
+            recovered = lines;
+            if recovered == clean {
+                break;
+            }
+            std::thread::sleep(grepair_store::BREAKER_COOLDOWN / 2);
+        }
+        assert_eq!(recovered, clean, "epoll round {round}: recovery not byte-identical");
+    }
+    fail::clear_all();
+    let _ = std::fs::remove_file(&tenant_path);
+}
+
+/// Per-connection containment, pinned deterministically: the first
+/// `conn.read` evaluation (one exact connection) dies; a connection made
+/// after it serves the full script untouched.
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_conn_faults_are_contained_to_their_connection() {
+    let _faults = fail::scoped();
+    let server = TestServer::start_with(
+        8,
+        None,
+        ServerConfig { io: IoMode::Epoll, ..ServerConfig::default() },
+    );
+    // Healthy first, so the store is warm and the baseline is known-good.
+    let input = "out 0\nreach 0 16\ncomponents\nin 1\nPING\n";
+    let (baseline, torn) = send_and_salvage(server.addr, input);
+    assert!(!torn);
+    assert!(!baseline.is_empty(), "healthy baseline must answer");
+
+    fail::configure("conn.read", "nth(1):err").unwrap();
+    let (victim_lines, _) = send_and_salvage(server.addr, input);
+    assert!(
+        victim_lines.is_empty(),
+        "the faulted connection died on its first read: {victim_lines:?}"
+    );
+    // The very next connection is past nth(1): served in full.
+    let (healthy, torn) = send_and_salvage(server.addr, input);
+    assert!(!torn);
+    assert_eq!(healthy, baseline, "fault leaked across connections");
+    fail::clear_all();
+}
+
+/// Clean drain through the reactor: `SHUTDOWN` answers `draining`, parked
+/// connections are flushed and closed well inside `--drain-deadline`, and
+/// the server thread exits (TestServer's drop joins it).
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_drain_closes_parked_connections_within_the_deadline() {
+    let _faults = fail::scoped();
+    let server = TestServer::start_with(
+        8,
+        None,
+        ServerConfig {
+            io: IoMode::Epoll,
+            drain_deadline: std::time::Duration::from_secs(3),
+            ..ServerConfig::default()
+        },
+    );
+    // A client with answered traffic, left parked (no half-close).
+    let mut parked = server.connect();
+    parked.write_all(b"out 0\nPING\n").unwrap();
+    let mut reader = std::io::BufReader::new(parked.try_clone().unwrap());
+    for expected in ["1\n", "pong\n"] {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert_eq!(line, expected);
+    }
+    // A second client triggers the drain.
+    let mut admin = LineClient::new(server.connect());
+    assert_eq!(admin.roundtrip("SHUTDOWN"), "draining");
+    // The parked connection is closed cleanly (EOF, no junk) well inside
+    // the deadline, not abandoned until a timeout kills it.
+    let start = std::time::Instant::now();
+    let mut rest = Vec::new();
+    parked.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    parked.read_to_end(&mut rest).expect("clean close, not a reset");
+    assert!(rest.is_empty(), "unexpected bytes at drain: {rest:?}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(3),
+        "drain took {:?}, deadline is 3s",
+        start.elapsed()
+    );
+}
+
+/// `server.accept` faults reach the reactor's accept burst too: it logs,
+/// backs off, and keeps serving.
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_accept_faults_back_off_without_dropping_the_server() {
+    let _faults = fail::scoped();
+    fail::configure("server.accept", "first(2):err").unwrap();
+    let server = TestServer::start_with(
+        8,
+        None,
+        ServerConfig { io: IoMode::Epoll, ..ServerConfig::default() },
+    );
+    let mut client = LineClient::new(server.connect());
+    assert_eq!(client.roundtrip("out 0"), "1");
+    assert_eq!(client.roundtrip("QUIT"), "bye");
+    fail::clear_all();
+}
+
 #[test]
 fn faults_verb_lists_calls_and_fired_counts_over_the_wire() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     let server = TestServer::start(8, None);
     let mut client = LineClient::new(server.connect());
     assert_eq!(client.roundtrip("FAULTS"), "faults compiled=on points=0");
@@ -221,8 +399,7 @@ fn faults_verb_lists_calls_and_fired_counts_over_the_wire() {
 
 #[test]
 fn accept_faults_back_off_without_dropping_the_server() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     // Two injected accept failures: the loop logs, backs off (10 then
     // 20 ms), and keeps serving afterwards.
     fail::configure("server.accept", "first(2):err").unwrap();

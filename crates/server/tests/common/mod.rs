@@ -29,11 +29,13 @@ pub fn store(reps: u32) -> GraphStore {
 /// A serving loopback server that stops and joins on drop.
 pub struct TestServer {
     pub addr: SocketAddr,
+    #[allow(dead_code)] // not every test binary including this module touches the registry
     pub registry: Arc<StoreRegistry>,
     handle: ServerHandle,
     thread: Option<JoinHandle<()>>,
 }
 
+#[allow(dead_code)] // not every test binary including this module uses every helper
 impl TestServer {
     pub fn start(reps: u32, reload_path: Option<String>) -> Self {
         Self::start_with(reps, reload_path, ServerConfig::default())
@@ -79,11 +81,14 @@ pub fn send_and_drain(addr: SocketAddr, input: &[u8]) -> String {
 }
 
 /// Interactive client: one line out, one reply line back — the `nc` shape.
+/// (Not every test binary including this module uses every method.)
+#[allow(dead_code)]
 pub struct LineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+#[allow(dead_code)]
 impl LineClient {
     pub fn new(stream: TcpStream) -> Self {
         let reader = BufReader::new(stream.try_clone().expect("clone stream"));

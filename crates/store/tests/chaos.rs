@@ -26,15 +26,6 @@ use grepair_store::{
     BREAKER_THRESHOLD, COLD_OPEN_ATTEMPTS,
 };
 use grepair_util::fail;
-use grepair_util::sync::Mutex;
-
-/// Failpoints are process-global; tests touching them must not interleave.
-/// (Each integration-test file is its own process, so this lock only has
-/// to cover this file.)
-fn fail_lock() -> &'static Mutex<()> {
-    static FAIL_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    FAIL_LOCK.get_or_init(|| Mutex::new(()))
-}
 
 const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
 const SIZES: [u32; 3] = [8, 12, 16];
@@ -222,7 +213,7 @@ fn recover(registry: &StoreRegistry, name: &str) -> std::sync::Arc<GraphStore> {
 
 #[test]
 fn seeded_fault_schedules_degrade_and_recover() {
-    let _serial = fail_lock().lock();
+    let _faults = fail::scoped();
     for seed in [7, 40_96, 0xdead_beef] {
         run_schedule(seed);
     }
@@ -231,8 +222,7 @@ fn seeded_fault_schedules_degrade_and_recover() {
 
 #[test]
 fn cold_open_retries_then_breaker_opens_and_half_open_probe_recovers() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     let registry = chaotic_registry(None);
 
     // Every read fails: one resolution burns all retry attempts.
@@ -287,8 +277,7 @@ fn cold_open_retries_then_breaker_opens_and_half_open_probe_recovers() {
 
 #[test]
 fn transient_open_faults_are_retried_invisibly() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     let registry = chaotic_registry(None);
     // First attempt fails, the in-line retry succeeds: the caller never
     // sees an error and the breaker stays closed.
@@ -303,8 +292,7 @@ fn transient_open_faults_are_retried_invisibly() {
 
 #[test]
 fn concurrent_cold_open_and_eviction_race_under_injected_delays() {
-    let _serial = fail_lock().lock();
-    fail::clear_all();
+    let _faults = fail::scoped();
     let f = fixture();
     // Delays stretch both sides of the hazard: the cold open holds its
     // window open while the evictor walks the LRU list.

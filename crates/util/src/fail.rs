@@ -306,6 +306,48 @@ mod imp {
 
 pub use imp::{clear, clear_all, configure, configure_list, enabled, point, set_seed, snapshot};
 
+/// Exclusive, self-cleaning access to the process-global failpoint
+/// registry, for tests. Hold it for the whole test; see [`scoped`].
+///
+/// On drop it clears every armed point and resets the seed, so a panicking
+/// test cannot leak a live fault schedule into whatever test the harness
+/// runs next — the PR 8 footgun this type exists to close.
+#[must_use = "the guard serializes and cleans up failpoint state; bind it for the test's lifetime"]
+pub struct ScopedFaults {
+    _gate: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedFaults {
+    fn drop(&mut self) {
+        clear_all();
+        set_seed(0);
+    }
+}
+
+/// Take exclusive ownership of the failpoint registry for one test.
+///
+/// Failpoints are process-global (by design: a server's `FAULTS` verb and
+/// `--failpoints` flag must reach every thread), which makes them a
+/// cross-test bleed hazard under the parallel test harness. `scoped()`
+/// serializes the armed section on a process-wide gate and guarantees a
+/// clean registry on entry *and* on exit (even on panic):
+///
+/// ```
+/// let _faults = grepair_util::fail::scoped();
+/// // configure points, run the chaotic part...
+/// // drop clears everything armed, pass or fail
+/// ```
+///
+/// Works in a no-`fail` build too (the gate still serializes; the clears
+/// are no-ops), so `#[cfg]`-free test code can use it unconditionally.
+pub fn scoped() -> ScopedFaults {
+    static GATE: std::sync::OnceLock<crate::sync::Mutex<()>> = std::sync::OnceLock::new();
+    let gate = GATE.get_or_init(|| crate::sync::Mutex::new(())).lock();
+    clear_all();
+    set_seed(0);
+    ScopedFaults { _gate: gate }
+}
+
 /// Environment variable holding `name=spec;name=spec` failpoint configs.
 pub const ENV_FAILPOINTS: &str = "GREPAIR_FAILPOINTS";
 
