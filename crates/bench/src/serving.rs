@@ -97,6 +97,50 @@ pub struct StoreBenchReport {
     /// Connection-scale measurement of the epoll front end (schema 5,
     /// DESIGN.md §11).
     pub connections: ConnectionsReport,
+    /// Delta-layer versioning measurement (schema 6, DESIGN.md §12).
+    pub versioning: VersioningReport,
+}
+
+/// The `versioning` block (schema 6): patch-apply latency, the overlay's
+/// head-vs-base query cost, and the overlay-size crossover — what it costs
+/// to keep serving through the delta layer versus recompressing the
+/// materialized head from scratch (DESIGN.md §12). The workload is the
+/// paper's version-graph story made incremental: a co-authorship history's
+/// year-over-year new edges applied as `PATCH ADD` records to the year-0
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct VersioningReport {
+    /// Retained versions after the replay (head version + 1).
+    pub versions: u64,
+    /// Added-edge records in the head overlay.
+    pub overlay_added: u64,
+    /// Removed-edge records in the head overlay.
+    pub overlay_removed: u64,
+    /// Mean ns per applied patch (validate + overlay clone + swap).
+    pub patch_apply_ns: f64,
+    /// Mean ns per `out`-neighbors query on the patched head (base answer
+    /// ⊕ overlay correction).
+    pub head_neighbors_ns: f64,
+    /// Mean ns per the same query pinned `@v0` (the raw base container).
+    pub v0_neighbors_ns: f64,
+    /// Mean ns per the same query on a from-scratch recompression of the
+    /// materialized head — the overlay-free floor.
+    pub recompressed_neighbors_ns: f64,
+    /// One-off ns to materialize the head and recompress it — what the
+    /// overlay defers (`RELOAD`-rebase or `store patch` pays it once).
+    pub recompress_ns: f64,
+}
+
+impl VersioningReport {
+    /// Head query cost over the overlay-free floor: how much the delta
+    /// layer taxes serving. When this drifts far above 1, the overlay has
+    /// crossed over and a rebase (recompress + `RELOAD`) pays for itself.
+    pub fn overlay_tax(&self) -> f64 {
+        if self.recompressed_neighbors_ns <= 0.0 {
+            return 0.0;
+        }
+        self.head_neighbors_ns / self.recompressed_neighbors_ns
+    }
 }
 
 /// The `connections` block (schema 5): how many idle connections one
@@ -665,6 +709,88 @@ pub fn measure_connections(scale: Scale) -> ConnectionsReport {
     }
 }
 
+/// Measure the delta-layer versioning path (DESIGN.md §12): compress a
+/// co-authorship history's year-0 snapshot, apply every later year's new
+/// edges as patches, and compare head (overlay) serving against the pinned
+/// base and against a from-scratch recompression of the materialized head.
+pub fn measure_versioning(scale: Scale) -> VersioningReport {
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    use grepair_datasets::version::CoauthorshipHistory;
+    use grepair_store::{codec_for, materialize, EdgePatch, PatchOp, VersionedStore};
+
+    let (years, papers, initial, fresh) = match scale {
+        Scale::Full => (8usize, 120usize, 400usize, 60usize),
+        Scale::Quick => (4, 24, 80, 12),
+    };
+    let history = CoauthorshipHistory::generate(years, papers, initial, fresh, 11);
+    // The k2 codec preserves node ids, so history edges patch in verbatim
+    // (the grammar codec renumbers — its oracle needs a node map).
+    let codec = codec_for("k2").expect("k2 backend registered");
+    let base_graph = history.snapshot(0);
+    let file = codec.encode(&base_graph).expect("base snapshot encodes");
+    let base = GraphStore::from_bytes(&file).expect("fresh container loads");
+    let versioned = VersionedStore::new(Arc::new(base)).expect("base within version bound");
+
+    // Year-over-year diff: the ADD stream an incremental feed would carry.
+    let edge_set = |g: &Hypergraph| -> BTreeSet<(u32, u32, u32)> {
+        g.edges().map(|e| (e.att[0], e.label.index(), e.att[1])).collect()
+    };
+    let mut prev = edge_set(&base_graph);
+    let mut patches = Vec::new();
+    for y in 1..years {
+        let snap = edge_set(&history.snapshot(y));
+        for &(s, label, t) in snap.difference(&prev) {
+            patches.push(EdgePatch { op: PatchOp::Add, s: s as u64, label, t: t as u64 });
+        }
+        prev = snap;
+    }
+    assert!(!patches.is_empty(), "the history must grow year over year");
+
+    let patch_total_ns = time_ns(|| {
+        for patch in &patches {
+            versioned.apply(*patch).expect("diffed patches apply cleanly");
+        }
+    });
+    let head = versioned.head();
+    let v0 = versioned.at(0).expect("v0 is always retained");
+    let summary = *versioned.summaries().last().expect("v0 is always retained");
+
+    // The overlay-free floor: materialize the head and recompress it.
+    let mut recompressed = None;
+    let recompress_ns = time_ns(|| {
+        let g = materialize(&head).expect("head materializes");
+        let bytes = codec.encode(&g).expect("materialized head encodes");
+        recompressed = Some(GraphStore::from_bytes(&bytes).expect("recompressed head loads"));
+    });
+    let recompressed = recompressed.expect("filled by the timed closure");
+
+    let probes = 2_000u64;
+    let mean_neighbors_ns = |store: &GraphStore| -> f64 {
+        let n = store.total_nodes();
+        for i in 0..50 {
+            let _ = store.query(&Query::OutNeighbors(i % n));
+        }
+        best_of(3, || {
+            for i in 0..probes {
+                let _ = store.query(&Query::OutNeighbors((i * 31) % n));
+            }
+        }) / probes as f64
+    };
+
+    VersioningReport {
+        versions: summary.version + 1,
+        overlay_added: summary.added,
+        overlay_removed: summary.removed,
+        patch_apply_ns: patch_total_ns / patches.len() as f64,
+        head_neighbors_ns: mean_neighbors_ns(&head),
+        v0_neighbors_ns: mean_neighbors_ns(&v0),
+        recompressed_neighbors_ns: mean_neighbors_ns(&recompressed),
+        recompress_ns,
+    }
+}
+
 /// Run the serving workload and collect every number the JSON records.
 pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
     let reps = match scale {
@@ -751,6 +877,7 @@ pub fn measure_store_serving(scale: Scale) -> StoreBenchReport {
         tenancy: measure_multi_tenant(scale),
         resilience: measure_resilience(scale),
         connections: measure_connections(scale),
+        versioning: measure_versioning(scale),
     }
 }
 
@@ -844,8 +971,9 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     // added the multi-tenant budget/eviction block (PR 6); schema 4 added
     // the resilience block (breaker / shed / drain, DESIGN.md §10);
     // schema 5 added the connections block (epoll connection scale,
-    // DESIGN.md §11).
-    s.push_str("  \"schema\": 5,\n");
+    // DESIGN.md §11); schema 6 added the versioning block (patch latency
+    // and the overlay-vs-recompression crossover, DESIGN.md §12).
+    s.push_str("  \"schema\": 6,\n");
     s.push_str("  \"bench\": \"store\",\n");
     s.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
     s.push_str(&format!("  \"threads_available\": {},\n", r.threads_available));
@@ -925,6 +1053,21 @@ pub fn render_store_bench_json(r: &StoreBenchReport) -> String {
     s.push_str(&format!("    \"burst_queries\": {},\n", c.burst_queries));
     s.push_str(&format!("    \"burst_qps\": {},\n", num(c.burst_qps)));
     s.push_str(&format!("    \"flat\": {}\n", c.flat()));
+    s.push_str("  },\n");
+    let v = &r.versioning;
+    s.push_str("  \"versioning\": {\n");
+    s.push_str(&format!("    \"versions\": {},\n", v.versions));
+    s.push_str(&format!("    \"overlay_added\": {},\n", v.overlay_added));
+    s.push_str(&format!("    \"overlay_removed\": {},\n", v.overlay_removed));
+    s.push_str(&format!("    \"patch_apply_ns\": {},\n", num(v.patch_apply_ns)));
+    s.push_str(&format!("    \"head_neighbors_ns\": {},\n", num(v.head_neighbors_ns)));
+    s.push_str(&format!("    \"v0_neighbors_ns\": {},\n", num(v.v0_neighbors_ns)));
+    s.push_str(&format!(
+        "    \"recompressed_neighbors_ns\": {},\n",
+        num(v.recompressed_neighbors_ns)
+    ));
+    s.push_str(&format!("    \"recompress_ns\": {},\n", num(v.recompress_ns)));
+    s.push_str(&format!("    \"overlay_tax\": {}\n", num(v.overlay_tax())));
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -995,6 +1138,16 @@ mod tests {
                 burst_queries: 10_000,
                 burst_qps: 250_000.0,
             },
+            versioning: VersioningReport {
+                versions: 41,
+                overlay_added: 40,
+                overlay_removed: 0,
+                patch_apply_ns: 30_000.0,
+                head_neighbors_ns: 600.0,
+                v0_neighbors_ns: 400.0,
+                recompressed_neighbors_ns: 300.0,
+                recompress_ns: 9_000_000.0,
+            },
         }
     }
 
@@ -1025,7 +1178,7 @@ mod tests {
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
         for key in [
-            "\"schema\": 5",
+            "\"schema\": 6",
             "\"bench\": \"store\"",
             "\"scale\": \"quick\"",
             "\"threads_available\": 8",
@@ -1067,6 +1220,16 @@ mod tests {
             "\"burst_queries\": 10000",
             "\"burst_qps\": 250000.0",
             "\"flat\": true",
+            "\"versioning\"",
+            "\"versions\": 41",
+            "\"overlay_added\": 40",
+            "\"overlay_removed\": 0",
+            "\"patch_apply_ns\": 30000.0",
+            "\"head_neighbors_ns\": 600.0",
+            "\"v0_neighbors_ns\": 400.0",
+            "\"recompressed_neighbors_ns\": 300.0",
+            "\"recompress_ns\": 9000000.0",
+            "\"overlay_tax\": 2.0",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -1151,12 +1314,28 @@ mod tests {
             assert!(c.threads_base > 0, "procfs must be readable here: {c:?}");
             assert!(c.flat(), "thread count grew with the herd: {c:?}");
         }
+        // The versioning block replayed a growing history through the
+        // delta layer: at least one patch per later year, all adds, and
+        // every latency measured.
+        let v = &r.versioning;
+        assert!(v.versions >= 4, "{v:?}");
+        assert_eq!(v.overlay_added, v.versions - 1, "one ADD per version: {v:?}");
+        assert_eq!(v.overlay_removed, 0, "{v:?}");
+        assert!(v.patch_apply_ns > 0.0, "{v:?}");
+        assert!(
+            v.head_neighbors_ns > 0.0
+                && v.v0_neighbors_ns > 0.0
+                && v.recompressed_neighbors_ns > 0.0,
+            "{v:?}"
+        );
+        assert!(v.recompress_ns > 0.0 && v.overlay_tax() > 0.0, "{v:?}");
         // The rendered form of a real measurement is also well-formed.
         let text = render_store_bench_json(&r);
-        assert!(text.contains("\"schema\": 5"));
+        assert!(text.contains("\"schema\": 6"));
         assert!(text.contains("\"name\": \"hn\""));
         assert!(text.contains("\"multi_tenant\""));
         assert!(text.contains("\"resilience\""));
         assert!(text.contains("\"connections\""));
+        assert!(text.contains("\"versioning\""));
     }
 }

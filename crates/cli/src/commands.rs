@@ -11,7 +11,10 @@ use crate::{compress_and_report, read_graph, read_graph_with_map, CompressOpts};
 use grepair_datasets as datasets;
 use grepair_hypergraph::{EdgeLabel, Hypergraph};
 use grepair_store::backend::{resolve_codec, split_any_container, GREPAIR};
-use grepair_store::{write_container, GraphStore, GrepairError, StoreRegistry};
+use grepair_store::{
+    materialize, write_container, EdgePatch, GraphStore, GrepairError, StoreRegistry,
+    VersionedStore,
+};
 
 /// `grepair stats <graph>`.
 pub fn stats(path: &str) -> Result<(), String> {
@@ -247,8 +250,9 @@ fn count_request_lines(reader: &mut impl std::io::BufRead) -> std::io::Result<u6
 /// delegates to `grepair-server`: it binds, prints one
 /// `listening <addr> ...` line, and speaks the wire protocol of DESIGN.md
 /// §6/§8 (the serve-file query plane plus the `PING`/`INFO`/`STATS`/
-/// `USE`/`ATTACH`/`DETACH`/`LIST`/`RELOAD`/`QUIT` admin plane and SIGHUP
-/// hot reload) until killed. Each `--attach` registers a further
+/// `USE`/`ATTACH`/`DETACH`/`LIST`/`RELOAD`/`PATCH`/`VERSIONS`/`QUIT`
+/// admin plane and SIGHUP hot reload) until killed. Each `--attach`
+/// registers a further
 /// namespace, opened lazily on first query; `--memory-budget` caps
 /// resident container bytes with LRU eviction (DESIGN.md §8).
 ///
@@ -268,6 +272,15 @@ fn count_request_lines(reader: &mut impl std::io::BufRead) -> std::io::Result<u6
 /// (a scripted `RELOAD` swaps generations mid-file); a `QUIT` ends the
 /// run like it ends a connection, with a stderr warning naming how many
 /// request lines it left unanswered.
+///
+/// `patch <in.g2g> <patches.txt> -o <out.g2g> [--backend NAME]` replays a
+/// patch file (one `ADD|DEL <s> <label> <t>` per line — the wire
+/// protocol's `PATCH` grammar, DESIGN.md §12) against the container
+/// offline, materializes the resulting head version, and recompresses it
+/// (by default with the input's own backend). `versions <in.g2g>
+/// <patches.txt>` is the dry run: same replay, but it only prints the
+/// retained-version summary line, byte-identical to a live server's
+/// `VERSIONS` reply after the same patches.
 pub fn store_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("serve") => grepair_server::run_cli(&args[1..]),
@@ -360,8 +373,81 @@ pub fn store_cmd(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        Some("patch") => {
+            let input = args.get(1).ok_or("missing g2g file")?;
+            let patches_path = args.get(2).ok_or("missing patches file")?;
+            crate::validate_value_flags(&args[3..], &["-o", "--backend"])?;
+            let output = crate::flag_value(&args[3..], "-o").ok_or("missing -o OUTPUT")?;
+            let (versioned, summaries) = replay_patches(input, patches_path)?;
+            let head = versioned.head();
+            // Default to re-encoding with the input's own backend; --backend
+            // converts while patching (the overlay is backend-agnostic).
+            let backend = crate::flag_value(&args[3..], "--backend")
+                .unwrap_or_else(|| head.backend().to_string());
+            let codec = resolve_codec(&backend).map_err(|e| e.to_string())?;
+            let g = materialize(&head).map_err(|e| format!("{input}: {e}"))?;
+            let file = codec.encode(&g).map_err(|e| format!("{output}: {e}"))?;
+            std::fs::write(&output, &file).map_err(|e| format!("{output}: {e}"))?;
+            let last = summaries.last().expect("v0 always present");
+            println!(
+                "wrote {} (backend {}, {} bytes): v{} materialized, {} nodes, {} edges, +{}-{}",
+                output,
+                codec.name(),
+                file.len(),
+                last.version,
+                g.num_nodes(),
+                g.num_edges(),
+                last.added,
+                last.removed
+            );
+            Ok(())
+        }
+        Some("versions") => {
+            let input = args.get(1).ok_or("missing g2g file")?;
+            let patches_path = args.get(2).ok_or("missing patches file")?;
+            crate::validate_value_flags(&args[3..], &[])?;
+            let (_, summaries) = replay_patches(input, patches_path)?;
+            // Exactly the wire protocol's VERSIONS reply line, so scripts
+            // can diff this dry run against a live server's answer.
+            let head = summaries.last().expect("v0 always present").version;
+            let mut line = format!("versions={} head=v{head}", summaries.len());
+            for s in &summaries {
+                line.push_str(&format!(" {s}"));
+            }
+            println!("{line}");
+            Ok(())
+        }
         other => Err(format!("unknown store command {other:?}")),
     }
+}
+
+/// Shared front half of `store patch` / `store versions`: open the
+/// container, replay every patch line against a fresh version log, and
+/// return the log plus its retained-version summaries. Patch files hold
+/// one `ADD|DEL <s> <label> <t>` record per line — the wire protocol's
+/// `PATCH` argument grammar — with blank lines and `#` comments skipped;
+/// errors carry the file position, and a rejected patch (duplicate add,
+/// missing del, self-loop) aborts the replay with nothing written.
+fn replay_patches(
+    input: &str,
+    patches_path: &str,
+) -> Result<(VersionedStore, Vec<grepair_store::VersionSummary>), String> {
+    let store = open_store(input)?;
+    let versioned = VersionedStore::new(std::sync::Arc::new(store))
+        .map_err(|e| format!("{input}: {e}"))?;
+    let text =
+        std::fs::read_to_string(patches_path).map_err(|e| format!("{patches_path}: {e}"))?;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let patch =
+            EdgePatch::parse(line).map_err(|e| format!("{patches_path}:{}: {e}", i + 1))?;
+        versioned.apply(patch).map_err(|e| format!("{patches_path}:{}: {e}", i + 1))?;
+    }
+    let summaries = versioned.summaries();
+    Ok((versioned, summaries))
 }
 
 /// `grepair generate <kind> [n] [seed] -o <out>`.

@@ -11,6 +11,8 @@
 //! grepair query      rpq <in.g2g> <s> <t> <atom>...
 //! grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
 //! grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N]
+//! grepair store      patch <in.g2g> <patches.txt> -o <out.g2g> [--backend NAME]
+//! grepair store      versions <in.g2g> <patches.txt>
 //! grepair generate   <kind> [n] [seed] -o <graph.txt>
 //! ```
 //!
@@ -82,6 +84,8 @@ const USAGE: &str = "usage:
   grepair query      reach <in.g2g> <s> <t> | neighbors <in.g2g> <v> | components <in.g2g> | rpq <in.g2g> <s> <t> <atom>...
   grepair store      serve-file <in.g2g> <queries.txt> [--batch N] [--threads N]
   grepair store      serve <in.g2g> [--addr HOST:PORT] [--threads N] [--batch N] [--max-line N] [--read-timeout SECS] [--max-connections N] [--io epoll|threads]
+  grepair store      patch <in.g2g> <patches.txt> -o <out.g2g> [--backend NAME]
+  grepair store      versions <in.g2g> <patches.txt>
   grepair generate   <kind> [n] [seed] -o <graph.txt>   (kinds: ttt, types, pa, er, coauth, web, chess, versions)
 backends: grepair (default), k2, lm, hn — every one loads and serves through `query` / `store`";
 

@@ -272,7 +272,7 @@ fn store_serve_speaks_the_same_bytes_as_serve_file() {
     let mut banner = String::new();
     BufReader::new(server.stdout.take().unwrap()).read_line(&mut banner).unwrap();
     assert!(banner.starts_with("listening "), "{banner:?}");
-    assert!(banner.contains("proto=2") && banner.contains("namespaces=1"), "{banner:?}");
+    assert!(banner.contains("proto=3") && banner.contains("namespaces=1"), "{banner:?}");
     assert!(banner.contains("generation=1"), "{banner:?}");
     let addr = banner.split_whitespace().nth(1).expect("addr in banner").to_string();
 
@@ -595,6 +595,104 @@ fn every_backend_compresses_decompresses_and_serves() {
         assert!(lines[2].contains("out of range"), "{backend}: {stdout}");
         assert_eq!(lines[3], "true", "{backend}: reflexive reach");
     }
+}
+
+/// A four-node k2 path `0 -> 1 -> 2 -> 3` (the k2 codec keeps input node
+/// ids, so versioning tests can name concrete nodes), compressed to `name`.
+fn k2_path_fixture(name: &str) -> String {
+    let input = scratch(&format!("{name}.txt"));
+    std::fs::write(&input, "0 0 1\n1 0 2\n2 0 3\n").unwrap();
+    let g2g = scratch(&format!("{name}.k2"));
+    let out = grepair(&[
+        "compress", input.to_str().unwrap(), "-o", g2g.to_str().unwrap(), "--backend", "k2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    g2g.to_str().unwrap().to_string()
+}
+
+#[test]
+fn store_patch_and_versions_replay_a_patch_file_offline() {
+    let g2g = k2_path_fixture("offline_patch");
+    let patches = scratch("offline_patch_list.txt");
+    std::fs::write(&patches, "# close the cycle, drop the first hop\nADD 3 0 0\n\nDEL 0 0 1\n")
+        .unwrap();
+
+    // Dry run: one line, exactly the wire protocol's VERSIONS reply.
+    let out = grepair(&["store", "versions", &g2g, patches.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim_end(),
+        "versions=3 head=v2 v0=+0-0 v1=+1-0 v2=+1-1"
+    );
+
+    // Real run: materialize the head and recompress with the input's own
+    // backend, then query the written container.
+    let patched = scratch("offline_patched.k2");
+    let out = grepair(&[
+        "store", "patch", &g2g, patches.to_str().unwrap(), "-o", patched.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("backend k2"), "{stdout}");
+    assert!(stdout.contains("v2 materialized"), "{stdout}");
+    assert!(stdout.contains("+1-1"), "{stdout}");
+    // Edges are now 1->2, 2->3, 3->0: reachability flips accordingly.
+    let out = grepair(&["query", "reach", patched.to_str().unwrap(), "2", "0"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim_end(), "reachable");
+    let out = grepair(&["query", "reach", patched.to_str().unwrap(), "0", "2"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim_end(), "not reachable");
+
+    // A rejected patch aborts the replay with the file position, and
+    // nothing is written.
+    let bad = scratch("offline_bad_patches.txt");
+    std::fs::write(&bad, "ADD 3 0 0\nDEL 9 9 9\n").unwrap();
+    let missing = scratch("offline_never_written.k2");
+    let out = grepair(&[
+        "store", "patch", &g2g, bad.to_str().unwrap(), "-o", missing.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, ":2:", "rejected patch line");
+    assert!(!missing.exists(), "a failed replay must not write output");
+}
+
+#[test]
+fn serve_file_patches_and_time_travels() {
+    // The full versioning surface through the offline front end: PATCH,
+    // VERSIONS, and `@vN` pinned queries — plus the parity check that the
+    // `store versions` dry run prints the same listing the session renders
+    // after the same patches.
+    let g2g = k2_path_fixture("serve_versioned");
+    let queries = scratch("serve_versioned_queries.txt");
+    std::fs::write(
+        &queries,
+        "VERSIONS\nPATCH ADD 3 0 0\nreach 3 1\nreach 3 1 @v0\nPATCH DEL 0 0 1\n\
+         reach 0 2\nreach 0 2 @v1\nreach 0 2 @v0\nout 0 @v9\nVERSIONS\n",
+    )
+    .unwrap();
+    let out = grepair(&["store", "serve-file", &g2g, queries.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 10, "{stdout}");
+    assert_eq!(lines[0], "versions=1 head=v0 v0=+0-0");
+    assert_eq!(lines[1], "patched version=1 generation=2 added=1 removed=0");
+    assert_eq!(lines[2], "true", "head sees the new 3->0 edge");
+    assert_eq!(lines[3], "false", "@v0 still serves the base");
+    assert_eq!(lines[4], "patched version=2 generation=3 added=1 removed=1");
+    assert_eq!(lines[5], "false", "head lost the 0->1 hop");
+    assert_eq!(lines[6], "true", "@v1 still has it");
+    assert_eq!(lines[7], "true", "@v0 too");
+    assert!(lines[8].contains("unknown version v9"), "{stdout}");
+    assert_eq!(lines[9], "versions=3 head=v2 v0=+0-0 v1=+1-0 v2=+1-1");
+
+    // Dry-run parity: `store versions` over the equivalent patch file
+    // prints byte-for-byte the session's final VERSIONS reply.
+    let patches = scratch("serve_versioned_patches.txt");
+    std::fs::write(&patches, "ADD 3 0 0\nDEL 0 0 1\n").unwrap();
+    let out = grepair(&["store", "versions", &g2g, patches.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim_end(), lines[9]);
 }
 
 #[test]

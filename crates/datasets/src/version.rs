@@ -114,6 +114,21 @@ impl CoauthorshipHistory {
     pub fn years(&self) -> usize {
         self.per_year_triples.len()
     }
+
+    /// The raw `(source, label, target)` triples published in one year —
+    /// *not* deduplicated against earlier years (teams republish). This is
+    /// the patch-workload feed: the edges of year `y` that are new relative
+    /// to `snapshot(y - 1)` are exactly what an incremental `PATCH ADD`
+    /// stream would carry.
+    pub fn year_triples(&self, year: usize) -> &[(u32, u32, u32)] {
+        &self.per_year_triples[year]
+    }
+
+    /// Total author population after all years (the node bound of every
+    /// snapshot).
+    pub fn authors(&self) -> usize {
+        self.authors
+    }
 }
 
 /// Disjoint union of arbitrary graphs.
@@ -216,6 +231,42 @@ mod tests {
         let v = h.version_graph(2);
         let parts: usize = (0..=2).map(|y| h.snapshot(y).num_edges()).sum();
         assert_eq!(v.num_edges(), parts);
+    }
+
+    #[test]
+    fn history_snapshots_are_monotone() {
+        // Snapshots are cumulative: every edge of snapshot y is an edge of
+        // snapshot y+1, and the deduplicated edge set of a snapshot equals
+        // the union of the raw per-year triples feeding it.
+        let h = CoauthorshipHistory::generate(6, 30, 80, 15, 7);
+        let edge_set = |g: &Hypergraph| -> std::collections::BTreeSet<(u32, u32, u32)> {
+            g.edges().map(|e| (e.att[0], e.label.index(), e.att[1])).collect()
+        };
+        let mut raw_union = std::collections::BTreeSet::new();
+        let mut prev = std::collections::BTreeSet::new();
+        for y in 0..h.years() {
+            let snap = edge_set(&h.snapshot(y));
+            assert!(prev.is_subset(&snap), "year {y} lost edges");
+            raw_union.extend(
+                h.year_triples(y).iter().filter(|(s, _, t)| s != t).copied(),
+            );
+            assert_eq!(snap, raw_union, "year {y}");
+            prev = snap;
+        }
+        assert!(h.authors() >= 80 + 6 * 15, "population grows every year");
+    }
+
+    #[test]
+    fn history_is_deterministic_under_a_fixed_seed() {
+        let a = CoauthorshipHistory::generate(4, 20, 50, 10, 42);
+        let b = CoauthorshipHistory::generate(4, 20, 50, 10, 42);
+        for y in 0..a.years() {
+            assert_eq!(a.year_triples(y), b.year_triples(y), "year {y}");
+        }
+        // A different seed produces a different history (the first year's
+        // teams already differ).
+        let c = CoauthorshipHistory::generate(4, 20, 50, 10, 43);
+        assert_ne!(a.year_triples(0), c.year_triples(0));
     }
 
     #[test]

@@ -448,6 +448,23 @@ fn serve_one(
     writer.flush()
 }
 
+/// Validate the requested `--io` mode against the platform. The epoll
+/// reactor is built directly on `epoll(7)`, a Linux-only API; everywhere
+/// else the rejection names the portable `--io threads` fallback so the
+/// operator reading the error knows exactly which flag value still works.
+/// Split from `run_cli` (with the platform passed in) so the non-Linux
+/// branch stays unit-testable from a Linux CI runner.
+fn check_io_support(io: IoMode, linux: bool) -> Result<(), String> {
+    if io == IoMode::Epoll && !linux {
+        return Err(
+            "--io epoll is unavailable on this platform (the reactor needs Linux epoll(7)); \
+             use --io threads, the portable thread-per-connection front end"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
 /// The multi-tenant argv surface shared by `grepair-server`,
 /// `grepair store serve`, and `grepair store serve-file` (DESIGN.md §8):
 /// every `--attach NAME=PATH` registers a *cold* namespace (the container
@@ -559,9 +576,7 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
     }
     if let Some(raw) = flag_value(flags, "--io") {
         config.io = IoMode::parse(&raw)?;
-        if config.io == IoMode::Epoll && !cfg!(target_os = "linux") {
-            return Err("--io epoll requires linux".into());
-        }
+        check_io_support(config.io, cfg!(target_os = "linux"))?;
     }
 
     let registry = Arc::new(StoreRegistry::open(g2g).map_err(|e| match e {
@@ -676,6 +691,19 @@ mod tests {
         assert_eq!(IoMode::parse("epoll"), Ok(IoMode::Epoll));
         assert!(IoMode::parse("uring").is_err());
         assert!(IoMode::parse("Epoll").is_err(), "flag values are case-sensitive");
+    }
+
+    #[test]
+    fn epoll_rejection_off_linux_names_the_threads_fallback() {
+        // Threads is fine everywhere; epoll is fine only on Linux.
+        assert_eq!(check_io_support(IoMode::Threads, true), Ok(()));
+        assert_eq!(check_io_support(IoMode::Threads, false), Ok(()));
+        assert_eq!(check_io_support(IoMode::Epoll, true), Ok(()));
+        // The rejection must tell the operator what *does* work: the
+        // portable `--io threads` front end, by its literal flag value.
+        let err = check_io_support(IoMode::Epoll, false).unwrap_err();
+        assert!(err.contains("--io threads"), "{err}");
+        assert!(err.contains("epoll"), "{err}");
     }
 
     #[test]

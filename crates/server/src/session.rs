@@ -8,8 +8,15 @@
 //! `name:` namespace prefix; unprefixed lines go to the session's current
 //! namespace (`default` until a `USE`). On top sits the admin plane:
 //! upper-case verbs (`PING`, `INFO`, `STATS [name]`, `USE`, `ATTACH`,
-//! `DETACH`, `LIST`, `RELOAD`, `FAULTS`, `SHUTDOWN`, `QUIT`) that a query
-//! file can never collide with, because query verbs are lower-case.
+//! `DETACH`, `LIST`, `RELOAD`, `PATCH`, `VERSIONS [name]`, `FAULTS`,
+//! `SHUTDOWN`, `QUIT`) that a query file can never collide with, because
+//! query verbs are lower-case.
+//!
+//! Versioning (DESIGN.md §12) rides both planes: `PATCH ADD|DEL <s> <l>
+//! <t>` applies one edge patch to the session's namespace (a new retained
+//! version, generation bump included), `VERSIONS` lists the retained
+//! versions, and any query line may end with an `@vN` suffix pinning its
+//! evaluation to retained version `N` while bare lines track the head.
 //!
 //! Overload and faults degrade per line, never per connection
 //! (DESIGN.md §10): when the shared pool is past its shed watermark the
@@ -33,7 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use grepair_store::{
-    error_reply, parse_query, valid_namespace, GrepairError, Query, StoreRegistry,
+    error_reply, parse_query, valid_namespace, EdgePatch, GrepairError, Query, StoreRegistry,
     DEFAULT_NAMESPACE,
 };
 use grepair_util::fail;
@@ -42,10 +49,14 @@ use crate::pool::WorkerPool;
 
 /// Wire protocol version, echoed by `INFO`. Bumped only for *breaking*
 /// changes (a reply rendering change, a verb repurposed); new verbs and new
-/// `INFO`/`STATS` fields are additive and do not bump it. Version 2 is the
+/// `INFO`/`STATS` fields are additive and do not bump it. Version 2 was the
 /// multi-tenant protocol (DESIGN.md §8): `INFO` gained a `namespace=`
-/// field and bare `STATS` now renders the registry aggregate.
-pub const PROTO_VERSION: u32 = 2;
+/// field and bare `STATS` now renders the registry aggregate. Version 3 is
+/// the versioning protocol (DESIGN.md §12): query-line parsing changed —
+/// an `@vN` suffix now pins a line to a retained version, where v2 passed
+/// the `@` through to the query parser — and `PATCH`/`VERSIONS` joined the
+/// admin plane.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Default cap on buffered-but-unanswered lines before a forced evaluation.
 pub const DEFAULT_BATCH: usize = 1024;
@@ -189,6 +200,13 @@ enum Admin {
     Detach(String),
     /// One-line listing of every namespace with residency and generation.
     List,
+    /// Apply one edge patch to the session's namespace: `PATCH ADD|DEL
+    /// <s> <label> <t>` (DESIGN.md §12). Arity and operand validity are
+    /// checked by the shared patch-line parser in `handle_admin`.
+    Patch(Vec<String>),
+    /// `VERSIONS` (session namespace) or `VERSIONS <name>`: list the
+    /// retained versions of a namespace's patch log.
+    Versions(Option<String>),
     /// Inspect or reconfigure the failpoint layer (`FAULTS`,
     /// `FAULTS SET <name> <spec>`, `FAULTS CLEAR [name]`,
     /// `FAULTS SEED <n>`). Errors when the `fail` feature is compiled out.
@@ -227,6 +245,15 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
         "SHUTDOWN" => no_args(Admin::Shutdown, it),
         // Arity is checked per subcommand in `handle_faults`.
         "FAULTS" => Ok(Admin::Faults(it.map(str::to_string).collect())),
+        // Arity and operands are checked by the shared patch-line parser.
+        "PATCH" => Ok(Admin::Patch(it.map(str::to_string).collect())),
+        "VERSIONS" => {
+            let name = it.next().map(str::to_string);
+            match it.next() {
+                None => Ok(Admin::Versions(name)),
+                Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+            }
+        }
         "USE" => one_arg(Admin::Use, "USE", it),
         "DETACH" => one_arg(Admin::Detach, "DETACH", it),
         "STATS" => {
@@ -258,9 +285,28 @@ fn parse_admin(line: &str) -> Option<Result<Admin, String>> {
 }
 
 /// One buffered query line: the namespace it was addressed to (the
-/// session's current one, or a one-shot `name:` prefix) and its parse
-/// outcome.
-type Pending = (String, Result<Query, GrepairError>);
+/// session's current one, or a one-shot `name:` prefix), the retained
+/// version it was pinned to (`Some` iff the line carried an `@vN` suffix;
+/// `None` tracks the head), and its parse outcome.
+type Pending = (String, Option<u64>, Result<Query, GrepairError>);
+
+/// Split a trailing `@vN` version pin off a query line (DESIGN.md §12).
+/// `@` cannot appear in a valid query (ids and labels are decimal,
+/// patterns use label numbers and operators), so any line containing one
+/// is a pin attempt: a malformed pin is an error, not query text.
+fn split_version(text: &str) -> Result<(&str, Option<u64>), GrepairError> {
+    let Some((head, tail)) = text.rsplit_once('@') else {
+        return Ok((text, None));
+    };
+    let version = tail
+        .trim()
+        .strip_prefix('v')
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| {
+            GrepairError::BadRequest(format!("bad version suffix {:?} (want @vN)", format!("@{}", tail.trim())))
+        })?;
+    Ok((head.trim_end(), Some(version)))
+}
 
 /// What handling one complete line asks the driver to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,6 +354,7 @@ impl SessionState {
     pub(crate) fn push_oversized(&mut self, max_line: usize) {
         self.pending.push((
             self.namespace.clone(),
+            None,
             Err(GrepairError::BadRequest(format!("line exceeds {max_line} bytes"))),
         ));
     }
@@ -327,6 +374,7 @@ impl SessionState {
         let Ok(text) = std::str::from_utf8(line) else {
             self.pending.push((
                 self.namespace.clone(),
+                None,
                 Err(GrepairError::BadRequest("line is not valid UTF-8".into())),
             ));
             return Ok(Step::Continue);
@@ -363,7 +411,14 @@ impl SessionState {
             }
             _ => (self.namespace.clone(), text),
         };
-        self.pending.push((target, parse_query(query_text)));
+        // An `@vN` suffix pins this line to a retained version; a
+        // malformed pin is the line's reply, the rest never parses.
+        match split_version(query_text) {
+            Ok((query_text, version)) => {
+                self.pending.push((target, version, parse_query(query_text)));
+            }
+            Err(e) => self.pending.push((target, None, Err(e))),
+        }
         Ok(Step::Continue)
     }
 
@@ -435,12 +490,13 @@ pub fn serve_session(
 }
 
 /// Evaluate the pending lines and write one reply line each, in input
-/// order. The batch is grouped per namespace: each namespace named in it
+/// order. The batch is grouped per (namespace, version pin): each group
 /// is resolved once (lazily opening a cold store — that resolution *is*
-/// the namespace's hit) and its queries are evaluated against that one
-/// snapshot, so a concurrent RELOAD or eviction never tears a batch across
-/// generations. A namespace that fails to resolve (unknown, hostile file)
-/// turns into per-line error replies; the other namespaces' lines are
+/// the namespace's hit; pinned lines resolve through the patch log) and
+/// its queries are evaluated against that one snapshot, so a concurrent
+/// RELOAD, PATCH, or eviction never tears a batch across generations. A
+/// group that fails to resolve (unknown namespace or version, hostile
+/// file) turns into per-line error replies; the other groups' lines are
 /// unaffected.
 fn flush_pending(
     registry: &StoreRegistry,
@@ -471,22 +527,28 @@ fn flush_pending(
     let mut replies: Vec<Option<Result<std::sync::Arc<grepair_store::QueryAnswer>, GrepairError>>> =
         Vec::new();
     replies.resize_with(pending.len(), || None);
-    // Namespaces in order of first appearance, so resolution (and its
-    // side effects: lazy opens, LRU hits) happens in request order.
-    let mut order: Vec<&str> = Vec::new();
-    for (ns, parsed) in pending.iter() {
-        if parsed.is_ok() && !order.contains(&ns.as_str()) {
-            order.push(ns);
+    // Groups in order of first appearance, so resolution (and its side
+    // effects: lazy opens, LRU hits) happens in request order.
+    let mut order: Vec<(&str, Option<u64>)> = Vec::new();
+    for (ns, version, parsed) in pending.iter() {
+        if parsed.is_ok() && !order.contains(&(ns.as_str(), *version)) {
+            order.push((ns, *version));
         }
     }
-    for ns in order {
+    for (ns, version) in order {
         let indexes: Vec<usize> = pending
             .iter()
             .enumerate()
-            .filter(|(_, (name, parsed))| name == ns && parsed.is_ok())
+            .filter(|(_, (name, pin, parsed))| name == ns && *pin == version && parsed.is_ok())
             .map(|(i, _)| i)
             .collect();
-        match registry.store(ns) {
+        // A bare line tracks the namespace's head; an `@vN` pin resolves
+        // through the patch log (DESIGN.md §12).
+        let resolved = match version {
+            None => registry.store(ns),
+            Some(v) => registry.store_at(ns, v),
+        };
+        match resolved {
             Err(e) => {
                 for &i in &indexes {
                     // audited: indexes come from enumerating pending; replies has the same length
@@ -497,7 +559,7 @@ fn flush_pending(
                 let queries: Vec<Query> = indexes
                     .iter()
                     // audited: indexes filtered to parsed.is_ok() entries of pending just above
-                    .map(|&i| pending[i].1.as_ref().cloned().expect("filtered to Ok"))
+                    .map(|&i| pending[i].2.as_ref().cloned().expect("filtered to Ok"))
                     .collect();
                 let answers = if queries.len() >= INLINE_BATCH {
                     store.query_batch_on(&queries, pool)
@@ -512,7 +574,7 @@ fn flush_pending(
         }
     }
     fail::point("session.write").map_err(std::io::Error::other)?;
-    for (reply, (_, entry)) in replies.into_iter().zip(pending.drain(..)) {
+    for (reply, (_, _, entry)) in replies.into_iter().zip(pending.drain(..)) {
         summary.served += 1;
         let outcome = match entry {
             Err(e) => Err(e),
@@ -629,6 +691,36 @@ fn handle_admin(
                         store.generation(),
                         store.total_nodes()
                     )
+                }
+                Err(e) => error_reply(e),
+            }
+        }
+        Ok(Admin::Patch(args)) => {
+            // One PATCH line = one patch record = one new retained version
+            // (DESIGN.md §12). Reported from the swapped-in head snapshot,
+            // same rule as RELOAD.
+            match EdgePatch::parse(&args.join(" "))
+                .and_then(|patch| registry.patch(namespace, patch))
+            {
+                Ok((version, store)) => format!(
+                    "patched version={} generation={} added={} removed={}",
+                    version.version,
+                    store.generation(),
+                    version.added,
+                    version.removed
+                ),
+                Err(e) => error_reply(e),
+            }
+        }
+        Ok(Admin::Versions(name)) => {
+            match registry.versions_of(name.as_deref().unwrap_or(namespace.as_str())) {
+                Ok(summaries) => {
+                    let head = summaries.last().map_or(0, |s| s.version);
+                    let mut reply = format!("versions={} head=v{head}", summaries.len());
+                    for s in &summaries {
+                        reply.push_str(&format!(" {s}"));
+                    }
+                    reply
                 }
                 Err(e) => error_reply(e),
             }
@@ -755,7 +847,7 @@ mod tests {
         assert_eq!(lines[0], "pong");
         assert_eq!(
             lines[1],
-            "grepair proto=2 namespace=default generation=1 nodes=17 backend=grepair reload_failures=0"
+            "grepair proto=3 namespace=default generation=1 nodes=17 backend=grepair reload_failures=0"
         );
         assert!(lines[2].starts_with("namespaces=1 resident=1 "), "{out}");
         assert_eq!(lines[3], "bye");
@@ -814,7 +906,7 @@ mod tests {
         assert_eq!(lines[4], out32, "{out}");
         assert_eq!(
             lines[5],
-            "grepair proto=2 namespace=big generation=1 nodes=33 backend=grepair reload_failures=0"
+            "grepair proto=3 namespace=big generation=1 nodes=33 backend=grepair reload_failures=0"
         );
         // A prefix points back at default regardless of the session state.
         assert_eq!(lines[6], "1");
@@ -962,7 +1054,7 @@ mod tests {
         assert_eq!(lines[1], "reloaded generation=2 nodes=25");
         assert_eq!(
             lines[2],
-            "grepair proto=2 namespace=a generation=2 nodes=25 backend=grepair reload_failures=0"
+            "grepair proto=3 namespace=a generation=2 nodes=25 backend=grepair reload_failures=0"
         );
         assert!(lines[3].starts_with("namespaces=2 resident=2 "), "{out}");
         assert_eq!(summary.reloads, 1);
@@ -1072,6 +1164,61 @@ mod tests {
     fn faults_set_errors_when_compiled_out() {
         let (out, _) = run("FAULTS SET store.open.read always:err\n");
         assert!(out.contains("compiled out"), "{out}");
+    }
+
+    #[test]
+    fn patch_versions_and_time_travel_over_the_wire() {
+        let registry = registry(8);
+        // A k2 path store: the k2 codec keeps input node ids, so the wire
+        // assertions below can name concrete nodes.
+        let (g, _) =
+            Hypergraph::from_simple_edges(4, (0..3u32).map(|i| (i, 0u32, i + 1)));
+        let file = grepair_store::codec_for("k2").unwrap().encode(&g).unwrap();
+        registry.attach_store("k", GraphStore::from_bytes(&file).unwrap()).unwrap();
+        let input = "USE k\n\
+                     VERSIONS\n\
+                     PATCH ADD 3 0 0\n\
+                     reach 3 1\n\
+                     reach 3 1 @v0\n\
+                     VERSIONS\n\
+                     PATCH DEL 3 0 0\n\
+                     reach 3 1\n\
+                     reach 3 1 @v1\n\
+                     INFO\n\
+                     PATCH DEL 0 5 1\n\
+                     PATCH\n\
+                     out 0 @v9\n\
+                     out 0 @vx\n\
+                     default:out 0 @v0\n";
+        let (out, summary) = run_on(&registry, input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "using k");
+        // An unpatched namespace still lists its base as v0.
+        assert_eq!(lines[1], "versions=1 head=v0 v0=+0-0");
+        // Each patch is a new retained version and a generation bump...
+        assert_eq!(lines[2], "patched version=1 generation=2 added=1 removed=0");
+        // ...the bare query sees the patched head, the pinned one does not.
+        assert_eq!(lines[3], "true");
+        assert_eq!(lines[4], "false");
+        assert_eq!(lines[5], "versions=2 head=v1 v0=+0-0 v1=+1-0");
+        // Deleting the patched edge returns the overlay to minimal form.
+        assert_eq!(lines[6], "patched version=2 generation=3 added=0 removed=0");
+        assert_eq!(lines[7], "false");
+        assert_eq!(lines[8], "true");
+        assert_eq!(
+            lines[9],
+            "grepair proto=3 namespace=k generation=3 nodes=4 backend=k2 reload_failures=0"
+        );
+        // Bad patches and bad pins error per line, never per connection.
+        assert!(lines[10].starts_with("error: bad request: patch DEL 0 5 1:"), "{out}");
+        assert!(lines[11].starts_with("error: bad request: bad patch"), "{out}");
+        assert!(lines[12].contains("unknown version v9"), "{out}");
+        assert!(lines[13].contains("bad version suffix"), "{out}");
+        // A pinned, prefixed line on a never-patched namespace: @v0 is the
+        // base, byte-identical with the unpinned answer.
+        assert_eq!(lines[14], "1");
+        assert_eq!(lines.len(), 15, "{out}");
+        assert_eq!(summary.errors, 4);
     }
 
     #[test]

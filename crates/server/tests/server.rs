@@ -73,7 +73,7 @@ fn reload_mid_stream_bumps_generation_without_dropping_anything() {
     // Generation 1 serving normally.
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=2 namespace=default generation=1 nodes=33 backend=grepair reload_failures=0"
+        "grepair proto=3 namespace=default generation=1 nodes=33 backend=grepair reload_failures=0"
     );
     assert_eq!(client.roundtrip("reach 0 32"), "true");
     let err = client.roundtrip("out 64"); // not a node yet
@@ -236,7 +236,7 @@ fn reload_swaps_in_a_different_backend_mid_session() {
     let mut client = LineClient::new(server.connect());
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=2 namespace=default generation=1 nodes=33 backend=grepair reload_failures=0"
+        "grepair proto=3 namespace=default generation=1 nodes=33 backend=grepair reload_failures=0"
     );
     assert_eq!(
         client.roundtrip(&format!("RELOAD {}", path.display())),
@@ -245,7 +245,7 @@ fn reload_swaps_in_a_different_backend_mid_session() {
     // Same connection, new backend: the whole query plane answers.
     assert_eq!(
         client.roundtrip("INFO"),
-        "grepair proto=2 namespace=default generation=2 nodes=9 backend=k2 reload_failures=0"
+        "grepair proto=3 namespace=default generation=2 nodes=9 backend=k2 reload_failures=0"
     );
     assert_eq!(client.roundtrip("out 0"), "1");
     assert_eq!(client.roundtrip("in 8"), "7");

@@ -81,6 +81,18 @@ pub trait QueryEngine: Send + Sync + std::fmt::Debug {
     /// In-neighbors of `v`, sorted ascending, deduplicated.
     fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError>;
 
+    /// Labeled out-edges of `v` as `(label, target)` pairs, sorted
+    /// ascending, deduplicated. This is the primitive the version overlay
+    /// corrects (DESIGN.md §12): an overlay must know *which* labeled edge
+    /// a patch removed, so plain neighbor sets are not enough. Backends
+    /// whose container drops labels (`lm`, `hn`) report everything as
+    /// label `0`, matching their RPQ semantics.
+    fn out_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError>;
+
+    /// Labeled in-edges of `v` as `(label, source)` pairs, sorted
+    /// ascending, deduplicated.
+    fn in_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError>;
+
     /// Union of both directions, sorted and deduplicated.
     fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
         let mut out = self.out_neighbors(v)?;
@@ -239,7 +251,7 @@ pub fn split_any_container(file: &[u8]) -> Result<(&str, u64, &[u8]), GrepairErr
 // Shared engine plumbing
 // ---------------------------------------------------------------------
 
-fn check_id(v: u64, total: u64) -> Result<u32, GrepairError> {
+pub(crate) fn check_id(v: u64, total: u64) -> Result<u32, GrepairError> {
     if v >= total {
         return Err(QueryError::NodeOutOfRange { id: v, total }.into());
     }
@@ -247,14 +259,14 @@ fn check_id(v: u64, total: u64) -> Result<u32, GrepairError> {
 }
 
 /// Sorted-`u32` rows widened to the `u64` answer shape.
-fn widen(mut rows: Vec<NodeId>) -> Vec<u64> {
+pub(crate) fn widen(mut rows: Vec<NodeId>) -> Vec<u64> {
     rows.sort_unstable();
     rows.dedup();
     rows.into_iter().map(u64::from).collect()
 }
 
 /// Directed BFS `s → t` over a neighbor primitive.
-fn bfs_reachable(
+pub(crate) fn bfs_reachable(
     n: usize,
     s: u32,
     t: u32,
@@ -290,7 +302,7 @@ fn bfs_reachable(
 /// states are `(node, nfa state)`, accepting when the target is reached in
 /// an accepting state. Handles the empty word (`s == t` with an accepting
 /// start state) for free, matching the grammar engine's semantics.
-fn product_rpq(
+pub(crate) fn product_rpq(
     nfa: &Nfa,
     s: u32,
     t: u32,
@@ -330,7 +342,7 @@ fn product_rpq(
 
 /// Component count over an edge iterator (undirected view; isolated nodes
 /// count — the same semantics as the grammar's one-pass evaluation).
-fn count_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> u64 {
+pub(crate) fn count_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> u64 {
     let mut uf = grepair_hypergraph::traverse::UnionFind::new(n);
     for (a, b) in edges {
         uf.union(a, b);
@@ -340,7 +352,10 @@ fn count_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> u64 {
 
 /// Degree extrema over an edge iterator (each edge adds one incidence per
 /// endpoint, so a self-loop counts twice — matching `val(G)` semantics).
-fn degree_extrema_of(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Option<(u64, u64)> {
+pub(crate) fn degree_extrema_of(
+    n: usize,
+    edges: impl Iterator<Item = (u32, u32)>,
+) -> Option<(u64, u64)> {
     if n == 0 {
         return None;
     }
@@ -356,6 +371,14 @@ fn degree_extrema_of(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Optio
     // audited: deg is non-empty: n == 0 returned None above
     let hi = *deg.iter().max().expect("n > 0");
     Some((lo, hi))
+}
+
+/// `(label, node)` pairs sorted ascending and deduplicated — the answer
+/// shape of [`QueryEngine::out_edges`]/[`QueryEngine::in_edges`].
+pub(crate) fn sort_edge_pairs(mut pairs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 // ---------------------------------------------------------------------
@@ -407,6 +430,24 @@ impl QueryEngine for K2Engine {
             cols.extend(tree.col(v));
         }
         Ok(widen(cols))
+    }
+
+    fn out_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        let v = check_id(v, self.total_nodes())?;
+        let mut pairs = Vec::new();
+        for &(label, ref tree) in &self.trees {
+            pairs.extend(tree.row(v).into_iter().map(|w| (label, w as u64)));
+        }
+        Ok(sort_edge_pairs(pairs))
+    }
+
+    fn in_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        let v = check_id(v, self.total_nodes())?;
+        let mut pairs = Vec::new();
+        for &(label, ref tree) in &self.trees {
+            pairs.extend(tree.col(v).into_iter().map(|w| (label, w as u64)));
+        }
+        Ok(sort_edge_pairs(pairs))
     }
 
     fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
@@ -493,6 +534,16 @@ impl QueryEngine for AdjEngine {
         let v = check_id(v, self.total_nodes())?;
         // audited: check_id just bounded v by total_nodes == ins.len()
         Ok(self.ins[v as usize].iter().map(|&w| w as u64).collect())
+    }
+
+    fn out_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        // These formats are unlabeled: every edge carries label 0, and the
+        // out-lists are already sorted + deduplicated.
+        Ok(self.out_neighbors(v)?.into_iter().map(|w| (0, w)).collect())
+    }
+
+    fn in_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        Ok(self.in_neighbors(v)?.into_iter().map(|w| (0, w)).collect())
     }
 
     fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
@@ -772,6 +823,12 @@ mod tests {
             assert_eq!(engine.neighbors(mid).unwrap().len(), 2, "{}", codec.name());
             assert!(engine.reachable(head, tail).unwrap(), "{}", codec.name());
             assert!(!engine.reachable(tail, head).unwrap(), "{}", codec.name());
+            // The labeled edge primitive agrees with the neighbor views
+            // (the whole path is label 0 for every backend).
+            assert_eq!(engine.out_edges(head).unwrap(), vec![(0, mid)], "{}", codec.name());
+            assert_eq!(engine.in_edges(mid).unwrap(), vec![(0, head)], "{}", codec.name());
+            assert!(engine.out_edges(30).is_err(), "{}", codec.name());
+            assert!(engine.in_edges(1 << 40).is_err(), "{}", codec.name());
             let two_away = engine.out_neighbors(mid).unwrap()[0];
             assert!(engine.rpq("0 0", head, two_away).unwrap(), "{}", codec.name());
             assert!(engine.rpq("0*", 5, 5).unwrap(), "{}", codec.name());
@@ -813,5 +870,9 @@ mod tests {
         assert!(!engine.rpq("1 0", 0, 2).unwrap());
         assert!(engine.rpq("0 1?", 0, 1).unwrap());
         assert!(!engine.rpq("2", 0, 1).unwrap());
+        // The labeled edge primitive keeps the per-label structure.
+        assert_eq!(engine.out_edges(1).unwrap(), vec![(1, 2)]);
+        assert_eq!(engine.in_edges(1).unwrap(), vec![(0, 0)]);
+        assert_eq!(engine.out_edges(2).unwrap(), vec![]);
     }
 }

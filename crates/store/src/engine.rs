@@ -27,6 +27,12 @@ use crate::GrepairError;
 /// direction)` combination contributes, as rule-relative `(path, node)`
 /// pairs (see [`GrammarIndex::rule_expansion`]).
 pub(crate) type Expansion = Arc<Vec<(Vec<EdgeId>, NodeId)>>;
+/// A memoized *labeled* rule expansion: the `(path, terminal label, node)`
+/// triples one `(nt, ext position, direction)` combination contributes.
+/// Same shape as [`Expansion`] but keeping the terminal label each
+/// contributed neighbor was reached over — the primitive the version
+/// overlay corrects (DESIGN.md §12).
+pub(crate) type LabeledExpansion = Arc<Vec<(Vec<EdgeId>, u32, NodeId)>>;
 /// Cache key: `(nonterminal, external position, direction)`.
 type ExpansionKey = (u32, u32, Direction);
 
@@ -63,6 +69,10 @@ pub struct GrammarEngine {
     /// Memoized rule expansions — hot on hub nodes, whose incident
     /// nonterminal edges repeat few distinct labels.
     expansions: ShardedMap<ExpansionKey, Expansion>,
+    /// Labeled variant of `expansions`, feeding the `out_edges`/`in_edges`
+    /// primitive. Kept separate so the (hotter) unlabeled neighbor path
+    /// stays label-free.
+    labeled_expansions: ShardedMap<ExpansionKey, LabeledExpansion>,
     /// Compiled RPQ plans per canonical pattern text.
     plans: ShardedMap<String, Arc<RpqIndex<Arc<Grammar>>>>,
     pub(crate) cache_counters: CacheCounters,
@@ -77,6 +87,7 @@ impl GrammarEngine {
             reach: ReachIndex::new(grammar.clone()),
             grammar,
             expansions: ShardedMap::default(),
+            labeled_expansions: ShardedMap::default(),
             plans: ShardedMap::default(),
             cache_counters: CacheCounters::default(),
         }
@@ -202,6 +213,122 @@ impl GrammarEngine {
         out
     }
 
+    /// Labeled neighbor collection: the same context scan as
+    /// [`Self::collect_neighbors`], but keeping the terminal label each
+    /// neighbor was reached over. Feeds the `out_edges`/`in_edges`
+    /// primitive the version overlay corrects.
+    pub(crate) fn collect_edges(
+        &self,
+        repr: &GRepr,
+        dir: Direction,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(u32, u64)>, QueryError> {
+        let ctx_graph = self.index.context(&repr.path);
+        if ctx_graph.incident(repr.node).next().is_none() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let full: &mut Vec<EdgeId> = &mut scratch.full;
+        full.clear();
+        full.extend_from_slice(&repr.path);
+        for e in ctx_graph.incident(repr.node) {
+            let att = ctx_graph.att(e);
+            match ctx_graph.label(e) {
+                EdgeLabel::Terminal(label) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
+                        Direction::Out if att[0] == repr.node => att[1],
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
+                        Direction::In if att[1] == repr.node => att[0],
+                        _ => continue,
+                    };
+                    out.push((label, self.index.global_id(&repr.path, neighbor)));
+                }
+                EdgeLabel::Nonterminal(nt) => {
+                    for (pos, &x) in att.iter().enumerate() {
+                        if x != repr.node {
+                            continue;
+                        }
+                        let exp = self.labeled_expansion(nt, pos as u32, dir);
+                        for (rel, label, node) in exp.iter() {
+                            full.truncate(repr.path.len());
+                            full.push(e);
+                            full.extend_from_slice(rel);
+                            out.push((*label, self.index.global_id(full, *node)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Memoized labeled rule-relative expansion — the labeled twin of
+    /// [`Self::expansion`], sharing its hit/miss counters (both populate
+    /// the same logical cache family).
+    pub(crate) fn labeled_expansion(&self, nt: u32, pos: u32, dir: Direction) -> LabeledExpansion {
+        let key: ExpansionKey = (nt, pos, dir);
+        if let Some(hit) = self.labeled_expansions.get(&key) {
+            self.cache_counters.expansion_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.cache_counters.expansion_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(self.compute_labeled_expansion(nt, pos, dir));
+        self.labeled_expansions.insert_if_absent(key, computed)
+    }
+
+    /// Uncached labeled expansion body, mirroring
+    /// [`Self::compute_expansion`] with the terminal label threaded
+    /// through.
+    fn compute_labeled_expansion(
+        &self,
+        nt: u32,
+        pos: u32,
+        dir: Direction,
+    ) -> Vec<(Vec<EdgeId>, u32, NodeId)> {
+        let rhs = self.grammar.rule(nt);
+        let Some(&v) = rhs.ext().get(pos as usize) else { return Vec::new() };
+        let mut out = Vec::new();
+        for e in rhs.incident(v) {
+            let att = rhs.att(e);
+            match rhs.label(e) {
+                EdgeLabel::Terminal(label) => {
+                    if att.len() != 2 {
+                        continue;
+                    }
+                    let neighbor = match dir {
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
+                        Direction::Out if att[0] == v => att[1],
+                        // audited: att.len() == 2 was checked above; rank-2 terminal edge
+                        Direction::In if att[1] == v => att[0],
+                        _ => continue,
+                    };
+                    out.push((Vec::new(), label, neighbor));
+                }
+                EdgeLabel::Nonterminal(sub) => {
+                    for (p2, &x) in att.iter().enumerate() {
+                        if x != v {
+                            continue;
+                        }
+                        let nested = self.labeled_expansion(sub, p2 as u32, dir);
+                        for (rel, label, node) in nested.iter() {
+                            let mut path = Vec::with_capacity(rel.len() + 1);
+                            path.push(e);
+                            path.extend_from_slice(rel);
+                            out.push((path, *label, *node));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Compiled-plan lookup for an RPQ pattern — a hit is an `Arc` clone out
     /// of the sharded cache.
     pub(crate) fn plan(
@@ -236,6 +363,16 @@ impl QueryEngine for GrammarEngine {
     fn in_neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {
         let repr = self.index.try_locate(v)?;
         Ok(self.collect_neighbors(&repr, Direction::In, &mut Scratch::default())?)
+    }
+
+    fn out_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_edges(&repr, Direction::Out, &mut Scratch::default())?)
+    }
+
+    fn in_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        let repr = self.index.try_locate(v)?;
+        Ok(self.collect_edges(&repr, Direction::In, &mut Scratch::default())?)
     }
 
     fn neighbors(&self, v: u64) -> Result<Vec<u64>, GrepairError> {

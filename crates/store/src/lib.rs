@@ -40,6 +40,12 @@
 //!   transparently on their next hit. The end-to-end embedded pattern —
 //!   registry + batches, no sockets — is `examples/serving.rs` at the
 //!   repository root; the socket front end is the `grepair-server` crate.
+//! * **Versioned serving** — any namespace accepts edge patches
+//!   ([`StoreRegistry::patch`], the wire protocol's `PATCH`): the base
+//!   container stays immutable while each applied [`EdgePatch`] becomes a
+//!   new monotonic version served through a cheap delta overlay, and
+//!   `@vN` addressing ([`StoreRegistry::store_at`]) pins queries to any
+//!   retained version while bare queries track the head (DESIGN.md §12).
 //!
 //! ```
 //! use grepair_store::{GraphStore, Query, QueryAnswer, write_container};
@@ -79,6 +85,7 @@ mod error;
 pub mod query;
 mod registry;
 mod store;
+mod version;
 
 pub use backend::{
     backend_names, codec_for, codecs, split_any_container, write_tagged_container, GraphCodec,
@@ -94,4 +101,7 @@ pub use registry::{
 };
 pub use store::{
     parse_container, write_container, BatchExecutor, GraphStore, StoreStats, HEADER_LEN, MAGIC,
+};
+pub use version::{
+    materialize, EdgePatch, PatchOp, VersionSummary, VersionedStore, MAX_VERSIONED_NODES,
 };

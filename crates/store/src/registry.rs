@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 
 use grepair_util::sync::{Mutex, RwLock};
 
+use crate::version::{EdgePatch, VersionSummary, VersionedStore};
 use crate::{GraphStore, GrepairError, StoreStats};
 
 /// Open attempts one cold resolution makes before giving up: the initial
@@ -115,6 +116,10 @@ struct Namespace {
     generation: AtomicU64,
     /// Registry clock value of the most recent hit — the LRU key.
     last_hit: AtomicU64,
+    /// The patch log, once the namespace has been `PATCH`ed (DESIGN.md
+    /// §12). `None` until the first patch; a reload or explicit swap
+    /// rebases the namespace and drops the log.
+    versions: Mutex<Option<Arc<VersionedStore>>>,
     /// Operational health: failure counters and the circuit breaker.
     health: Health,
 }
@@ -390,6 +395,7 @@ impl StoreRegistry {
             slot: RwLock::new(store),
             generation: AtomicU64::new(generation),
             last_hit: AtomicU64::new(self.tick()),
+            versions: Mutex::new(None),
             health: Health::default(),
         });
         let mut map = self.namespaces.write();
@@ -585,19 +591,28 @@ impl StoreRegistry {
     /// data. The old store keeps serving whoever already holds its `Arc`.
     fn swap_in(&self, name: &str, store: GraphStore) -> Result<Arc<GraphStore>, GrepairError> {
         let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        // Swapping in fresh container data rebases the namespace: retained
+        // versions described deltas over the *old* base, so the patch log
+        // is dropped and the namespace starts over at v0 (DESIGN.md §12).
+        *ns.versions.lock() = None;
+        Ok(self.swap_in_arc(name, &ns, Arc::new(store)))
+    }
+
+    /// The swap itself, shared by reloads (via [`Self::swap_in`], which
+    /// rebases first) and patch application (which must *keep* its log).
+    fn swap_in_arc(&self, name: &str, ns: &Namespace, store: Arc<GraphStore>) -> Arc<GraphStore> {
         ns.last_hit.store(self.tick(), Ordering::Relaxed);
         let mut slot = ns.slot.write();
         // Bump under the write lock: concurrent swaps serialize here, so
         // each store gets a distinct, strictly increasing generation.
         let generation = ns.generation.fetch_add(1, Ordering::Relaxed) + 1;
         store.set_generation(generation);
-        let store = Arc::new(store);
         if let Some(old) = slot.replace(Arc::clone(&store)) {
             self.retire(&old);
         }
         drop(slot);
         self.enforce_budget(name);
-        Ok(store)
+        store
     }
 
     /// Load a fresh container and swap it in under `name`: the `RELOAD`
@@ -646,6 +661,81 @@ impl StoreRegistry {
     }
 
     // ------------------------------------------------------------------
+    // Versioning (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// Apply one edge patch to `name`, creating a new retained version and
+    /// swapping its store in as the namespace's head — the wire protocol's
+    /// `PATCH ADD|DEL`. The first patch opens the namespace's patch log
+    /// with the currently resolved store as `v0`. Returns the new version's
+    /// summary and the swapped-in head, whose generation the caller must
+    /// report from (not from a fresh resolution — same rule as reloads).
+    ///
+    /// Patch application reuses the reload machinery: the head swaps in
+    /// under the slot write lock with a generation bump, in-flight queries
+    /// finish on the old head's `Arc`, and a failed patch (validation, the
+    /// `patch.apply` failpoint) changes nothing — no version is created,
+    /// no generation is consumed.
+    pub fn patch(
+        &self,
+        name: &str,
+        patch: EdgePatch,
+    ) -> Result<(VersionSummary, Arc<GraphStore>), GrepairError> {
+        // Resolve first: a cold namespace opens here, and that resident
+        // store becomes the log's base.
+        let base = self.store(name)?;
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        // Hold the log lock across apply + swap so concurrent patches
+        // serialize and the slot's head can never lag the log's head.
+        // (Lock order is versions → slot, same as `swap_in`; eviction
+        // takes only slot locks, and a patched head reports 0 resident
+        // bytes so budget enforcement never turns back on this namespace.)
+        let mut log_slot = ns.versions.lock();
+        let log = match &*log_slot {
+            Some(log) => Arc::clone(log),
+            None => {
+                let log = Arc::new(VersionedStore::new(base)?);
+                *log_slot = Some(Arc::clone(&log));
+                log
+            }
+        };
+        let (summary, store) = log.apply(patch)?;
+        let swapped = self.swap_in_arc(name, &ns, store);
+        drop(log_slot);
+        Ok((summary, swapped))
+    }
+
+    /// Resolve `name` pinned to retained version `version` — the wire
+    /// protocol's `@vN` addressing. Version 0 of a never-patched namespace
+    /// is the namespace's store itself; any other version exists only in
+    /// the patch log.
+    pub fn store_at(&self, name: &str, version: u64) -> Result<Arc<GraphStore>, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        let log = ns.versions.lock().clone();
+        match log {
+            Some(log) => {
+                ns.last_hit.store(self.tick(), Ordering::Relaxed);
+                log.at(version)
+            }
+            None if version == 0 => self.store(name),
+            None => Err(GrepairError::BadRequest(format!(
+                "unknown version v{version} (head is v0)"
+            ))),
+        }
+    }
+
+    /// Every retained version of `name` — the `VERSIONS` admin reply. A
+    /// never-patched namespace reports the single version `v0=+0-0`.
+    pub fn versions_of(&self, name: &str) -> Result<Vec<VersionSummary>, GrepairError> {
+        let ns = self.lookup(name).ok_or_else(|| unknown(name))?;
+        let log = ns.versions.lock().clone();
+        Ok(match log {
+            Some(log) => log.summaries(),
+            None => vec![VersionSummary { version: 0, added: 0, removed: 0 }],
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Budget and eviction
     // ------------------------------------------------------------------
 
@@ -689,7 +779,10 @@ impl StoreRegistry {
     /// when it alone exceeds the budget, it stays resident anyway, because
     /// evicting the store a request is about to use would just force an
     /// immediate reopen. Pathless (in-memory) tenants are never evicted;
-    /// they report 0 bytes and cannot be reopened.
+    /// they report 0 bytes and cannot be reopened. The same 0-byte rule
+    /// protects patched heads (overlay stores, DESIGN.md §12): reopening
+    /// from the container path would silently rewind the namespace to its
+    /// base, and evicting a 0-byte resident frees nothing anyway.
     fn enforce_budget(&self, keep: &str) {
         let budget = self.budget.load(Ordering::Relaxed);
         if budget == NO_BUDGET {
@@ -705,7 +798,7 @@ impl StoreRegistry {
                 let Some(store) = ns.resident() else { continue };
                 total += store.resident_bytes();
                 let evictable =
-                    name != keep && ns.path.lock().is_some();
+                    name != keep && ns.path.lock().is_some() && store.resident_bytes() > 0;
                 if evictable {
                     let hit = ns.last_hit.load(Ordering::Relaxed);
                     if victim.as_ref().is_none_or(|(best, _)| hit < *best) {
@@ -1144,6 +1237,106 @@ mod tests {
         for t in 0..3 {
             assert!(registry.store(&format!("t{t}")).is_ok());
         }
+        cleanup(&paths);
+    }
+
+    // ------------------------------------------------------------------
+    // Versioning (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// A k2-backed path store (no node renumbering, unlike the grammar
+    /// codec): `0 -0-> 1 -0-> … -0-> n-1`.
+    fn k2_store(n: u32) -> GraphStore {
+        let g = Hypergraph::from_simple_edges(n as usize, (0..n - 1).map(|i| (i, 0u32, i + 1))).0;
+        let file = crate::backend::codec_for("k2").unwrap().encode(&g).unwrap();
+        GraphStore::from_bytes(&file).unwrap()
+    }
+
+    #[test]
+    fn patches_bump_generation_and_retain_versions() {
+        let registry = StoreRegistry::new(store(2));
+        registry.attach_store("g", k2_store(4)).unwrap();
+        assert_eq!(
+            registry.versions_of("g").unwrap(),
+            vec![VersionSummary { version: 0, added: 0, removed: 0 }]
+        );
+        // @v0 of a never-patched namespace is the store itself; any other
+        // version is unknown.
+        assert!(Arc::ptr_eq(
+            &registry.store_at("g", 0).unwrap(),
+            &registry.store("g").unwrap()
+        ));
+        assert!(registry.store_at("g", 1).unwrap_err().to_string().contains("unknown version"));
+
+        let (v1, head) = registry.patch("g", EdgePatch::parse("ADD 3 0 0").unwrap()).unwrap();
+        assert_eq!(v1, VersionSummary { version: 1, added: 1, removed: 0 });
+        assert_eq!(head.generation(), 2, "patch rides the reload generation machinery");
+        assert!(Arc::ptr_eq(&head, &registry.store("g").unwrap()), "bare queries track the head");
+        assert!(head.reachable(3, 2).unwrap());
+        // Time travel: v0 still answers its own state.
+        assert!(!registry.store_at("g", 0).unwrap().reachable(3, 2).unwrap());
+
+        let (v2, head2) = registry.patch("g", EdgePatch::parse("DEL 1 0 2").unwrap()).unwrap();
+        assert_eq!((v2.version, head2.generation()), (2, 3));
+        assert_eq!(
+            registry.versions_of("g").unwrap(),
+            vec![
+                VersionSummary { version: 0, added: 0, removed: 0 },
+                VersionSummary { version: 1, added: 1, removed: 0 },
+                VersionSummary { version: 2, added: 1, removed: 1 },
+            ]
+        );
+        // A failed patch consumes nothing: no version, no generation.
+        assert!(registry.patch("g", EdgePatch::parse("DEL 1 0 2").unwrap()).is_err());
+        assert_eq!(registry.store("g").unwrap().generation(), 3);
+        assert_eq!(registry.versions_of("g").unwrap().len(), 3);
+        // Unknown namespaces error across the whole versioning surface.
+        assert!(registry.patch("nope", EdgePatch::parse("ADD 0 0 1").unwrap()).is_err());
+        assert!(registry.store_at("nope", 0).is_err());
+        assert!(registry.versions_of("nope").is_err());
+    }
+
+    #[test]
+    fn reload_and_swap_rebase_the_patch_log() {
+        let paths = g2g_files("rebase", &[4]);
+        let registry = StoreRegistry::new(store(2));
+        registry.attach("a", &paths[0]).unwrap();
+        registry.patch("a", EdgePatch::parse("ADD 0 7 1").unwrap()).unwrap();
+        assert_eq!(registry.versions_of("a").unwrap().len(), 2);
+
+        // Reloading fresh container data drops the log: the retained
+        // versions described deltas over the old base.
+        registry.reload("a", None).unwrap();
+        assert_eq!(
+            registry.versions_of("a").unwrap(),
+            vec![VersionSummary { version: 0, added: 0, removed: 0 }]
+        );
+        assert!(registry.store_at("a", 1).is_err());
+
+        // The default-namespace swap surface rebases too.
+        registry.patch(DEFAULT_NAMESPACE, EdgePatch::parse("ADD 0 7 1").unwrap()).unwrap();
+        assert_eq!(registry.versions_of(DEFAULT_NAMESPACE).unwrap().len(), 2);
+        registry.swap(store(2));
+        assert_eq!(registry.versions_of(DEFAULT_NAMESPACE).unwrap().len(), 1);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn patched_heads_survive_budget_pressure() {
+        let paths = g2g_files("verprot", &[8, 8]);
+        let registry = StoreRegistry::new(store(2));
+        registry.attach("a", &paths[0]).unwrap();
+        registry.attach("b", &paths[1]).unwrap();
+        registry.patch("a", EdgePatch::parse("ADD 0 9 1").unwrap()).unwrap();
+        // A zero budget sheds every evictable container — but "a"'s head
+        // is an overlay (0 resident bytes) whose eviction would silently
+        // rewind the namespace to its base.
+        registry.set_budget(Some(0));
+        let list = registry.list();
+        let resident = |name: &str| list.iter().any(|(n, r, _)| n == name && *r);
+        assert!(resident("a"), "{list:?}");
+        assert!(!resident("b"), "{list:?}");
+        assert!(registry.store("a").unwrap().rpq("9", 0, 1).unwrap());
         cleanup(&paths);
     }
 }

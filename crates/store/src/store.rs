@@ -490,6 +490,17 @@ impl GraphStore {
         self.engine_dyn().neighbors(v)
     }
 
+    /// Labeled out-edges of `v` as sorted `(label, target)` pairs — the
+    /// primitive the version overlay corrects (DESIGN.md §12).
+    pub fn out_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        self.engine_dyn().out_edges(v)
+    }
+
+    /// Labeled in-edges of `v` as sorted `(label, source)` pairs.
+    pub fn in_edges(&self, v: u64) -> Result<Vec<(u32, u64)>, GrepairError> {
+        self.engine_dyn().in_edges(v)
+    }
+
     /// Is `t` reachable from `s`?
     pub fn reachable(&self, s: u64, t: u64) -> Result<bool, GrepairError> {
         self.engine_dyn().reachable(s, t)
@@ -1123,6 +1134,41 @@ mod tests {
         assert_eq!(stats.errors, 1, "{stats}");
         // Grammar-only cache counters stay zero on external backends.
         assert_eq!(stats.expansion_cache_hits + stats.expansion_cache_misses, 0);
+    }
+
+    #[test]
+    fn labeled_edges_agree_with_neighbors_across_backends() {
+        for backend in ["grepair", "k2", "lm", "hn"] {
+            let store = backend_store(backend, 20);
+            for v in 0..store.total_nodes() {
+                let outs: Vec<u64> =
+                    store.out_edges(v).unwrap().into_iter().map(|(_, w)| w).collect();
+                assert_eq!(outs, store.out_neighbors(v).unwrap(), "{backend} out {v}");
+                let ins: Vec<u64> =
+                    store.in_edges(v).unwrap().into_iter().map(|(_, w)| w).collect();
+                assert_eq!(ins, store.in_neighbors(v).unwrap(), "{backend} in {v}");
+            }
+            assert!(store.out_edges(20).is_err(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn grammar_labeled_edges_keep_labels() {
+        // two_label_path(8): 8 label-0 edges and 8 label-1 edges. The
+        // grammar renumbers nodes, so check the label multiset over all
+        // nodes rather than per-id structure.
+        let (store, _) = store_for(8);
+        let mut out_labels = Vec::new();
+        let mut in_labels = Vec::new();
+        for v in 0..store.total_nodes() {
+            out_labels.extend(store.out_edges(v).unwrap().into_iter().map(|(l, _)| l));
+            in_labels.extend(store.in_edges(v).unwrap().into_iter().map(|(l, _)| l));
+        }
+        for labels in [&out_labels, &in_labels] {
+            assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 8);
+            assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 8);
+            assert_eq!(labels.len(), 16);
+        }
     }
 
     #[test]

@@ -291,6 +291,78 @@ fn transient_open_faults_are_retried_invisibly() {
 }
 
 #[test]
+fn faulted_patches_never_leave_a_torn_version() {
+    use grepair_store::EdgePatch;
+
+    let _faults = fail::scoped();
+    let registry = chaotic_registry(None);
+    // An id-stable tenant to patch (the k2 codec keeps input node ids, so
+    // the expected edge set below can be tracked by literal ids).
+    let (g, _) = Hypergraph::from_simple_edges(6, (0..5u32).map(|i| (i, 0u32, i + 1)));
+    let bytes = grepair_store::codec_for("k2").unwrap().encode(&g).unwrap();
+    registry.attach_store("delta", GraphStore::from_bytes(&bytes).unwrap()).unwrap();
+
+    // Half the patch applications abort between validation and the
+    // version-log push. The atomicity contract (DESIGN.md §12): either the
+    // generation ratchets and a new version appears, or *nothing* changes
+    // — never a version whose overlay half-applied.
+    fail::set_seed(0xfeed);
+    fail::configure("patch.apply", "1in(2):err").unwrap();
+    let mut rng = Rng::new(0xabc);
+    let mut present: std::collections::BTreeSet<(u64, u32, u64)> =
+        (0..5u64).map(|i| (i, 0u32, i + 1)).collect();
+    let (mut applied, mut faulted) = (0u64, 0u64);
+    for _ in 0..60 {
+        let s = rng.below(6);
+        let t = (s + 1 + rng.below(5)) % 6; // never a self-loop
+        let key = (s, 0u32, t);
+        let line = if present.contains(&key) {
+            format!("DEL {s} 0 {t}")
+        } else {
+            format!("ADD {s} 0 {t}")
+        };
+        let patch = EdgePatch::parse(&line).unwrap();
+        let before_generation = registry.generation_of("delta").unwrap();
+        let before_versions = registry.versions_of("delta").unwrap();
+        match registry.patch("delta", patch) {
+            Ok((summary, store)) => {
+                applied += 1;
+                if !present.remove(&key) {
+                    present.insert(key);
+                }
+                assert_eq!(summary.version, before_versions.last().unwrap().version + 1);
+                assert_eq!(store.generation(), before_generation + 1);
+            }
+            Err(GrepairError::Unavailable(what)) => {
+                faulted += 1;
+                assert!(what.contains("aborted"), "{what}");
+                // Atomicity: the fault consumed nothing — same generation,
+                // same retained versions.
+                assert_eq!(registry.generation_of("delta").unwrap(), before_generation);
+                assert_eq!(registry.versions_of("delta").unwrap(), before_versions);
+            }
+            Err(other) => panic!("unexpected patch error: {other}"),
+        }
+        // Whatever happened, the head serves exactly the tracked edge set.
+        let head = registry.store("delta").unwrap();
+        for v in 0..6u64 {
+            let got = head.out_neighbors(v).unwrap();
+            let expect: Vec<u64> = present
+                .iter()
+                .filter(|(from, _, _)| *from == v)
+                .map(|&(_, _, to)| to)
+                .collect();
+            assert_eq!(got, expect, "torn head at node {v}");
+        }
+    }
+    assert!(
+        applied > 0 && faulted > 0,
+        "schedule must exercise both outcomes: {applied} applied, {faulted} faulted"
+    );
+    fail::clear_all();
+}
+
+#[test]
 fn concurrent_cold_open_and_eviction_race_under_injected_delays() {
     let _faults = fail::scoped();
     let f = fixture();

@@ -1,0 +1,171 @@
+//! The versioning oracle (DESIGN.md §12): over random base graphs and random
+//! valid patch sequences, every retained version of a [`VersionedStore`] must
+//! answer exactly like a from-scratch recompression of that version's
+//! materialized graph — on all four backends.
+//!
+//! k2/lm/hn preserve node ids through encode, so answers compare literally.
+//! grepair renumbers nodes during compression; the recompressed store is
+//! compared through `grepair_core`'s `node_map` (derived id → input id), which
+//! the container format discards but the in-process compressor still exposes.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use grepair_hypergraph::Hypergraph;
+use grepair_store::{codec_for, materialize, EdgePatch, GraphStore, PatchOp, VersionedStore};
+use proptest::prelude::*;
+
+/// One edge in store-id space.
+type Edge = (u64, u32, u64);
+
+/// A generated `(s, label, t)` triple.
+type Triple = (u32, u32, u32);
+
+/// Random case: a node bound, base triples, and patch intents. Intents may
+/// name nodes past the base bound (exercising bound growth) and may repeat;
+/// the replay below turns each into a valid toggle (ADD if absent, DEL if
+/// present) and skips self-loops.
+fn arb_case() -> impl Strategy<Value = (u32, Vec<Triple>, Vec<Triple>)> {
+    (3u32..10).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0u32..3, 0..n), 0..18),
+            proptest::collection::vec((0..n + 2, 0u32..3, 0..n + 2), 1..12),
+        )
+    })
+}
+
+/// Scan a store's full labeled edge set (store-id space).
+fn edge_set(store: &GraphStore) -> BTreeSet<Edge> {
+    let mut set = BTreeSet::new();
+    for v in 0..store.total_nodes() {
+        for (label, t) in store.out_edges(v).unwrap() {
+            set.insert((v, label, t));
+        }
+    }
+    set
+}
+
+/// Replay `intents` as toggles over a fresh base store for `backend`,
+/// checking every retained version against (a) the tracked model edge set
+/// and (b) a from-scratch recompression of its materialized graph.
+fn check_backend(backend: &str, n: u32, base: &[Triple], intents: &[Triple]) {
+    let labeled = matches!(backend, "grepair" | "k2");
+    let triples: Vec<Triple> = base
+        .iter()
+        .map(|&(s, l, t)| (s, if labeled { l } else { 0 }, t))
+        .collect();
+    let g = Hypergraph::from_simple_edges(n as usize, triples).0;
+    let file = codec_for(backend).unwrap().encode(&g).unwrap();
+    let store = Arc::new(GraphStore::from_bytes(&file).unwrap());
+
+    // The model lives in *store*-id space (read back from the base store, so
+    // grepair's renumbering is already folded in), exactly like a client
+    // that attaches a container and then patches it.
+    let versioned = VersionedStore::new(Arc::clone(&store)).unwrap();
+    let mut model = edge_set(&store);
+    let mut snapshots = vec![model.clone()];
+    for &(s, l, t) in intents {
+        let (s, t) = (u64::from(s), u64::from(t));
+        let label = if labeled { l } else { 0 };
+        if s == t {
+            continue; // self-loops are not representable (graph.rs drops them)
+        }
+        let op = if model.contains(&(s, label, t)) { PatchOp::Del } else { PatchOp::Add };
+        let patch = EdgePatch { op, s, label, t };
+        let (summary, head) = versioned.apply(patch).unwrap();
+        match op {
+            PatchOp::Add => assert!(model.insert((s, label, t))),
+            PatchOp::Del => assert!(model.remove(&(s, label, t))),
+        }
+        assert_eq!(summary.version, versioned.head_version(), "{backend}: {patch}");
+        assert_eq!(edge_set(&head), model, "{backend}: head after {patch}");
+        snapshots.push(model.clone());
+    }
+
+    for (v, expected) in snapshots.iter().enumerate() {
+        let at = versioned.at(v as u64).unwrap();
+        assert_eq!(&edge_set(&at), expected, "{backend} v{v}: overlay vs model");
+        check_recompression(backend, v, &at);
+    }
+}
+
+/// `at` must answer exactly like a fresh compression of its materialized
+/// graph: same edges, same reachability, same whole-graph aggregates.
+fn check_recompression(backend: &str, v: usize, at: &GraphStore) {
+    let materialized = materialize(at).unwrap();
+    let bound = at.total_nodes();
+    // identity[store id] = fresh-store id (grepair permutes; the rest don't).
+    let (fresh, to_store): (GraphStore, Vec<u64>) = if backend == "grepair" {
+        let out = grepair_core::compress(&materialized, &grepair_core::GRePairConfig::default());
+        let map: Vec<u64> = out.node_map.iter().map(|&orig| u64::from(orig)).collect();
+        (GraphStore::from_grammar(out.grammar).unwrap(), map)
+    } else {
+        let file = codec_for(backend).unwrap().encode(&materialized).unwrap();
+        (GraphStore::from_bytes(&file).unwrap(), (0..bound).collect())
+    };
+    assert_eq!(fresh.total_nodes(), bound, "{backend} v{v}: node bound");
+    let mut to_fresh = vec![u64::MAX; bound as usize];
+    for (f, &orig) in to_store.iter().enumerate() {
+        to_fresh[orig as usize] = f as u64;
+    }
+
+    for s in 0..bound {
+        let mut want = at.out_edges(s).unwrap();
+        want.sort_unstable();
+        let mut got: Vec<(u32, u64)> = fresh
+            .out_edges(to_fresh[s as usize])
+            .unwrap()
+            .into_iter()
+            .map(|(l, t)| (l, to_store[t as usize]))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "{backend} v{v}: out({s})");
+        let mut want_in: Vec<u64> = at.in_neighbors(s).unwrap();
+        want_in.sort_unstable();
+        let mut got_in: Vec<u64> = fresh
+            .in_neighbors(to_fresh[s as usize])
+            .unwrap()
+            .into_iter()
+            .map(|t| to_store[t as usize])
+            .collect();
+        got_in.sort_unstable();
+        assert_eq!(got_in, want_in, "{backend} v{v}: in({s})");
+    }
+    for (s, t) in [(0, bound - 1), (bound - 1, 0), (1 % bound, bound / 2)] {
+        assert_eq!(
+            at.reachable(s, t).unwrap(),
+            fresh.reachable(to_fresh[s as usize], to_fresh[t as usize]).unwrap(),
+            "{backend} v{v}: reach {s}->{t}"
+        );
+        assert_eq!(
+            at.rpq("0* 1?", s, t).unwrap(),
+            fresh.rpq("0* 1?", to_fresh[s as usize], to_fresh[t as usize]).unwrap(),
+            "{backend} v{v}: rpq {s}->{t}"
+        );
+    }
+    assert_eq!(at.components(), fresh.components(), "{backend} v{v}: components");
+    assert_eq!(at.degree_extrema(), fresh.degree_extrema(), "{backend} v{v}: degrees");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn labeled_backends_time_travel_matches_recompression(
+        (n, base, intents) in arb_case()
+    ) {
+        for backend in ["grepair", "k2"] {
+            check_backend(backend, n, &base, &intents);
+        }
+    }
+
+    #[test]
+    fn unlabeled_backends_time_travel_matches_recompression(
+        (n, base, intents) in arb_case()
+    ) {
+        for backend in ["lm", "hn"] {
+            check_backend(backend, n, &base, &intents);
+        }
+    }
+}
